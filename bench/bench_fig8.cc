@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: the ablation study of the three optimization
+ * levels on the DNN models. Configurations: D (directives only),
+ * L{n}+D (loop level n, one dataflow stage), and G{n}+L7+D (graph level n
+ * with the best loop level). Larger n means larger unroll factors (L) or
+ * finer dataflow granularity (G). The reported value is the throughput
+ * speedup over the unoptimized baseline, log-scale shaped like the
+ * paper's bars.
+ */
+
+#include <cstdio>
+
+#include "api/scalehls.h"
+
+using namespace scalehls;
+
+namespace {
+
+double
+baselineInterval(Operation *(*build)(Operation *))
+{
+    auto module = createModule();
+    build(module.get());
+    Compiler compiler(std::move(module));
+    compiler.lowerToLoops();
+    return static_cast<double>(compiler.estimate().interval);
+}
+
+double
+configSpeedup(Operation *(*build)(Operation *), double base_interval,
+              int graph_level, int loop_level, bool directives)
+{
+    auto module = createModule();
+    build(module.get());
+    Compiler compiler(std::move(module));
+    if (graph_level > 0)
+        compiler.applyGraphOpt(graph_level);
+    compiler.lowerToLoops();
+    if (loop_level > 0)
+        compiler.applyLoopOpt(loop_level);
+    if (directives)
+        compiler.applyDirectiveOpt(1);
+    QoRResult qor = compiler.estimate();
+    return base_interval / static_cast<double>(qor.interval);
+}
+
+} // namespace
+
+int
+main()
+{
+    struct ModelCase
+    {
+        const char *name;
+        Operation *(*build)(Operation *);
+    };
+    const ModelCase cases[] = {
+        {"ResNet-18", buildResNet18},
+        {"VGG-16", buildVGG16},
+        {"MobileNet", buildMobileNet},
+    };
+    // L7 would mean 64-way unrolling on every layer; level 5 (16-way) is
+    // the largest level that fits one SLR in Table V, so the ablation
+    // sweeps L1..L5 and uses L5 as the "best" loop level for the G sweep.
+    constexpr int kBestLoopLevel = 5;
+
+    std::printf("=== Fig. 8: ablation study of DNN models (speedup vs "
+                "baseline, throughput metric) ===\n");
+    std::printf("%-11s %-8s", "Model", "D");
+    for (int l = 1; l <= kBestLoopLevel; ++l)
+        std::printf(" %7s%d", "L", l);
+    for (int g = 1; g <= 7; g += 2)
+        std::printf(" %7s%d", "G", g);
+    std::printf("   (L columns include D; G columns include L%d+D)\n",
+                kBestLoopLevel);
+
+    for (const ModelCase &model : cases) {
+        double base = baselineInterval(model.build);
+        std::printf("%-11s", model.name);
+        // D alone (no graph split, no unrolling).
+        std::printf(" %7.1fx",
+                    configSpeedup(model.build, base, 0, 0, true));
+        std::fflush(stdout);
+        // L1..L5 with D.
+        for (int l = 1; l <= kBestLoopLevel; ++l) {
+            std::printf(" %7.1fx",
+                        configSpeedup(model.build, base, 0, l, true));
+            std::fflush(stdout);
+        }
+        // G1, G3, G5, G7 with L5 + D.
+        for (int g = 1; g <= 7; g += 2) {
+            std::printf(" %7.1fx",
+                        configSpeedup(model.build, base, g,
+                                      kBestLoopLevel, true));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nShape check (paper): loop optimization dominates "
+                "(avg 130.9x at L7), graph optimization multiplies on "
+                "top (avg 10.3x), directives alone are small (1.8x) but "
+                "grow with unrolling.\n");
+    return 0;
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) supporting the paper's runtime
+ * claims and the DESIGN.md ablations: front-end + raising throughput,
+ * estimator speed (the property enabling DSE at scale), DSE evaluation
+ * rate, and the array-partition metric vs naive full partitioning.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "api/scalehls.h"
+#include "model/polybench.h"
+
+using namespace scalehls;
+
+namespace {
+
+void
+BM_ParseAndRaise(benchmark::State &state)
+{
+    std::string source = polybenchSource("gemm", state.range(0));
+    for (auto _ : state) {
+        auto module = parseCToModule(source);
+        raiseScfToAffine(module.get());
+        benchmark::DoNotOptimize(module);
+    }
+}
+BENCHMARK(BM_ParseAndRaise)->Arg(64)->Arg(4096);
+
+void
+BM_QoREstimation(benchmark::State &state)
+{
+    auto module = parseCToModule(polybenchSource("gemm", state.range(0)));
+    raiseScfToAffine(module.get());
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    applyLoopOrderOpt(band);
+    band = getLoopNest(band[0]);
+    band = applyLoopTiling(band, {1, 1, 8});
+    applyLoopPipelining(band.back(), 1);
+    applyCanonicalize(func);
+    applyArrayPartition(func);
+    for (auto _ : state) {
+        QoREstimator estimator(module.get());
+        benchmark::DoNotOptimize(estimator.estimateModule());
+    }
+}
+BENCHMARK(BM_QoREstimation)->Arg(256)->Arg(4096);
+
+void
+BM_VirtualSynthesis(benchmark::State &state)
+{
+    auto module = parseCToModule(polybenchSource("gemm", state.range(0)));
+    raiseScfToAffine(module.get());
+    for (auto _ : state) {
+        VirtualSynthesizer synthesizer(module.get(), xc7z020());
+        benchmark::DoNotOptimize(synthesizer.synthesize());
+    }
+}
+BENCHMARK(BM_VirtualSynthesis)->Arg(256);
+
+void
+BM_DSEEvaluation(benchmark::State &state)
+{
+    // One full materialize+estimate round trip: the unit of DSE cost.
+    auto module = parseCToModule(polybenchSource("gemm", 256));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions options;
+    options.maxTotalUnroll = static_cast<int64_t>(state.range(0));
+    DesignSpace space(module.get(), options);
+    std::mt19937 rng(1);
+    for (auto _ : state) {
+        auto point = space.randomPoint(rng);
+        benchmark::DoNotOptimize(space.evaluate(point));
+    }
+}
+BENCHMARK(BM_DSEEvaluation)->Arg(16)->Arg(128);
+
+/** DESIGN.md ablation: access-pattern-driven partitioning (paper Eq. 1)
+ * vs naively fully partitioning every dimension. The metric-driven plan
+ * reaches the same II with far fewer banks. */
+void
+BM_PartitionMetricAblation(benchmark::State &state)
+{
+    bool naive = state.range(0) != 0;
+    int64_t ii = 0;
+    int64_t banks = 0;
+    for (auto _ : state) {
+        auto module = parseCToModule(polybenchSource("gemm", 64));
+        raiseScfToAffine(module.get());
+        Operation *func = getTopFunc(module.get());
+        applyLoopPerfectization(getLoopBands(func)[0][0]);
+        auto band = getLoopNest(getLoopBands(func)[0][0]);
+        applyLoopOrderOpt(band);
+        band = getLoopNest(band[0]);
+        band = applyLoopTiling(band, {1, 1, 8});
+        applyLoopPipelining(band.back(), 1);
+        applyCanonicalize(func);
+        if (naive) {
+            Block *body = funcBody(func);
+            for (unsigned i = 0; i < body->numArguments(); ++i) {
+                Value *arg = body->argument(i);
+                if (!arg->type().isMemRef())
+                    continue;
+                PartitionPlan plan;
+                plan.kinds.assign(arg->type().rank(),
+                                  PartitionKind::Cyclic);
+                plan.factors.assign(arg->type().rank(), 8);
+                applyPartitionPlan(arg, plan);
+            }
+        } else {
+            applyArrayPartition(func);
+        }
+        QoREstimator estimator(module.get());
+        QoRResult qor = estimator.estimateModule();
+        ii = qor.interval;
+        banks = 0;
+        Block *body = funcBody(func);
+        for (unsigned i = 0; i < body->numArguments(); ++i) {
+            Value *arg = body->argument(i);
+            if (!arg->type().isMemRef())
+                continue;
+            banks += decodePartitionMap(arg->type().layout(),
+                                        arg->type().shape())
+                         .totalBanks();
+        }
+        benchmark::DoNotOptimize(qor);
+    }
+    state.counters["banks"] = static_cast<double>(banks);
+    state.counters["interval"] = static_cast<double>(ii);
+}
+BENCHMARK(BM_PartitionMetricAblation)
+    ->Arg(0)  // Eq. 1 metric.
+    ->Arg(1); // Naive full partition.
+
+/** DESIGN.md ablation: the 5-step neighbor-traversing search vs pure
+ * random sampling vs simulated annealing at the same evaluation budget.
+ * Counters report the best feasible latency each strategy found. */
+void
+BM_DSEStrategyAblation(benchmark::State &state)
+{
+    auto strategy = static_cast<DSEStrategy>(state.range(0));
+    int64_t best_latency = 0;
+    for (auto _ : state) {
+        auto module = parseCToModule(polybenchSource("gemm", 256));
+        raiseScfToAffine(module.get());
+        DesignSpaceOptions space_options;
+        space_options.maxTileSize = 16;
+        space_options.maxTotalUnroll = 128;
+        DesignSpace space(module.get(), space_options);
+        DSEOptions options;
+        options.numInitialSamples = 30;
+        options.maxIterations = 60;
+        options.strategy = strategy;
+        DSEEngine engine(space, options);
+        auto frontier = engine.explore();
+        auto best = DSEEngine::finalize(frontier, xc7z020());
+        best_latency = best ? best->qor.latency : -1;
+        benchmark::DoNotOptimize(best_latency);
+    }
+    state.counters["best_latency"] = static_cast<double>(best_latency);
+}
+BENCHMARK(BM_DSEStrategyAblation)
+    ->Arg(0)  // NeighborTraversal (paper).
+    ->Arg(1)  // RandomSampling.
+    ->Arg(2)  // SimulatedAnnealing.
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DnnCompileFlow(benchmark::State &state)
+{
+    // The paper's "runtime (seconds)" claim: full multi-level flow.
+    for (auto _ : state) {
+        auto module = createModule();
+        buildMobileNet(module.get());
+        Compiler compiler(std::move(module));
+        compiler.applyGraphOpt(7)
+            .lowerToLoops()
+            .applyLoopOpt(3)
+            .applyDirectiveOpt(1);
+        benchmark::DoNotOptimize(compiler.estimate());
+    }
+}
+BENCHMARK(BM_DnnCompileFlow)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

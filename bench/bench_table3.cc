@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Table III: DSE results of large-scale computation
+ * kernels. Six PolyBench kernels at problem size 4096 are optimized by the
+ * automated DSE under the XC7Z020 budget; we report the speedup over the
+ * unoptimized baseline together with the parameters the DSE selected
+ * (loop perfectization, variable-bound removal, permutation map, tile
+ * sizes, pipeline II and array partition factors).
+ */
+
+#include "common.h"
+
+using namespace scalehls;
+using namespace scalehls::bench;
+
+int
+main()
+{
+    constexpr int64_t kProblemSize = 4096;
+    ResourceBudget budget = xc7z020();
+
+    std::printf("=== Table III: DSE results of large-scale computation "
+                "kernels (size %lld, %s) ===\n",
+                static_cast<long long>(kProblemSize), budget.name.c_str());
+    std::printf("%-9s %-10s %-9s %-4s %-4s %-12s %-15s %-4s %s\n",
+                "Kernel", "Speedup", "(paper)", "LP", "RVB", "Perm.Map",
+                "TilingSizes", "II", "ArrayPartition");
+
+    // Paper-reported speedups for shape comparison.
+    const std::map<std::string, double> paper_speedup = {
+        {"bicg", 41.7},  {"gemm", 768.1},  {"gesummv", 199.1},
+        {"syr2k", 384.0}, {"syrk", 384.1}, {"trmm", 590.9}};
+
+    for (const std::string &kernel : polybenchKernelNames()) {
+        KernelResult result =
+            runKernelDSE(kernel, kProblemSize, budget);
+        if (!result.module) {
+            std::printf("%-9s DSE found no feasible design\n",
+                        kernel.c_str());
+            continue;
+        }
+        int64_t ii = result.params.targetII;
+        std::printf("%-9s %-10.1f %-9.1f %-4s %-4s %-12s %-15s %-4lld %s\n",
+                    kernel.c_str(), result.speedup,
+                    paper_speedup.at(kernel),
+                    result.params.loopPerfectization ? "Yes" : "No",
+                    result.params.removeVariableBound ? "Yes" : "No",
+                    listString(result.params.permMap).c_str(),
+                    listString(result.params.tileSizes).c_str(),
+                    static_cast<long long>(ii),
+                    result.partition.c_str());
+        std::printf("          baseline %.3e cycles -> optimized %.3e "
+                    "cycles, DSP %lld/%lld, %zu evals\n",
+                    static_cast<double>(result.baselineLatency),
+                    static_cast<double>(result.optimizedLatency),
+                    static_cast<long long>(result.qor.resources.dsp),
+                    static_cast<long long>(budget.dsp),
+                    result.evaluations);
+    }
+    std::printf("\nShape check: GEMM-class kernels reach triple-digit "
+                "speedups; BICG stays the smallest (loop-carried "
+                "dependences in every loop).\n");
+    return 0;
+}

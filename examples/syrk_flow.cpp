@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's Fig. 5 walkthrough: the SYRK kernel is taken through every
+ * compilation stage, printing the IR after each one —
+ *   (i)   input C            -> (ii)  affine IR (parse + raise)
+ *   (ii)  affine IR          -> (iii) loop-optimized IR
+ *   (iii) loop-optimized IR  -> (iv)  directive-optimized IR
+ *   (iv)  directive IR       -> (v)   synthesizable HLS C++.
+ */
+
+#include <cstdio>
+
+#include "api/scalehls.h"
+#include "model/polybench.h"
+
+using namespace scalehls;
+
+int
+main()
+{
+    std::string source = syrkFig5Source();
+    std::printf("=== (i) input C ===\n%s\n", source.c_str());
+
+    // Pi->ii: scalehls-clang | scalehls-opt -raise-scf-to-affine.
+    Compiler compiler = Compiler::fromC(source);
+    std::printf("=== (ii) baseline affine IR ===\n%s\n",
+                compiler.printIR().c_str());
+
+    // Pii->iii: -affine-loop-perfectization -remove-variable-bound
+    //           -affine-loop-order-opt -partial-affine-loop-tile.
+    Operation *func = getTopFunc(compiler.module());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    applyRemoveVariableBound(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    applyLoopOrderOpt(band);
+    band = getLoopNest(band[0]);
+    band = applyLoopTiling(band, {1, 2, 1});
+    std::printf("=== (iii) loop-optimized IR ===\n%s\n",
+                compiler.printIR().c_str());
+
+    // Piii->iv: -loop-pipelining -canonicalize -simplify-affine-if
+    //           -affine-store-forward -simplify-memref-access
+    //           -array-partition -cse.
+    applyLoopPipelining(band.back(), 1);
+    compiler.applySimplifications();
+    applyArrayPartition(func);
+    std::printf("=== (iv) directive-optimized IR ===\n%s\n",
+                compiler.printIR().c_str());
+
+    // Piv->v: scalehls-translate -emit-hlscpp.
+    std::printf("=== (v) synthesizable HLS C++ ===\n%s\n",
+                compiler.emitCpp().c_str());
+
+    QoRResult qor = compiler.estimate();
+    std::printf("estimated QoR: latency %lld cycles, interval %lld, "
+                "DSP %lld\n",
+                static_cast<long long>(qor.latency),
+                static_cast<long long>(qor.interval),
+                static_cast<long long>(qor.resources.dsp));
+    return 0;
+}

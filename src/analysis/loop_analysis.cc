@@ -1,0 +1,230 @@
+#include "analysis/loop_analysis.h"
+
+#include <algorithm>
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+std::vector<Operation *>
+getLoopNest(Operation *outermost)
+{
+    std::vector<Operation *> band;
+    Operation *current = outermost;
+    while (true) {
+        band.push_back(current);
+        Block *body = AffineForOp(current).body();
+        Operation *child = nullptr;
+        int num_loops = 0;
+        for (auto &op : body->ops()) {
+            if (op->is(ops::AffineFor)) {
+                ++num_loops;
+                child = op.get();
+            }
+        }
+        if (num_loops != 1)
+            break;
+        current = child;
+    }
+    return band;
+}
+
+std::vector<std::vector<Operation *>>
+getLoopBands(Operation *scope)
+{
+    std::vector<std::vector<Operation *>> bands;
+    scope->walk([&](Operation *op) {
+        if (!op->is(ops::AffineFor))
+            return;
+        // Top level within scope: no enclosing affine.for below scope.
+        for (Operation *p = op->parentOp(); p && p != scope;
+             p = p->parentOp()) {
+            if (p->is(ops::AffineFor))
+                return;
+        }
+        bands.push_back(getLoopNest(op));
+    });
+    return bands;
+}
+
+bool
+isPerfectNest(const std::vector<Operation *> &band)
+{
+    for (unsigned i = 0; i + 1 < band.size(); ++i) {
+        Block *body = AffineForOp(band[i]).body();
+        if (body->size() != 1 || body->front() != band[i + 1])
+            return false;
+    }
+    return true;
+}
+
+int
+loopDepth(const Operation *op)
+{
+    int depth = 0;
+    for (Operation *p = op->parentOp(); p; p = p->parentOp())
+        if (p->is(ops::AffineFor))
+            ++depth;
+    return depth;
+}
+
+bool
+containsLoops(Operation *op)
+{
+    bool found = false;
+    op->walk([&](Operation *nested) {
+        if (nested != op && isLoop(nested))
+            found = true;
+    });
+    return found;
+}
+
+namespace {
+
+/** Evaluate all results of a bound map at the corner points of the operand
+ * ranges and return {min over corners of (combine over results)}. For lower
+ * bounds the effective bound is the max over results; for upper bounds the
+ * min over results. */
+std::optional<std::pair<int64_t, int64_t>>
+boundRange(const AffineMap &map, const std::vector<Value *> &operands,
+           bool is_lower)
+{
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    for (Value *v : operands) {
+        auto r = getIVRange(v);
+        if (!r) {
+            // Not an induction variable; constants are still fine.
+            if (auto c = getConstantIntValue(v)) {
+                r = std::make_pair(*c, *c);
+            } else {
+                return std::nullopt;
+            }
+        }
+        ranges.push_back(*r);
+    }
+
+    int64_t global_min = 0;
+    int64_t global_max = 0;
+    bool first = true;
+    unsigned k = ranges.size();
+    assert(k < 20 && "too many bound operands");
+    for (unsigned mask = 0; mask < (1u << k); ++mask) {
+        std::vector<int64_t> dims;
+        for (unsigned i = 0; i < k; ++i)
+            dims.push_back((mask & (1u << i)) ? ranges[i].second
+                                              : ranges[i].first);
+        auto values = map.evaluate(dims);
+        // Effective bound at this corner.
+        int64_t v = is_lower
+                        ? *std::max_element(values.begin(), values.end())
+                        : *std::min_element(values.begin(), values.end());
+        if (first || v < global_min)
+            global_min = v;
+        if (first || v > global_max)
+            global_max = v;
+        first = false;
+    }
+    return std::make_pair(global_min, global_max);
+}
+
+} // namespace
+
+std::optional<int64_t>
+getBoundMin(const AffineMap &map, const std::vector<Value *> &operands,
+            bool is_lower)
+{
+    auto r = boundRange(map, operands, is_lower);
+    if (!r)
+        return std::nullopt;
+    return r->first;
+}
+
+std::optional<int64_t>
+getBoundMax(const AffineMap &map, const std::vector<Value *> &operands,
+            bool is_lower)
+{
+    auto r = boundRange(map, operands, is_lower);
+    if (!r)
+        return std::nullopt;
+    return r->second;
+}
+
+std::optional<std::pair<int64_t, int64_t>>
+getIVRange(Value *iv)
+{
+    Block *owner = iv->ownerBlock();
+    if (!owner)
+        return std::nullopt;
+    Operation *loop = owner->parentOp();
+    if (!isa(loop, ops::AffineFor))
+        return std::nullopt;
+    AffineForOp for_op(loop);
+    auto lb = getBoundMin(for_op.lowerBoundMap(),
+                          for_op.lowerBoundOperands(), true);
+    auto ub = getBoundMax(for_op.upperBoundMap(),
+                          for_op.upperBoundOperands(), false);
+    if (!lb || !ub)
+        return std::nullopt;
+    int64_t step = for_op.step();
+    int64_t last = *ub - 1;
+    // Align to the step grid.
+    if (last >= *lb)
+        last = *lb + ((last - *lb) / step) * step;
+    else
+        last = *lb;
+    return std::make_pair(*lb, last);
+}
+
+std::optional<int64_t>
+getTripCount(AffineForOp for_op)
+{
+    if (auto trip = for_op.constantTripCount())
+        return trip;
+    // Exact trip for bounds of the form lb = f(x), ub = f(x) + c over the
+    // same operands (tiling's point loops).
+    if (for_op.lowerBoundMap().numResults() == 1 &&
+        for_op.upperBoundMap().numResults() == 1 &&
+        for_op.lowerBoundOperands() == for_op.upperBoundOperands()) {
+        auto extent = constantDiff(for_op.upperBoundMap().result(0),
+                                   for_op.lowerBoundMap().result(0));
+        if (extent) {
+            if (*extent <= 0)
+                return 0;
+            return ceilDiv(*extent, for_op.step());
+        }
+    }
+    auto lb = getBoundMin(for_op.lowerBoundMap(),
+                          for_op.lowerBoundOperands(), true);
+    auto ub = getBoundMax(for_op.upperBoundMap(),
+                          for_op.upperBoundOperands(), false);
+    if (!lb || !ub)
+        return std::nullopt;
+    if (*ub <= *lb)
+        return 0;
+    return ceilDiv(*ub - *lb, for_op.step());
+}
+
+std::optional<int64_t>
+getBandTripCount(const std::vector<Operation *> &band)
+{
+    int64_t total = 1;
+    for (Operation *loop : band) {
+        auto trip = getTripCount(AffineForOp(loop));
+        if (!trip)
+            return std::nullopt;
+        total *= *trip;
+    }
+    return total;
+}
+
+std::vector<Value *>
+bandIVs(const std::vector<Operation *> &band)
+{
+    std::vector<Value *> ivs;
+    ivs.reserve(band.size());
+    for (Operation *loop : band)
+        ivs.push_back(AffineForOp(loop).inductionVar());
+    return ivs;
+}
+
+} // namespace scalehls

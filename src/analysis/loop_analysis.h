@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Loop analyses: band extraction, perfect-nesting checks, trip counts and
+ * induction-variable ranges. A "loop band" (paper Table II) is a continuous
+ * chain of nested affine.for loops, outermost first.
+ */
+
+#ifndef SCALEHLS_ANALYSIS_LOOP_ANALYSIS_H
+#define SCALEHLS_ANALYSIS_LOOP_ANALYSIS_H
+
+#include <optional>
+#include <vector>
+
+#include "dialect/ops.h"
+
+namespace scalehls {
+
+/** The maximal loop nest starting at @p outermost: follows the chain while
+ * the body contains exactly one nested affine.for (other non-loop ops are
+ * allowed, making the band possibly imperfect). */
+std::vector<Operation *> getLoopNest(Operation *outermost);
+
+/** All maximal loop bands rooted at top-level loops inside @p scope
+ * (loops not nested in another loop within the scope). */
+std::vector<std::vector<Operation *>> getLoopBands(Operation *scope);
+
+/** True if each non-innermost loop body contains only the next loop. */
+bool isPerfectNest(const std::vector<Operation *> &band);
+
+/** Depth of @p op: the number of enclosing affine.for loops. */
+int loopDepth(const Operation *op);
+
+/** True if @p op transitively contains any affine.for or scf.for. */
+bool containsLoops(Operation *op);
+
+/** Inclusive value range of an affine.for induction variable, derived from
+ * its bound maps (recursively using the ranges of outer IV operands).
+ * Returns nullopt for non-affine/unknown operands. */
+std::optional<std::pair<int64_t, int64_t>> getIVRange(Value *iv);
+
+/** Minimum / maximum value of an affine bound map given the ranges of its
+ * operands. Lower bounds use the max over results; upper bounds the min. */
+std::optional<int64_t> getBoundMin(const AffineMap &map,
+                                   const std::vector<Value *> &operands,
+                                   bool is_lower);
+std::optional<int64_t> getBoundMax(const AffineMap &map,
+                                   const std::vector<Value *> &operands,
+                                   bool is_lower);
+
+/** Trip count of a loop. Constant-bound loops are exact; variable-bound
+ * loops use the worst case (max upper bound minus min lower bound);
+ * nullopt if bounds cannot be analyzed. */
+std::optional<int64_t> getTripCount(AffineForOp for_op);
+
+/** Product of trip counts of all loops in a band (1 for empty bands,
+ * worst-case bounds for variable loops, nullopt on failure). */
+std::optional<int64_t> getBandTripCount(
+    const std::vector<Operation *> &band);
+
+/** The induction variables of a band, outermost first. */
+std::vector<Value *> bandIVs(const std::vector<Operation *> &band);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_ANALYSIS_LOOP_ANALYSIS_H

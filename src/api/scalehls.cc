@@ -1,0 +1,192 @@
+#include "api/scalehls.h"
+
+#include <limits>
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+Compiler::Compiler(std::unique_ptr<Operation> module)
+    : module_(std::move(module))
+{}
+
+Compiler
+Compiler::fromC(const std::string &source, const std::string &top_func)
+{
+    Compiler compiler(parseCToModule(source, top_func));
+    compiler.timed([&] { raiseScfToAffine(compiler.module()); });
+    return compiler;
+}
+
+Compiler &
+Compiler::applyGraphOpt(int level)
+{
+    level = std::clamp(level, 1, 7);
+    timed([&] {
+        bool insert_copy = level >= 4;
+        std::vector<Operation *> funcs;
+        for (auto &op : module_->region(0).front().ops())
+            if (op->is(ops::Func))
+                funcs.push_back(op.get());
+        for (Operation *func : funcs) {
+            if (!applyLegalizeDataflow(func, insert_copy))
+                continue;
+            // Count stages, then choose the granularity: level n targets
+            // min(stages, 2^(n-1)) dataflow stages.
+            int64_t num_stages = 0;
+            for (auto &op : funcBody(func)->ops()) {
+                Attribute stage = op->attr(kDataflowStage);
+                if (stage.is<int64_t>())
+                    num_stages =
+                        std::max(num_stages, stage.getInt() + 1);
+            }
+            int64_t target =
+                std::min<int64_t>(num_stages, int64_t(1) << (level - 1));
+            int64_t min_gran = ceilDiv(num_stages, std::max<int64_t>(
+                                                       1, target));
+            if (!applySplitFunction(module_.get(), func, min_gran)) {
+                // A single stage has no inter-stage overlap: drop the
+                // dataflow directive so the QoR reflects reality.
+                FuncDirective fd = getFuncDirective(func);
+                fd.dataflow = false;
+                setFuncDirective(func, fd);
+            }
+        }
+    });
+    return *this;
+}
+
+Compiler &
+Compiler::lowerToLoops()
+{
+    timed([&] { lowerGraphToAffine(module_.get()); });
+    return *this;
+}
+
+Compiler &
+Compiler::applyLoopOpt(int level)
+{
+    level = std::clamp(level, 1, 7);
+    int64_t factor = int64_t(1) << (level - 1);
+    timed([&] {
+        module_->walk([&](Operation *op) {
+            if (!op->is(ops::Func))
+                return;
+            for (auto &band_loops : getLoopBands(op)) {
+                std::vector<Operation *> band = band_loops;
+                // Push recurrence-carrying (reduction) loops outward so
+                // the pipelined II is not bound by the accumulator.
+                applyLoopOrderOpt(band);
+                band = getLoopNest(band.front());
+                // Distribute the unroll factor as tile sizes, preferring
+                // dims that appear in store subscripts (output-parallel
+                // dims): unrolling reduction dims only serializes on the
+                // accumulator's write port. Pipelining (the D step) fully
+                // unrolls the generated point loops.
+                std::vector<bool> parallel(band.size(), false);
+                for (const MemAccess &access :
+                     collectAccesses(band.front(), bandIVs(band))) {
+                    if (!access.isWrite || !access.normalized)
+                        continue;
+                    for (unsigned level = 0; level < band.size(); ++level)
+                        for (const auto &expr : access.indices)
+                            if (expr.involvesDim(level))
+                                parallel[level] = true;
+                }
+                std::vector<int64_t> sizes(band.size(), 1);
+                int64_t remaining = factor;
+                for (int pass = 0; pass < 2 && remaining > 1; ++pass) {
+                    bool want_parallel = (pass == 0);
+                    for (int i = static_cast<int>(band.size()) - 1;
+                         i >= 0 && remaining > 1; --i) {
+                        if (parallel[i] != want_parallel || sizes[i] > 1)
+                            continue;
+                        int64_t trip =
+                            getTripCount(AffineForOp(band[i]))
+                                .value_or(1);
+                        sizes[i] = std::min(remaining, trip);
+                        remaining = std::max<int64_t>(
+                            1,
+                            remaining / std::max<int64_t>(1, sizes[i]));
+                    }
+                }
+                applyLoopTiling(band, sizes);
+            }
+        });
+    });
+    return *this;
+}
+
+Compiler &
+Compiler::applyDirectiveOpt(int64_t target_ii)
+{
+    timed([&] {
+        std::vector<Operation *> funcs;
+        for (auto &op : module_->region(0).front().ops())
+            if (op->is(ops::Func))
+                funcs.push_back(op.get());
+        for (Operation *func : funcs) {
+            for (auto &band : getLoopBands(func)) {
+                // Pipeline the innermost tile loop; intra-tile (point)
+                // loops below it get fully unrolled by the legalization.
+                Operation *target = band.back();
+                for (auto it = band.rbegin(); it != band.rend(); ++it) {
+                    if (!(*it)->attr(kPointLoop).is<bool>()) {
+                        target = *it;
+                        break;
+                    }
+                }
+                applyLoopPipelining(target, target_ii);
+            }
+        }
+    });
+    applySimplifications();
+    timed([&] {
+        Operation *top = getTopFunc(module_.get());
+        if (top)
+            applyArrayPartition(top);
+    });
+    return *this;
+}
+
+Compiler &
+Compiler::applySimplifications()
+{
+    timed([&] {
+        applyCanonicalize(module_.get());
+        applySimplifyAffineIf(module_.get());
+        applyAffineStoreForward(module_.get());
+        applySimplifyMemrefAccess(module_.get());
+        applyCSE(module_.get());
+        applyCanonicalize(module_.get());
+    });
+    return *this;
+}
+
+std::optional<DSEResult>
+Compiler::optimize(const ResourceBudget &budget,
+                   DesignSpaceOptions space_options, DSEOptions options)
+{
+    auto result = runDSE(module_.get(), budget, space_options, options);
+    if (result) {
+        module_ = result->module->clone();
+        opt_seconds_ += result->seconds;
+    }
+    return result;
+}
+
+QoRResult
+Compiler::estimate()
+{
+    QoREstimator estimator(module_.get());
+    return estimator.estimateModule();
+}
+
+SynthesisReport
+Compiler::synthesize(const ResourceBudget &budget)
+{
+    VirtualSynthesizer synthesizer(module_.get(), budget);
+    return synthesizer.synthesize();
+}
+
+} // namespace scalehls

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The top-level ScaleHLS compiler driver: end-to-end flows from HLS C or
+ * graph-level models to optimized, synthesizable HLS C++, mirroring the
+ * scalehls-clang / scalehls-opt / scalehls-translate tool trio of the
+ * paper behind one programmatic API.
+ */
+
+#ifndef SCALEHLS_API_SCALEHLS_H
+#define SCALEHLS_API_SCALEHLS_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dse/dse_engine.h"
+#include "emit/hlscpp_emitter.h"
+#include "estimate/qor_estimator.h"
+#include "frontend/irgen.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "model/graph_builder.h"
+#include "model/lower_graph.h"
+#include "transform/pass.h"
+#include "vhls/synthesizer.h"
+
+namespace scalehls {
+
+/** End-to-end compiler over one module. */
+class Compiler
+{
+  public:
+    /** Parse HLS C (the scalehls-clang path) and raise to affine. */
+    static Compiler fromC(const std::string &source,
+                          const std::string &top_func = "");
+    /** Adopt an existing module (e.g. a graph-level model). */
+    explicit Compiler(std::unique_ptr<Operation> module);
+
+    Operation *module() { return module_.get(); }
+    /** Release ownership of the module. */
+    std::unique_ptr<Operation> takeModule() { return std::move(module_); }
+
+    /** @name DNN multi-level flow (paper Section VII-B) */
+    ///@{
+    /** Graph optimization at level 1..7: dataflow legalization followed by
+     * function splitting; larger levels give finer dataflow granularity
+     * (G7 = one stage per layer). Levels >= 4 insert copy nodes
+     * (aggressive legalization). */
+    Compiler &applyGraphOpt(int level);
+    /** Bufferize graph ops into affine loop nests. */
+    Compiler &lowerToLoops();
+    /** Loop optimization at level 1..7: unroll the innermost loops of
+     * every band by a total factor of 2^(level-1) (via tiling, paper-style:
+     * intra-tile loops absorbed innermost). */
+    Compiler &applyLoopOpt(int level);
+    /** Directive optimization: pipeline the innermost loop of every band
+     * with @p target_ii, partition arrays, and clean up the IR. */
+    Compiler &applyDirectiveOpt(int64_t target_ii = 1);
+    ///@}
+
+    /** Redundancy-elimination pipeline (paper Section V-D). */
+    Compiler &applySimplifications();
+
+    /** Automated DSE under a resource budget (paper Section V-E). On
+     * success the module is replaced by the optimized design. */
+    std::optional<DSEResult> optimize(const ResourceBudget &budget,
+                                      DesignSpaceOptions space_options = {},
+                                      DSEOptions options = {});
+
+    /** Fast analytical QoR estimate of the current module. */
+    QoRResult estimate();
+    /** Virtual downstream synthesis (the Vivado HLS substitute). */
+    SynthesisReport synthesize(const ResourceBudget &budget);
+    /** Emit synthesizable HLS C++. */
+    std::string emitCpp() { return emitHlsCpp(module_.get()); }
+    /** Textual IR (debugging / examples). */
+    std::string printIR() { return printOp(module_.get()); }
+
+    /** Seconds spent in transform passes so far (paper's runtime column,
+     * collected like -pass-timing). */
+    double optSeconds() const { return opt_seconds_; }
+
+  private:
+    /** Time a transform and accumulate into opt_seconds_. */
+    template <typename Fn>
+    void
+    timed(Fn &&fn)
+    {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        opt_seconds_ += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    }
+
+    std::unique_ptr<Operation> module_;
+    double opt_seconds_ = 0;
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_API_SCALEHLS_H

@@ -1,0 +1,167 @@
+#include "dialect/graph_ops.h"
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+bool
+isGraphOp(const Operation *op)
+{
+    return op && op->dialect() == "graph";
+}
+
+namespace {
+
+/** Output spatial size for a conv/pool dimension. */
+int64_t
+convOutSize(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace
+
+int64_t
+graphOpCount(const Operation *op)
+{
+    if (!isGraphOp(op))
+        return 0;
+    if (op->is(ops::GraphConv2D)) {
+        const auto &out = op->result(0)->type().shape();
+        const auto &w = op->operand(1)->type().shape();
+        // 2 ops (mul + add) per MAC.
+        return 2 * out[0] * out[1] * out[2] * out[3] * w[1] * w[2] * w[3];
+    }
+    if (op->is(ops::GraphDWConv2D)) {
+        const auto &out = op->result(0)->type().shape();
+        const auto &w = op->operand(1)->type().shape();
+        return 2 * out[0] * out[1] * out[2] * out[3] * w[2] * w[3];
+    }
+    if (op->is(ops::GraphDense)) {
+        const auto &out = op->result(0)->type().shape();
+        const auto &w = op->operand(1)->type().shape();
+        return 2 * out[0] * out[1] * w[1];
+    }
+    if (op->is(ops::GraphRelu) || op->is(ops::GraphAdd)) {
+        return op->result(0)->type().numElements();
+    }
+    if (op->is(ops::GraphMaxPool) || op->is(ops::GraphAvgPool)) {
+        int64_t k = op->attr(kKernel).getInt();
+        return op->result(0)->type().numElements() * k * k;
+    }
+    return 0;
+}
+
+Operation *
+createWeight(OpBuilder &b, std::vector<int64_t> shape, Type element)
+{
+    Type t = Type::tensor(std::move(shape), element);
+    return b.create(std::string(ops::GraphWeight), {t}, {});
+}
+
+Operation *
+createConv2D(OpBuilder &b, Value *input, Value *weight, int64_t stride,
+             int64_t pad)
+{
+    const auto &in = input->type().shape();
+    const auto &w = weight->type().shape();
+    assert(in.size() == 4 && w.size() == 4 && "conv2d expects NCHW tensors");
+    assert(in[1] == w[1] && "conv2d channel mismatch");
+    std::vector<int64_t> out = {in[0], w[0],
+                                convOutSize(in[2], w[2], stride, pad),
+                                convOutSize(in[3], w[3], stride, pad)};
+    Type out_t = Type::tensor(out, input->type().elementType());
+    return b.create(std::string(ops::GraphConv2D), {out_t}, {input, weight},
+                    {{kStrides, Attribute(stride)},
+                     {kPads, Attribute(pad)}});
+}
+
+Operation *
+createDWConv2D(OpBuilder &b, Value *input, Value *weight, int64_t stride,
+               int64_t pad)
+{
+    const auto &in = input->type().shape();
+    const auto &w = weight->type().shape();
+    assert(in.size() == 4 && w.size() == 4);
+    assert(in[1] == w[0] && w[1] == 1 && "depthwise weight must be [C,1,k,k]");
+    std::vector<int64_t> out = {in[0], in[1],
+                                convOutSize(in[2], w[2], stride, pad),
+                                convOutSize(in[3], w[3], stride, pad)};
+    Type out_t = Type::tensor(out, input->type().elementType());
+    return b.create(std::string(ops::GraphDWConv2D), {out_t},
+                    {input, weight},
+                    {{kStrides, Attribute(stride)},
+                     {kPads, Attribute(pad)}});
+}
+
+Operation *
+createDense(OpBuilder &b, Value *input, Value *weight)
+{
+    const auto &in = input->type().shape();
+    const auto &w = weight->type().shape();
+    assert(in.size() == 2 && w.size() == 2 && in[1] == w[1] &&
+           "dense expects [N,I] x [O,I]");
+    Type out_t = Type::tensor({in[0], w[0]}, input->type().elementType());
+    return b.create(std::string(ops::GraphDense), {out_t}, {input, weight});
+}
+
+Operation *
+createRelu(OpBuilder &b, Value *input)
+{
+    return b.create(std::string(ops::GraphRelu), {input->type()}, {input});
+}
+
+Operation *
+createGraphAdd(OpBuilder &b, Value *lhs, Value *rhs)
+{
+    assert(lhs->type() == rhs->type() && "graph.add shape mismatch");
+    return b.create(std::string(ops::GraphAdd), {lhs->type()}, {lhs, rhs});
+}
+
+Operation *
+createMaxPool(OpBuilder &b, Value *input, int64_t kernel, int64_t stride)
+{
+    const auto &in = input->type().shape();
+    assert(in.size() == 4);
+    std::vector<int64_t> out = {in[0], in[1],
+                                convOutSize(in[2], kernel, stride, 0),
+                                convOutSize(in[3], kernel, stride, 0)};
+    Type out_t = Type::tensor(out, input->type().elementType());
+    return b.create(std::string(ops::GraphMaxPool), {out_t}, {input},
+                    {{kKernel, Attribute(kernel)},
+                     {kStrides, Attribute(stride)}});
+}
+
+Operation *
+createAvgPool(OpBuilder &b, Value *input, int64_t kernel, int64_t stride)
+{
+    const auto &in = input->type().shape();
+    assert(in.size() == 4);
+    std::vector<int64_t> out = {in[0], in[1],
+                                convOutSize(in[2], kernel, stride, 0),
+                                convOutSize(in[3], kernel, stride, 0)};
+    Type out_t = Type::tensor(out, input->type().elementType());
+    return b.create(std::string(ops::GraphAvgPool), {out_t}, {input},
+                    {{kKernel, Attribute(kernel)},
+                     {kStrides, Attribute(stride)}});
+}
+
+Operation *
+createFlatten(OpBuilder &b, Value *input)
+{
+    const auto &in = input->type().shape();
+    int64_t n = in.empty() ? 1 : in[0];
+    int64_t rest = 1;
+    for (unsigned i = 1; i < in.size(); ++i)
+        rest *= in[i];
+    Type out_t = Type::tensor({n, rest}, input->type().elementType());
+    return b.create(std::string(ops::GraphFlatten), {out_t}, {input});
+}
+
+Operation *
+createGraphCopy(OpBuilder &b, Value *input)
+{
+    return b.create(std::string(ops::GraphCopy), {input->type()}, {input});
+}
+
+} // namespace scalehls

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The graph dialect: tensor-level operations standing in for the third-party
+ * onnx dialect of the paper. Operations consume and produce tensor-typed
+ * values, so graph-level passes can use simple define-use analysis
+ * (paper Section IV-A).
+ */
+
+#ifndef SCALEHLS_DIALECT_GRAPH_OPS_H
+#define SCALEHLS_DIALECT_GRAPH_OPS_H
+
+#include "dialect/ops.h"
+
+namespace scalehls {
+namespace ops {
+
+inline constexpr std::string_view GraphWeight = "graph.weight";
+inline constexpr std::string_view GraphConv2D = "graph.conv2d";
+inline constexpr std::string_view GraphDWConv2D = "graph.dwconv2d";
+inline constexpr std::string_view GraphDense = "graph.dense";
+inline constexpr std::string_view GraphRelu = "graph.relu";
+inline constexpr std::string_view GraphAdd = "graph.add";
+inline constexpr std::string_view GraphMaxPool = "graph.maxpool";
+inline constexpr std::string_view GraphAvgPool = "graph.avgpool";
+inline constexpr std::string_view GraphFlatten = "graph.flatten";
+inline constexpr std::string_view GraphCopy = "graph.copy";
+
+} // namespace ops
+
+/** @name Graph op attribute keys */
+///@{
+inline constexpr const char *kStrides = "strides";
+inline constexpr const char *kPads = "pads";
+inline constexpr const char *kKernel = "kernel";
+///@}
+
+/** True for any graph-dialect op. */
+bool isGraphOp(const Operation *op);
+
+/** Approximate arithmetic operation count (multiply+add counted separately,
+ * as in the DSP-efficiency metric) of a graph op; 0 for non-compute ops. */
+int64_t graphOpCount(const Operation *op);
+
+/** Weight placeholder: a constant tensor of the given shape. */
+Operation *createWeight(OpBuilder &b, std::vector<int64_t> shape,
+                        Type element = Type::f32());
+
+/** 2-D convolution in NCHW layout. Weight is [outC, inC, kH, kW]. The
+ * result shape is inferred from strides/pads. */
+Operation *createConv2D(OpBuilder &b, Value *input, Value *weight,
+                        int64_t stride = 1, int64_t pad = 0);
+
+/** Depthwise 2-D convolution; weight is [C, 1, kH, kW]. */
+Operation *createDWConv2D(OpBuilder &b, Value *input, Value *weight,
+                          int64_t stride = 1, int64_t pad = 0);
+
+/** Fully connected layer: input [N, I], weight [O, I] -> [N, O]. */
+Operation *createDense(OpBuilder &b, Value *input, Value *weight);
+
+Operation *createRelu(OpBuilder &b, Value *input);
+Operation *createGraphAdd(OpBuilder &b, Value *lhs, Value *rhs);
+Operation *createMaxPool(OpBuilder &b, Value *input, int64_t kernel,
+                         int64_t stride);
+Operation *createAvgPool(OpBuilder &b, Value *input, int64_t kernel,
+                         int64_t stride);
+Operation *createFlatten(OpBuilder &b, Value *input);
+/** Copy node inserted by dataflow legalization (paper Fig. 4c). */
+Operation *createGraphCopy(OpBuilder &b, Value *input);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DIALECT_GRAPH_OPS_H

@@ -1,0 +1,473 @@
+#include "dialect/ops.h"
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+std::string
+cmpPredicateName(CmpPredicate pred)
+{
+    switch (pred) {
+      case CmpPredicate::EQ:
+        return "eq";
+      case CmpPredicate::NE:
+        return "ne";
+      case CmpPredicate::LT:
+        return "lt";
+      case CmpPredicate::LE:
+        return "le";
+      case CmpPredicate::GT:
+        return "gt";
+      case CmpPredicate::GE:
+        return "ge";
+    }
+    return "eq";
+}
+
+CmpPredicate
+cmpPredicateFromName(const std::string &name)
+{
+    if (name == "eq")
+        return CmpPredicate::EQ;
+    if (name == "ne")
+        return CmpPredicate::NE;
+    if (name == "lt")
+        return CmpPredicate::LT;
+    if (name == "le")
+        return CmpPredicate::LE;
+    if (name == "gt")
+        return CmpPredicate::GT;
+    if (name == "ge")
+        return CmpPredicate::GE;
+    fatal("unknown cmp predicate: " + name);
+}
+
+//
+// builtin / func
+//
+
+std::unique_ptr<Operation>
+createModule()
+{
+    auto module = Operation::create(std::string(ops::Module), {}, {}, {}, 1);
+    module->region(0).addBlock();
+    return module;
+}
+
+Operation *
+createFunc(Operation *module, const std::string &name,
+           const std::vector<Type> &arg_types)
+{
+    assert(isa(module, ops::Module));
+    auto func = Operation::create(std::string(ops::Func), {}, {},
+                                  {{kSymName, Attribute(name)}}, 1);
+    Block *body = func->region(0).addBlock();
+    for (const Type &t : arg_types)
+        body->addArgument(t);
+    body->pushBack(
+        Operation::create(std::string(ops::Return), {}, {}, {}, 0));
+    return module->region(0).front().pushBack(std::move(func));
+}
+
+Block *
+funcBody(Operation *func)
+{
+    assert(isa(func, ops::Func));
+    return &func->region(0).front();
+}
+
+Operation *
+lookupFunc(Operation *module, const std::string &name)
+{
+    for (auto &op : module->region(0).front().ops())
+        if (op->is(ops::Func) && op->attr(kSymName).getString() == name)
+            return op.get();
+    return nullptr;
+}
+
+std::string
+funcName(Operation *func)
+{
+    return func->attr(kSymName).getString();
+}
+
+Operation *
+getTopFunc(Operation *module)
+{
+    Operation *first = nullptr;
+    for (auto &op : module->region(0).front().ops()) {
+        if (!op->is(ops::Func))
+            continue;
+        if (!first)
+            first = op.get();
+        if (isTopFunc(op.get()))
+            return op.get();
+    }
+    return first;
+}
+
+//
+// arith
+//
+
+Operation *
+createConstantIndex(OpBuilder &b, int64_t value)
+{
+    return createConstantInt(b, value, Type::index());
+}
+
+Operation *
+createConstantInt(OpBuilder &b, int64_t value, Type type)
+{
+    return b.create(std::string(ops::Constant), {type}, {},
+                    {{kValue, Attribute(value)}});
+}
+
+Operation *
+createConstantFloat(OpBuilder &b, double value, Type type)
+{
+    return b.create(std::string(ops::Constant), {type}, {},
+                    {{kValue, Attribute(value)}});
+}
+
+Operation *
+createBinary(OpBuilder &b, std::string_view name, Value *lhs, Value *rhs)
+{
+    assert(lhs->type() == rhs->type() && "binary op operand type mismatch");
+    return b.create(std::string(name), {lhs->type()}, {lhs, rhs});
+}
+
+Operation *
+createCmpI(OpBuilder &b, CmpPredicate pred, Value *lhs, Value *rhs)
+{
+    return b.create(std::string(ops::CmpI), {Type::i1()}, {lhs, rhs},
+                    {{kPredicate, Attribute(cmpPredicateName(pred))}});
+}
+
+Operation *
+createCmpF(OpBuilder &b, CmpPredicate pred, Value *lhs, Value *rhs)
+{
+    return b.create(std::string(ops::CmpF), {Type::i1()}, {lhs, rhs},
+                    {{kPredicate, Attribute(cmpPredicateName(pred))}});
+}
+
+Operation *
+createSelect(OpBuilder &b, Value *cond, Value *true_value,
+             Value *false_value)
+{
+    return b.create(std::string(ops::Select), {true_value->type()},
+                    {cond, true_value, false_value});
+}
+
+std::optional<int64_t>
+getConstantIntValue(Value *v)
+{
+    Operation *def = v->definingOp();
+    if (!isa(def, ops::Constant))
+        return std::nullopt;
+    Attribute attr = def->attr(kValue);
+    if (!attr.is<int64_t>())
+        return std::nullopt;
+    return attr.getInt();
+}
+
+//
+// memref
+//
+
+Operation *
+createAlloc(OpBuilder &b, Type memref_type)
+{
+    assert(memref_type.isMemRef());
+    return b.create(std::string(ops::Alloc), {memref_type}, {});
+}
+
+Operation *
+createMemLoad(OpBuilder &b, Value *memref,
+              const std::vector<Value *> &indices)
+{
+    std::vector<Value *> operands = {memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return b.create(std::string(ops::MemLoad),
+                    {memref->type().elementType()}, std::move(operands));
+}
+
+Operation *
+createMemStore(OpBuilder &b, Value *value, Value *memref,
+               const std::vector<Value *> &indices)
+{
+    std::vector<Value *> operands = {value, memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return b.create(std::string(ops::MemStore), {}, std::move(operands));
+}
+
+Operation *
+createMemCopy(OpBuilder &b, Value *src, Value *dst)
+{
+    return b.create(std::string(ops::MemCopy), {}, {src, dst});
+}
+
+//
+// affine.for
+//
+
+std::vector<Value *>
+AffineForOp::lowerBoundOperands() const
+{
+    unsigned n = numLbOperands();
+    std::vector<Value *> out;
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(op_->operand(i));
+    return out;
+}
+
+std::vector<Value *>
+AffineForOp::upperBoundOperands() const
+{
+    std::vector<Value *> out;
+    for (unsigned i = numLbOperands(); i < op_->numOperands(); ++i)
+        out.push_back(op_->operand(i));
+    return out;
+}
+
+void
+AffineForOp::setLowerBound(AffineMap map, const std::vector<Value *> &operands)
+{
+    auto ub_operands = upperBoundOperands();
+    std::vector<Value *> all = operands;
+    all.insert(all.end(), ub_operands.begin(), ub_operands.end());
+    op_->setOperands(all);
+    op_->setAttr(kLowerMap, map);
+    op_->setAttr(kLbCount, static_cast<int64_t>(operands.size()));
+}
+
+void
+AffineForOp::setUpperBound(AffineMap map, const std::vector<Value *> &operands)
+{
+    auto lb_operands = lowerBoundOperands();
+    std::vector<Value *> all = lb_operands;
+    all.insert(all.end(), operands.begin(), operands.end());
+    op_->setOperands(all);
+    op_->setAttr(kUpperMap, map);
+}
+
+std::optional<int64_t>
+AffineForOp::constantLowerBound() const
+{
+    AffineMap map = lowerBoundMap();
+    if (map.numResults() == 1 && map.isConstant())
+        return map.singleConstantResult();
+    return std::nullopt;
+}
+
+std::optional<int64_t>
+AffineForOp::constantUpperBound() const
+{
+    AffineMap map = upperBoundMap();
+    if (map.numResults() == 1 && map.isConstant())
+        return map.singleConstantResult();
+    return std::nullopt;
+}
+
+std::optional<int64_t>
+AffineForOp::constantTripCount() const
+{
+    auto lb = constantLowerBound();
+    auto ub = constantUpperBound();
+    if (!lb || !ub)
+        return std::nullopt;
+    if (*ub <= *lb)
+        return 0;
+    return ceilDiv(*ub - *lb, step());
+}
+
+LoopDirective
+AffineForOp::directive() const
+{
+    return getLoopDirective(op_);
+}
+
+AffineForOp
+createAffineFor(OpBuilder &b, AffineMap lower_map,
+                std::vector<Value *> lb_operands, AffineMap upper_map,
+                std::vector<Value *> ub_operands, int64_t step)
+{
+    assert(step > 0 && "loop step must be positive");
+    std::vector<Value *> operands = lb_operands;
+    operands.insert(operands.end(), ub_operands.begin(), ub_operands.end());
+    AttrMap attrs;
+    attrs[kLowerMap] = Attribute(std::move(lower_map));
+    attrs[kUpperMap] = Attribute(std::move(upper_map));
+    attrs[kLbCount] = Attribute(static_cast<int64_t>(lb_operands.size()));
+    attrs[kStep] = Attribute(step);
+    Operation *op = b.create(std::string(ops::AffineFor), {},
+                             std::move(operands), std::move(attrs), 1);
+    Block *body = op->region(0).addBlock();
+    body->addArgument(Type::index());
+    return AffineForOp(op);
+}
+
+AffineForOp
+createAffineFor(OpBuilder &b, int64_t lb, int64_t ub, int64_t step)
+{
+    return createAffineFor(b, AffineMap::constant({lb}), {},
+                           AffineMap::constant({ub}), {}, step);
+}
+
+//
+// affine.if
+//
+
+AffineIfOp
+createAffineIf(OpBuilder &b, IntegerSet condition,
+               std::vector<Value *> operands, bool with_else)
+{
+    Operation *op = b.create(
+        std::string(ops::AffineIf), {}, std::move(operands),
+        {{kCondition, Attribute(std::move(condition))}}, 2);
+    op->region(0).addBlock();
+    if (with_else)
+        op->region(1).addBlock();
+    return AffineIfOp(op);
+}
+
+//
+// affine.load / affine.store
+//
+
+std::vector<Value *>
+AffineLoadOp::mapOperands() const
+{
+    std::vector<Value *> out;
+    for (unsigned i = 1; i < op_->numOperands(); ++i)
+        out.push_back(op_->operand(i));
+    return out;
+}
+
+std::vector<Value *>
+AffineStoreOp::mapOperands() const
+{
+    std::vector<Value *> out;
+    for (unsigned i = 2; i < op_->numOperands(); ++i)
+        out.push_back(op_->operand(i));
+    return out;
+}
+
+Operation *
+createAffineLoad(OpBuilder &b, Value *memref, AffineMap map,
+                 std::vector<Value *> map_operands)
+{
+    assert(memref->type().isMemRef());
+    assert(map.numResults() == memref->type().rank() &&
+           "access map arity must match memref rank");
+    std::vector<Value *> operands = {memref};
+    operands.insert(operands.end(), map_operands.begin(), map_operands.end());
+    return b.create(std::string(ops::AffineLoad),
+                    {memref->type().elementType()}, std::move(operands),
+                    {{kMap, Attribute(std::move(map))}});
+}
+
+Operation *
+createAffineStore(OpBuilder &b, Value *value, Value *memref, AffineMap map,
+                  std::vector<Value *> map_operands)
+{
+    assert(memref->type().isMemRef());
+    assert(map.numResults() == memref->type().rank());
+    std::vector<Value *> operands = {value, memref};
+    operands.insert(operands.end(), map_operands.begin(), map_operands.end());
+    return b.create(std::string(ops::AffineStore), {}, std::move(operands),
+                    {{kMap, Attribute(std::move(map))}});
+}
+
+bool
+isMemoryAccess(const Operation *op)
+{
+    return isa(op, ops::AffineLoad) || isa(op, ops::AffineStore) ||
+           isa(op, ops::MemLoad) || isa(op, ops::MemStore);
+}
+
+bool
+isMemoryWrite(const Operation *op)
+{
+    return isa(op, ops::AffineStore) || isa(op, ops::MemStore);
+}
+
+Value *
+accessedMemRef(const Operation *op)
+{
+    assert(isMemoryAccess(op));
+    if (isa(op, ops::AffineLoad) || isa(op, ops::MemLoad))
+        return op->operand(0);
+    return op->operand(1);
+}
+
+//
+// scf
+//
+
+ScfForOp
+createScfFor(OpBuilder &b, Value *lb, Value *ub, Value *step)
+{
+    Operation *op = b.create(std::string(ops::ScfFor), {}, {lb, ub, step},
+                             {}, 1);
+    Block *body = op->region(0).addBlock();
+    body->addArgument(Type::index());
+    return ScfForOp(op);
+}
+
+Operation *
+createScfIf(OpBuilder &b, Value *cond, bool with_else)
+{
+    Operation *op = b.create(std::string(ops::ScfIf), {}, {cond}, {}, 2);
+    op->region(0).addBlock();
+    if (with_else)
+        op->region(1).addBlock();
+    return op;
+}
+
+//
+// hlscpp
+//
+
+LoopDirective
+getLoopDirective(const Operation *op)
+{
+    Attribute attr = op->attr(kLoopDirective);
+    return attr.is<LoopDirective>() ? attr.getLoopDirective()
+                                    : LoopDirective{};
+}
+
+void
+setLoopDirective(Operation *op, const LoopDirective &d)
+{
+    op->setAttr(kLoopDirective, d);
+}
+
+FuncDirective
+getFuncDirective(const Operation *op)
+{
+    Attribute attr = op->attr(kFuncDirective);
+    return attr.is<FuncDirective>() ? attr.getFuncDirective()
+                                    : FuncDirective{};
+}
+
+void
+setFuncDirective(Operation *op, const FuncDirective &d)
+{
+    op->setAttr(kFuncDirective, d);
+}
+
+void
+setTopFunc(Operation *func, bool is_top)
+{
+    func->setAttr(kTopFunc, is_top);
+}
+
+bool
+isTopFunc(const Operation *func)
+{
+    Attribute attr = func->attr(kTopFunc);
+    return attr.is<bool>() && attr.getBool();
+}
+
+} // namespace scalehls

@@ -1,0 +1,245 @@
+#include "dse/design_space.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "analysis/memory_analysis.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+/** The primary compute band: the deepest band of the function. */
+std::vector<Operation *>
+primaryBand(Operation *func)
+{
+    std::vector<Operation *> best;
+    for (auto &band : getLoopBands(func))
+        if (band.size() > best.size())
+            best = band;
+    return best;
+}
+
+std::vector<std::vector<unsigned>>
+allPermutations(unsigned n)
+{
+    std::vector<unsigned> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::vector<std::vector<unsigned>> result;
+    do {
+        result.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return result;
+}
+
+} // namespace
+
+DesignSpace::DesignSpace(Operation *module, DesignSpaceOptions options)
+    : pristine_(module->clone()), options_(options)
+{
+    // Probe the post-LP/RVB band structure for trip counts.
+    auto probe = pristine_->clone();
+    Operation *func = getTopFunc(probe.get());
+    assert(func && "design space requires a top function");
+    auto band = primaryBand(func);
+    assert(!band.empty() && "design space requires a loop band");
+    applyLoopPerfectization(band.front());
+    applyRemoveVariableBound(band.front());
+    applyLoopPerfectization(band.front());
+    band = getLoopNest(band.front());
+
+    for (Operation *loop : band)
+        trip_counts_.push_back(
+            getTripCount(AffineForOp(loop)).value_or(1));
+
+    permutations_ = allPermutations(band.size());
+    for (int64_t trip : trip_counts_) {
+        std::vector<int64_t> tiles;
+        for (int64_t d : divisorsOf(trip))
+            if (d <= options_.maxTileSize)
+                tiles.push_back(d);
+        if (tiles.empty())
+            tiles.push_back(1);
+        tile_candidates_.push_back(std::move(tiles));
+    }
+    for (int64_t ii : {1,  2,  3,  4,  5,  6,  7,  8,  10, 12,
+                       14, 16, 20, 24, 28, 32, 40, 48, 56, 64})
+        if (ii <= options_.maxII)
+            ii_candidates_.push_back(ii);
+
+    dim_sizes_ = {2, 2, static_cast<int>(permutations_.size())};
+    for (const auto &tiles : tile_candidates_)
+        dim_sizes_.push_back(static_cast<int>(tiles.size()));
+    dim_sizes_.push_back(static_cast<int>(ii_candidates_.size()));
+}
+
+double
+DesignSpace::spaceSize() const
+{
+    double size = 1;
+    for (int d : dim_sizes_)
+        size *= d;
+    return size;
+}
+
+DesignSpace::Point
+DesignSpace::randomPoint(std::mt19937 &rng) const
+{
+    Point point(numDims());
+    for (size_t i = 0; i < numDims(); ++i)
+        point[i] = std::uniform_int_distribution<int>(
+            0, dim_sizes_[i] - 1)(rng);
+    return point;
+}
+
+std::vector<DesignSpace::Point>
+DesignSpace::neighbors(const Point &point) const
+{
+    std::vector<Point> result;
+    for (size_t i = 0; i < numDims(); ++i) {
+        for (int delta : {-1, 1}) {
+            int v = point[i] + delta;
+            if (v < 0 || v >= dim_sizes_[i])
+                continue;
+            Point n = point;
+            n[i] = v;
+            result.push_back(std::move(n));
+        }
+    }
+    return result;
+}
+
+DesignSpace::Decoded
+DesignSpace::decode(const Point &point) const
+{
+    assert(point.size() == numDims());
+    Decoded d;
+    d.loopPerfectization = point[0] != 0;
+    d.removeVariableBound = point[1] != 0;
+    d.permMap = permutations_[point[2]];
+    for (size_t i = 0; i < tile_candidates_.size(); ++i)
+        d.tileSizes.push_back(tile_candidates_[i][point[3 + i]]);
+    d.targetII = ii_candidates_[point[3 + tile_candidates_.size()]];
+    return d;
+}
+
+std::unique_ptr<Operation>
+DesignSpace::materialize(const Point &point) const
+{
+    Decoded d = decode(point);
+
+    // Reject unroll products beyond the configured cap early.
+    int64_t product = 1;
+    for (int64_t t : d.tileSizes)
+        product *= t;
+    if (product > options_.maxTotalUnroll)
+        return nullptr;
+
+    auto module = pristine_->clone();
+    Operation *func = getTopFunc(module.get());
+    auto primary = primaryBand(func);
+    if (primary.empty())
+        return nullptr;
+    Operation *primary_root = primary.front();
+
+    for (auto &band_loops : getLoopBands(func)) {
+        std::vector<Operation *> band = band_loops;
+        if (band.front() == primary_root) {
+            if (d.loopPerfectization)
+                applyLoopPerfectization(band.front());
+            if (d.removeVariableBound)
+                applyRemoveVariableBound(band.front());
+            if (d.loopPerfectization && d.removeVariableBound) {
+                // Ops below a variable-bound loop only sink once RVB has
+                // made the bounds constant (e.g. TRMM's final scaling).
+                applyLoopPerfectization(band.front());
+            }
+            band = getLoopNest(band.front());
+            if (band.size() == d.permMap.size())
+                applyLoopPermutation(band, d.permMap);
+            if (band.size() == d.tileSizes.size())
+                band = applyLoopTiling(band, d.tileSizes);
+            if (band.empty())
+                return nullptr;
+            if (!applyLoopPipelining(band.back(), d.targetII))
+                return nullptr;
+        } else {
+            // Secondary bands (e.g. initialization loops) are simply
+            // pipelined at their innermost level.
+            applyLoopPipelining(band.back(), 1);
+        }
+    }
+
+    applyCanonicalize(func);
+    applySimplifyAffineIf(func);
+    applyAffineStoreForward(func);
+    applySimplifyMemrefAccess(func);
+    applyCSE(func);
+    applyCanonicalize(func);
+    applyArrayPartition(func);
+    return module;
+}
+
+const QoRResult &
+DesignSpace::evaluate(const Point &point)
+{
+    auto it = cache_.find(point);
+    if (it != cache_.end())
+        return it->second;
+
+    QoRResult result;
+    auto module = materialize(point);
+    if (!module) {
+        result.latency = std::numeric_limits<int64_t>::max() / 4;
+        result.interval = result.latency;
+        result.feasible = false;
+    } else {
+        QoREstimator estimator(module.get());
+        result = estimator.estimateModule();
+    }
+    return cache_.emplace(point, std::move(result)).first->second;
+}
+
+std::string
+DesignSpace::partitionSummary(Operation *module)
+{
+    Operation *func = getTopFunc(module);
+    Block *body = funcBody(func);
+    std::vector<std::string> arg_names;
+    if (Attribute names = func->attr("arg_names");
+        names.is<std::string>()) {
+        std::istringstream is(names.getString());
+        std::string token;
+        while (std::getline(is, token, ','))
+            arg_names.push_back(token);
+    }
+
+    std::ostringstream os;
+    bool first = true;
+    auto describe = [&](const std::string &name, Type t) {
+        if (!t.isMemRef())
+            return;
+        PartitionPlan plan = decodePartitionMap(t.layout(), t.shape());
+        if (plan.isTrivial())
+            return;
+        os << (first ? "" : ", ") << name << ":["
+           << join(plan.factors, ", ") << "]";
+        first = false;
+    };
+    for (unsigned i = 0; i < body->numArguments(); ++i) {
+        std::string name =
+            i < arg_names.size() ? arg_names[i] : "arg" + std::to_string(i);
+        describe(name, body->argument(i)->type());
+    }
+    int local = 0;
+    func->walk([&](Operation *op) {
+        if (op->is(ops::Alloc))
+            describe("buf" + std::to_string(local++),
+                     op->result(0)->type());
+    });
+    return first ? "-" : os.str();
+}
+
+} // namespace scalehls

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The multi-dimensional design space of one HLS kernel (paper Section V-E):
+ * each dimension is the on/off switch or tunable parameter of a transform
+ * pass — loop perfectization, variable-bound removal, loop order, tile
+ * size per loop, and pipeline II. Array partitioning is derived
+ * automatically from the access pattern of each materialized point.
+ */
+
+#ifndef SCALEHLS_DSE_DESIGN_SPACE_H
+#define SCALEHLS_DSE_DESIGN_SPACE_H
+
+#include <memory>
+#include <random>
+
+#include "estimate/qor_estimator.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+/** Options bounding the constructed space. */
+struct DesignSpaceOptions
+{
+    int64_t maxTileSize = 64;      ///< Per-loop tile (unroll) cap.
+    int64_t maxTotalUnroll = 512;  ///< Cap on the product of tile sizes.
+    int64_t maxII = 64;            ///< Largest candidate target II.
+};
+
+/** The tunable design space of a single-band kernel function. */
+class DesignSpace
+{
+  public:
+    /** A point: one ordinal per dimension. */
+    using Point = std::vector<int>;
+
+    /** @p module is the unoptimized affine-level module; its top function
+     * must contain at least one loop band (the primary compute band is the
+     * deepest one). */
+    DesignSpace(Operation *module, DesignSpaceOptions options = {});
+
+    /** Number of dimensions: 2 (LP, RVB) + 1 (permutation) + #loops
+     * (tile sizes) + 1 (II). */
+    size_t numDims() const { return dim_sizes_.size(); }
+    const std::vector<int> &dimSizes() const { return dim_sizes_; }
+    /** Total number of design points. */
+    double spaceSize() const;
+    /** Number of loops in the optimized band. */
+    size_t bandDepth() const { return trip_counts_.size(); }
+
+    Point randomPoint(std::mt19937 &rng) const;
+    /** All ±1 single-dimension neighbors of @p point. */
+    std::vector<Point> neighbors(const Point &point) const;
+
+    /** The decoded parameters of a point (for reporting, Table III). */
+    struct Decoded
+    {
+        bool loopPerfectization;
+        bool removeVariableBound;
+        std::vector<unsigned> permMap;
+        std::vector<int64_t> tileSizes;
+        int64_t targetII;
+    };
+    Decoded decode(const Point &point) const;
+
+    /** Clone the pristine module and apply the point's schedule: LP, RVB,
+     * permutation, tiling, pipelining, simplification, array partition.
+     * Returns nullptr when the point is not materializable (e.g. unroll
+     * product too large). */
+    std::unique_ptr<Operation> materialize(const Point &point) const;
+
+    /** Materialize + estimate (memoized). Non-materializable points return
+     * an infeasible result with huge latency. */
+    const QoRResult &evaluate(const Point &point);
+
+    /** Per-memref partition factors of a materialized design, formatted
+     * like Table III ("A:[8, 16]"). */
+    static std::string partitionSummary(Operation *module);
+
+  private:
+    std::unique_ptr<Operation> pristine_;
+    DesignSpaceOptions options_;
+    std::vector<int> dim_sizes_;
+    std::vector<std::vector<unsigned>> permutations_;
+    std::vector<std::vector<int64_t>> tile_candidates_;
+    std::vector<int64_t> trip_counts_;
+    std::vector<int64_t> ii_candidates_;
+    std::map<Point, QoRResult> cache_;
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DSE_DESIGN_SPACE_H

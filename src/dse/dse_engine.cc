@@ -1,0 +1,195 @@
+#include "dse/dse_engine.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace scalehls {
+
+void
+DSEEngine::probe(const DesignSpace::Point &point)
+{
+    if (!seen_.insert(point).second)
+        return;
+    const QoRResult &qor = space_.evaluate(point);
+    evaluated_.push_back({point, qor});
+}
+
+std::vector<size_t>
+DSEEngine::frontierIndices() const
+{
+    std::vector<QoRPoint> points;
+    points.reserve(evaluated_.size());
+    for (const EvaluatedPoint &e : evaluated_) {
+        QoRPoint p;
+        if (e.qor.feasible) {
+            p.latency = e.qor.latency;
+            p.area = areaOf(e.qor.resources);
+        } else {
+            p.latency = std::numeric_limits<int64_t>::max() / 4;
+            p.area = std::numeric_limits<int64_t>::max() / 4;
+        }
+        points.push_back(p);
+    }
+    return paretoIndices(points);
+}
+
+std::vector<EvaluatedPoint>
+DSEEngine::explore()
+{
+    std::mt19937 rng(options_.seed);
+
+    // Step 1: initial sampling. Canonical seeds (the baseline schedule
+    // with each legalization switch) guarantee a feasible frontier for
+    // the neighbor traversal even when random tiles are mostly illegal.
+    for (int lp = 0; lp <= 1; ++lp) {
+        for (int rvb = 0; rvb <= 1; ++rvb) {
+            DesignSpace::Point seed(space_.numDims(), 0);
+            seed[0] = lp;
+            seed[1] = rvb;
+            probe(seed);
+        }
+    }
+    for (unsigned i = 0; i < options_.numInitialSamples; ++i)
+        probe(space_.randomPoint(rng));
+
+    switch (options_.strategy) {
+      case DSEStrategy::NeighborTraversal:
+        exploreNeighborTraversal(rng);
+        break;
+      case DSEStrategy::RandomSampling:
+        exploreRandom(rng);
+        break;
+      case DSEStrategy::SimulatedAnnealing:
+        exploreAnnealing(rng);
+        break;
+    }
+
+    // Return the frontier sorted by latency.
+    std::vector<EvaluatedPoint> result;
+    for (size_t idx : frontierIndices())
+        result.push_back(evaluated_[idx]);
+    std::sort(result.begin(), result.end(),
+              [](const EvaluatedPoint &a, const EvaluatedPoint &b) {
+                  return a.qor.latency < b.qor.latency;
+              });
+    return result;
+}
+
+void
+DSEEngine::exploreNeighborTraversal(std::mt19937 &rng)
+{
+    // Steps 2-4: frontier evolution by nearest-neighbor proposal.
+    unsigned stall = 0;
+    for (unsigned iter = 0; iter < options_.maxIterations; ++iter) {
+        auto frontier = frontierIndices();
+        if (frontier.empty())
+            break;
+        size_t pick = frontier[std::uniform_int_distribution<size_t>(
+            0, frontier.size() - 1)(rng)];
+        const DesignSpace::Point &center = evaluated_[pick].point;
+
+        // Step 2: propose the closest unevaluated neighbor.
+        bool proposed = false;
+        for (const auto &neighbor : space_.neighbors(center)) {
+            if (seen_.count(neighbor))
+                continue;
+            probe(neighbor); // Step 3: evaluation (frontier auto-updates).
+            proposed = true;
+            break;
+        }
+        if (!proposed) {
+            // This frontier point's neighborhood is exhausted; if the
+            // whole frontier is exhausted, terminate early.
+            if (++stall > 2 * frontier.size())
+                break;
+        } else {
+            stall = 0;
+        }
+    }
+}
+
+void
+DSEEngine::exploreRandom(std::mt19937 &rng)
+{
+    for (unsigned iter = 0; iter < options_.maxIterations; ++iter)
+        probe(space_.randomPoint(rng));
+}
+
+void
+DSEEngine::exploreAnnealing(std::mt19937 &rng)
+{
+    // Scalarized objective (latency; infeasible points already carry the
+    // sentinel), classic exponential cooling.
+    auto cost = [&](const EvaluatedPoint &e) {
+        return static_cast<double>(e.qor.latency);
+    };
+    // Start from the best evaluated point so far.
+    size_t best = 0;
+    for (size_t i = 1; i < evaluated_.size(); ++i)
+        if (cost(evaluated_[i]) < cost(evaluated_[best]))
+            best = i;
+    DesignSpace::Point current = evaluated_[best].point;
+    double current_cost = cost(evaluated_[best]);
+    double t0 = current_cost > 0 ? current_cost : 1.0;
+
+    for (unsigned iter = 0; iter < options_.maxIterations; ++iter) {
+        double temperature =
+            t0 * std::pow(0.01, static_cast<double>(iter + 1) /
+                                    options_.maxIterations);
+        auto neighbors = space_.neighbors(current);
+        if (neighbors.empty())
+            break;
+        const auto &candidate =
+            neighbors[std::uniform_int_distribution<size_t>(
+                0, neighbors.size() - 1)(rng)];
+        probe(candidate);
+        double candidate_cost =
+            static_cast<double>(space_.evaluate(candidate).latency);
+        double delta = candidate_cost - current_cost;
+        bool accept = delta <= 0;
+        if (!accept && temperature > 0) {
+            double p = std::exp(-delta / temperature);
+            accept = std::uniform_real_distribution<double>(0, 1)(rng) < p;
+        }
+        if (accept) {
+            current = candidate;
+            current_cost = candidate_cost;
+        }
+    }
+}
+
+std::optional<EvaluatedPoint>
+DSEEngine::finalize(const std::vector<EvaluatedPoint> &frontier,
+                    const ResourceBudget &budget)
+{
+    // Step 5: ascending latency, first point meeting the constraints.
+    for (const EvaluatedPoint &e : frontier)
+        if (e.qor.feasible && e.qor.fits(budget))
+            return e;
+    return std::nullopt;
+}
+
+std::optional<DSEResult>
+runDSE(Operation *module, const ResourceBudget &budget,
+       DesignSpaceOptions space_options, DSEOptions options)
+{
+    auto start = std::chrono::steady_clock::now();
+    DesignSpace space(module, space_options);
+    DSEEngine engine(space, options);
+    auto frontier = engine.explore();
+    auto chosen = DSEEngine::finalize(frontier, budget);
+    if (!chosen)
+        return std::nullopt;
+
+    DSEResult result;
+    result.point = chosen->point;
+    result.qor = chosen->qor;
+    result.module = space.materialize(chosen->point);
+    result.evaluations = engine.numEvaluations();
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+}
+
+} // namespace scalehls

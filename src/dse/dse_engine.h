@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The automated DSE engine (paper Section V-E2): a 5-step
+ * neighbor-traversing search for the Pareto frontier of the latency-area
+ * space, exploiting the observation that Pareto points cluster in the
+ * design-parameter space (paper Fig. 6).
+ */
+
+#ifndef SCALEHLS_DSE_DSE_ENGINE_H
+#define SCALEHLS_DSE_DSE_ENGINE_H
+
+#include <optional>
+#include <set>
+
+#include "dse/design_space.h"
+#include "dse/pareto.h"
+
+namespace scalehls {
+
+/** Search strategies. The paper's engine is the neighbor-traversing
+ * Pareto search; the alternatives exist for the extensibility the paper
+ * calls out (Section VIII) and for the ablation benches. */
+enum class DSEStrategy
+{
+    NeighborTraversal, ///< Paper Section V-E2 (default).
+    RandomSampling,    ///< Pure random search at the same budget.
+    SimulatedAnnealing ///< Classic annealer over the same space.
+};
+
+/** Engine tuning knobs. */
+struct DSEOptions
+{
+    unsigned numInitialSamples = 120; ///< Step 1 random samples.
+    unsigned maxIterations = 400;     ///< Step 4 early-termination bound.
+    unsigned seed = 20220402;         ///< RNG seed (deterministic runs).
+    DSEStrategy strategy = DSEStrategy::NeighborTraversal;
+};
+
+/** An evaluated design point. */
+struct EvaluatedPoint
+{
+    DesignSpace::Point point;
+    QoRResult qor;
+};
+
+/** The 5-step DSE algorithm over one kernel's design space. */
+class DSEEngine
+{
+  public:
+    DSEEngine(DesignSpace &space, DSEOptions options = {})
+        : space_(space), options_(options)
+    {}
+
+    /** Steps 1-4: sample, then evolve the frontier by proposing nearest
+     * unevaluated neighbors of random Pareto points. Returns the frontier
+     * in ascending latency order. */
+    std::vector<EvaluatedPoint> explore();
+
+    /** Step 5 (design finalization): the fastest Pareto point that meets
+     * the resource constraints. */
+    static std::optional<EvaluatedPoint> finalize(
+        const std::vector<EvaluatedPoint> &frontier,
+        const ResourceBudget &budget);
+
+    /** All points evaluated during explore() (for Fig. 6 profiling). */
+    const std::vector<EvaluatedPoint> &evaluated() const
+    {
+        return evaluated_;
+    }
+    /** Number of estimator invocations. */
+    size_t numEvaluations() const { return evaluated_.size(); }
+
+  private:
+    /** Evaluate and record a point (deduplicated). */
+    void probe(const DesignSpace::Point &point);
+    /** Recompute frontier indices over evaluated_. */
+    std::vector<size_t> frontierIndices() const;
+    /** Strategy bodies (step 1 seeding is shared). */
+    void exploreNeighborTraversal(std::mt19937 &rng);
+    void exploreRandom(std::mt19937 &rng);
+    void exploreAnnealing(std::mt19937 &rng);
+
+    DesignSpace &space_;
+    DSEOptions options_;
+    std::vector<EvaluatedPoint> evaluated_;
+    std::set<DesignSpace::Point> seen_;
+};
+
+/** Convenience: run the full flow on a C-level module — returns the
+ * finalized optimized module plus its QoR, or nullopt if no feasible
+ * design exists. */
+struct DSEResult
+{
+    DesignSpace::Point point;
+    QoRResult qor;
+    std::unique_ptr<Operation> module;
+    size_t evaluations = 0;
+    double seconds = 0;
+};
+std::optional<DSEResult> runDSE(Operation *module,
+                                const ResourceBudget &budget,
+                                DesignSpaceOptions space_options = {},
+                                DSEOptions options = {});
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DSE_DSE_ENGINE_H

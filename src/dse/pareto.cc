@@ -1,0 +1,51 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scalehls {
+
+int64_t
+areaOf(const ResourceUsage &usage)
+{
+    // DSPs dominate the area tradeoff for compute kernels; LUTs break
+    // ties so distinct designs rarely collapse onto one point.
+    return usage.dsp * 100000 + usage.lut / 10;
+}
+
+bool
+dominates(const QoRPoint &a, const QoRPoint &b)
+{
+    if (a.latency > b.latency || a.area > b.area)
+        return false;
+    return a.latency < b.latency || a.area < b.area;
+}
+
+std::vector<size_t>
+paretoIndices(const std::vector<QoRPoint> &points)
+{
+    std::vector<size_t> order(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (points[a].latency != points[b].latency)
+            return points[a].latency < points[b].latency;
+        return points[a].area < points[b].area;
+    });
+
+    std::vector<size_t> frontier;
+    int64_t best_area = std::numeric_limits<int64_t>::max();
+    int64_t last_latency = -1;
+    for (size_t idx : order) {
+        if (points[idx].latency == last_latency)
+            continue; // Same latency, larger-or-equal area.
+        if (points[idx].area < best_area) {
+            frontier.push_back(idx);
+            best_area = points[idx].area;
+        }
+        last_latency = points[idx].latency;
+    }
+    return frontier;
+}
+
+} // namespace scalehls

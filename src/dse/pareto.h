@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Pareto frontier utilities over the latency-area tradeoff space
+ * (paper Section V-E2). Area follows Fig. 6 and uses the DSP count as the
+ * primary component with LUTs as a tiebreaker.
+ */
+
+#ifndef SCALEHLS_DSE_PARETO_H
+#define SCALEHLS_DSE_PARETO_H
+
+#include <vector>
+
+#include "estimate/qor_estimator.h"
+
+namespace scalehls {
+
+/** A point in the latency-area space. */
+struct QoRPoint
+{
+    int64_t latency = 0;
+    int64_t area = 0;
+};
+
+/** Scalar area of a resource usage (DSP-dominated, as in paper Fig. 6). */
+int64_t areaOf(const ResourceUsage &usage);
+
+/** a dominates b: no worse in both objectives, strictly better in one. */
+bool dominates(const QoRPoint &a, const QoRPoint &b);
+
+/** Indices of the Pareto-optimal entries, sorted by ascending latency. */
+std::vector<size_t> paretoIndices(const std::vector<QoRPoint> &points);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DSE_PARETO_H

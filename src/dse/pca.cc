@@ -1,0 +1,99 @@
+#include "dse/pca.h"
+
+#include <cmath>
+
+namespace scalehls {
+
+namespace {
+
+/** Power iteration for the dominant eigenvector of a symmetric matrix. */
+std::vector<double>
+dominantEigenvector(const std::vector<std::vector<double>> &matrix)
+{
+    size_t d = matrix.size();
+    std::vector<double> v(d, 1.0 / std::sqrt(static_cast<double>(d)));
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<double> next(d, 0.0);
+        for (size_t i = 0; i < d; ++i)
+            for (size_t j = 0; j < d; ++j)
+                next[i] += matrix[i][j] * v[j];
+        double norm = 0;
+        for (double x : next)
+            norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm < 1e-12)
+            return v;
+        for (double &x : next)
+            x /= norm;
+        v = next;
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<std::pair<double, double>>
+pcaProject2D(const std::vector<std::vector<double>> &samples)
+{
+    std::vector<std::pair<double, double>> projected;
+    if (samples.empty())
+        return projected;
+    size_t n = samples.size();
+    size_t d = samples.front().size();
+
+    // Standardize columns.
+    std::vector<double> mean(d, 0.0);
+    std::vector<double> stddev(d, 0.0);
+    for (const auto &row : samples)
+        for (size_t j = 0; j < d; ++j)
+            mean[j] += row[j];
+    for (size_t j = 0; j < d; ++j)
+        mean[j] /= static_cast<double>(n);
+    for (const auto &row : samples)
+        for (size_t j = 0; j < d; ++j)
+            stddev[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+    for (size_t j = 0; j < d; ++j)
+        stddev[j] = std::sqrt(stddev[j] / static_cast<double>(n));
+
+    std::vector<std::vector<double>> z(n, std::vector<double>(d, 0.0));
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < d; ++j)
+            z[i][j] = stddev[j] > 1e-12
+                          ? (samples[i][j] - mean[j]) / stddev[j]
+                          : 0.0;
+
+    // Covariance.
+    std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+    for (size_t i = 0; i < n; ++i)
+        for (size_t a = 0; a < d; ++a)
+            for (size_t b = 0; b < d; ++b)
+                cov[a][b] += z[i][a] * z[i][b];
+    for (size_t a = 0; a < d; ++a)
+        for (size_t b = 0; b < d; ++b)
+            cov[a][b] /= static_cast<double>(n);
+
+    auto pc0 = dominantEigenvector(cov);
+
+    // Deflate: cov' = cov - lambda * pc0 pc0^T.
+    double lambda = 0;
+    for (size_t a = 0; a < d; ++a)
+        for (size_t b = 0; b < d; ++b)
+            lambda += pc0[a] * cov[a][b] * pc0[b];
+    for (size_t a = 0; a < d; ++a)
+        for (size_t b = 0; b < d; ++b)
+            cov[a][b] -= lambda * pc0[a] * pc0[b];
+    auto pc1 = dominantEigenvector(cov);
+
+    projected.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        double x = 0, y = 0;
+        for (size_t j = 0; j < d; ++j) {
+            x += z[i][j] * pc0[j];
+            y += z[i][j] * pc1[j];
+        }
+        projected.emplace_back(x, y);
+    }
+    return projected;
+}
+
+} // namespace scalehls

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Principal component analysis by power iteration with deflation, used for
+ * the design-space profiling of paper Fig. 6(b).
+ */
+
+#ifndef SCALEHLS_DSE_PCA_H
+#define SCALEHLS_DSE_PCA_H
+
+#include <vector>
+
+namespace scalehls {
+
+/** Project row-major samples (n x d) onto their top two principal
+ * components. Returns n (pc0, pc1) pairs. Columns are standardized
+ * (zero mean, unit variance) first. */
+std::vector<std::pair<double, double>>
+pcaProject2D(const std::vector<std::vector<double>> &samples);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DSE_PCA_H

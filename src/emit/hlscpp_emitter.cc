@@ -1,0 +1,471 @@
+#include "emit/hlscpp_emitter.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "analysis/memory_analysis.h"
+#include "dialect/ops.h"
+#include "ir/printer.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+class Emitter
+{
+  public:
+    explicit Emitter(std::ostream &os) : os_(os) {}
+
+    void
+    emitFunc(Operation *func)
+    {
+        names_.clear();
+        counter_ = 0;
+        Block *body = funcBody(func);
+
+        os_ << "void " << funcName(func) << "(";
+        for (unsigned i = 0; i < body->numArguments(); ++i) {
+            Value *arg = body->argument(i);
+            os_ << (i ? ", " : "");
+            emitDecl(arg, define(arg));
+        }
+        os_ << ") {\n";
+        indent_ = 1;
+
+        FuncDirective fd = getFuncDirective(func);
+        if (fd.dataflow)
+            line() << "#pragma HLS dataflow\n";
+        if (fd.pipeline)
+            line() << "#pragma HLS pipeline II=" << fd.targetII << "\n";
+        for (unsigned i = 0; i < body->numArguments(); ++i)
+            if (body->argument(i)->type().isMemRef())
+                emitArrayPragmas(body->argument(i), isTopFunc(func));
+
+        for (auto &op : body->ops())
+            emitOp(op.get());
+        os_ << "}\n";
+    }
+
+  private:
+    std::ostream &
+    line()
+    {
+        for (int i = 0; i < indent_; ++i)
+            os_ << "  ";
+        return os_;
+    }
+
+    std::string
+    define(Value *v)
+    {
+        std::string name = "v" + std::to_string(counter_++);
+        names_[v] = name;
+        return name;
+    }
+
+    std::string
+    name(Value *v)
+    {
+        // Constants are inlined at their use sites.
+        if (Operation *def = v->definingOp()) {
+            if (def->is(ops::Constant)) {
+                Attribute value = def->attr(kValue);
+                if (value.is<double>()) {
+                    std::ostringstream tmp;
+                    tmp << value.getFloat();
+                    std::string text = tmp.str();
+                    if (text.find('.') == std::string::npos &&
+                        text.find('e') == std::string::npos)
+                        text += ".0";
+                    return text;
+                }
+                return std::to_string(value.getInt());
+            }
+        }
+        auto it = names_.find(v);
+        if (it != names_.end())
+            return it->second;
+        return define(v);
+    }
+
+    std::string
+    typeName(Type t)
+    {
+        if (t.isIndex())
+            return "int";
+        if (t.isInteger())
+            return t.bitWidth() == 1 ? "bool" : "int";
+        if (t.isFloat())
+            return t.bitWidth() > 32 ? "double" : "float";
+        fatal("emitter: cannot emit type " + t.toString() +
+              " (lower tensors to memrefs first)");
+    }
+
+    /** Emit a declarator: `float v2[16][8]` or `float v0`. */
+    void
+    emitDecl(Value *v, const std::string &name)
+    {
+        Type t = v->type();
+        if (t.isMemRef()) {
+            os_ << typeName(t.elementType()) << " " << name;
+            for (int64_t d : t.shape())
+                os_ << "[" << d << "]";
+        } else {
+            os_ << typeName(t) << " " << name;
+        }
+    }
+
+    void
+    emitArrayPragmas(Value *memref, bool is_interface)
+    {
+        Type t = memref->type();
+        const std::string &var = names_.at(memref);
+        if (t.memorySpace() == MemKind::DRAM) {
+            if (is_interface)
+                line() << "#pragma HLS interface m_axi port=" << var
+                       << " offset=slave\n";
+        } else {
+            line() << "#pragma HLS resource variable=" << var
+                   << " core=" << memCoreName(t.memorySpace()) << "\n";
+        }
+        PartitionPlan plan = decodePartitionMap(t.layout(), t.shape());
+        for (unsigned d = 0; d < plan.kinds.size(); ++d) {
+            if (plan.kinds[d] == PartitionKind::None)
+                continue;
+            line() << "#pragma HLS array_partition variable=" << var
+                   << (plan.kinds[d] == PartitionKind::Cyclic ? " cyclic"
+                                                              : " block")
+                   << " factor=" << plan.factors[d] << " dim=" << (d + 1)
+                   << "\n";
+        }
+    }
+
+    std::vector<std::string>
+    operandNames(const std::vector<Value *> &values)
+    {
+        std::vector<std::string> out;
+        out.reserve(values.size());
+        for (Value *v : values)
+            out.push_back(name(v));
+        return out;
+    }
+
+    std::string
+    subscripts(const AffineMap &map, const std::vector<Value *> &operands)
+    {
+        auto dim_names = operandNames(operands);
+        std::ostringstream out;
+        for (const auto &expr : map.results())
+            out << "[" << renderAffineExpr(expr, dim_names) << "]";
+        return out.str();
+    }
+
+    std::string
+    boundExpr(const AffineMap &map, const std::vector<Value *> &operands,
+              bool is_upper)
+    {
+        auto dim_names = operandNames(operands);
+        if (map.numResults() == 1)
+            return renderAffineExpr(map.result(0), dim_names);
+        // min/max over results for multi-result bounds.
+        std::string acc = renderAffineExpr(map.result(0), dim_names);
+        for (unsigned i = 1; i < map.numResults(); ++i) {
+            std::string next = renderAffineExpr(map.result(i), dim_names);
+            acc = std::string(is_upper ? "std::min" : "std::max") + "(" +
+                  acc + ", " + next + ")";
+        }
+        return acc;
+    }
+
+    void
+    emitOp(Operation *op)
+    {
+        if (op->is(ops::Constant))
+            return; // Inlined.
+        if (op->is(ops::AffineFor)) {
+            emitAffineFor(op);
+            return;
+        }
+        if (op->is(ops::AffineIf)) {
+            emitAffineIf(op);
+            return;
+        }
+        if (op->is(ops::AffineLoad)) {
+            AffineLoadOp load(op);
+            line();
+            emitDecl(op->result(0), define(op->result(0)));
+            os_ << " = " << name(load.memref())
+                << subscripts(load.map(), load.mapOperands()) << ";\n";
+            return;
+        }
+        if (op->is(ops::AffineStore)) {
+            AffineStoreOp store(op);
+            line() << name(store.memref())
+                   << subscripts(store.map(), store.mapOperands()) << " = "
+                   << name(store.value()) << ";\n";
+            return;
+        }
+        if (op->is(ops::MemLoad)) {
+            line();
+            emitDecl(op->result(0), define(op->result(0)));
+            os_ << " = " << name(op->operand(0));
+            for (unsigned i = 1; i < op->numOperands(); ++i)
+                os_ << "[" << name(op->operand(i)) << "]";
+            os_ << ";\n";
+            return;
+        }
+        if (op->is(ops::MemStore)) {
+            line() << name(op->operand(1));
+            for (unsigned i = 2; i < op->numOperands(); ++i)
+                os_ << "[" << name(op->operand(i)) << "]";
+            os_ << " = " << name(op->operand(0)) << ";\n";
+            return;
+        }
+        if (op->is(ops::Alloc)) {
+            line();
+            emitDecl(op->result(0), define(op->result(0)));
+            os_ << ";\n";
+            emitArrayPragmas(op->result(0), false);
+            return;
+        }
+        if (op->is(ops::MemCopy)) {
+            emitMemCopy(op);
+            return;
+        }
+        if (op->is(ops::Call)) {
+            line() << op->attr(kCallee).getString() << "(";
+            for (unsigned i = 0; i < op->numOperands(); ++i)
+                os_ << (i ? ", " : "") << name(op->operand(i));
+            os_ << ");\n";
+            return;
+        }
+        if (op->is(ops::Return))
+            return; // Void kernels.
+        if (op->is(ops::ScfFor)) {
+            ScfForOp for_op(op);
+            std::string iv = define(for_op.inductionVar());
+            line() << "for (int " << iv << " = "
+                   << name(for_op.lowerBound()) << "; " << iv << " < "
+                   << name(for_op.upperBound()) << "; " << iv
+                   << " += " << name(for_op.step()) << ") {\n";
+            ++indent_;
+            for (auto &nested : for_op.body()->ops())
+                emitOp(nested.get());
+            --indent_;
+            line() << "}\n";
+            return;
+        }
+        if (op->is(ops::ScfIf)) {
+            line() << "if (" << name(op->operand(0)) << ") {\n";
+            ++indent_;
+            for (auto &nested : op->region(0).front().ops())
+                emitOp(nested.get());
+            --indent_;
+            if (!op->region(1).empty()) {
+                line() << "} else {\n";
+                ++indent_;
+                for (auto &nested : op->region(1).front().ops())
+                    emitOp(nested.get());
+                --indent_;
+            }
+            line() << "}\n";
+            return;
+        }
+        if (op->dialect() == "arith" || op->dialect() == "math") {
+            emitArith(op);
+            return;
+        }
+        fatal("emitter: unsupported operation '" + op->name() +
+              "' (only the directive-level IR is synthesizable)");
+    }
+
+    void
+    emitAffineFor(Operation *op)
+    {
+        AffineForOp for_op(op);
+        std::string iv = define(for_op.inductionVar());
+        line() << "for (int " << iv << " = "
+               << boundExpr(for_op.lowerBoundMap(),
+                            for_op.lowerBoundOperands(), false)
+               << "; " << iv << " < "
+               << boundExpr(for_op.upperBoundMap(),
+                            for_op.upperBoundOperands(), true)
+               << "; " << iv << " += " << for_op.step() << ") {\n";
+        ++indent_;
+        LoopDirective d = getLoopDirective(op);
+        if (d.pipeline)
+            line() << "#pragma HLS pipeline II=" << d.targetII << "\n";
+        if (d.dataflow)
+            line() << "#pragma HLS dataflow\n";
+        if (d.flatten)
+            line() << "#pragma HLS loop_flatten\n";
+        for (auto &nested : for_op.body()->ops())
+            emitOp(nested.get());
+        --indent_;
+        line() << "}\n";
+    }
+
+    void
+    emitAffineIf(Operation *op)
+    {
+        AffineIfOp if_op(op);
+        IntegerSet set = if_op.condition();
+        auto dim_names = operandNames(if_op.conditionOperands());
+        line() << "if (";
+        for (unsigned i = 0; i < set.numConstraints(); ++i) {
+            os_ << (i ? " && " : "") << "("
+                << renderAffineExpr(set.constraint(i), dim_names) << ")"
+                << (set.isEq(i) ? " == 0" : " >= 0");
+        }
+        os_ << ") {\n";
+        ++indent_;
+        for (auto &nested : if_op.thenBlock()->ops())
+            emitOp(nested.get());
+        --indent_;
+        if (if_op.hasElse()) {
+            line() << "} else {\n";
+            ++indent_;
+            for (auto &nested : if_op.elseBlock()->ops())
+                emitOp(nested.get());
+            --indent_;
+        }
+        line() << "}\n";
+    }
+
+    void
+    emitMemCopy(Operation *op)
+    {
+        // Element-wise copy loop nest (synthesizable form).
+        Value *src = op->operand(0);
+        Value *dst = op->operand(1);
+        const auto &shape = src->type().shape();
+        std::vector<std::string> ivs;
+        for (unsigned d = 0; d < shape.size(); ++d) {
+            std::string iv = "c" + std::to_string(counter_++);
+            line() << "for (int " << iv << " = 0; " << iv << " < "
+                   << shape[d] << "; ++" << iv << ") {\n";
+            ++indent_;
+            ivs.push_back(iv);
+        }
+        line() << "#pragma HLS pipeline II=1\n";
+        line() << name(dst);
+        for (const auto &iv : ivs)
+            os_ << "[" << iv << "]";
+        os_ << " = " << name(src);
+        for (const auto &iv : ivs)
+            os_ << "[" << iv << "]";
+        os_ << ";\n";
+        for (unsigned d = 0; d < shape.size(); ++d) {
+            --indent_;
+            line() << "}\n";
+        }
+    }
+
+    void
+    emitArith(Operation *op)
+    {
+        if (op->numResults() != 1)
+            fatal("emitter: unexpected arith op " + op->name());
+        line();
+        emitDecl(op->result(0), define(op->result(0)));
+        os_ << " = ";
+        auto binary = [&](const char *symbol) {
+            os_ << name(op->operand(0)) << " " << symbol << " "
+                << name(op->operand(1));
+        };
+        if (op->is(ops::AddF) || op->is(ops::AddI))
+            binary("+");
+        else if (op->is(ops::SubF) || op->is(ops::SubI))
+            binary("-");
+        else if (op->is(ops::MulF) || op->is(ops::MulI))
+            binary("*");
+        else if (op->is(ops::DivF) || op->is(ops::DivSI))
+            binary("/");
+        else if (op->is(ops::RemSI))
+            binary("%");
+        else if (op->is(ops::CmpI) || op->is(ops::CmpF))
+            binary(cmpSymbol(op));
+        else if (op->is(ops::Select))
+            os_ << name(op->operand(0)) << " ? " << name(op->operand(1))
+                << " : " << name(op->operand(2));
+        else if (op->is(ops::MaxF))
+            os_ << "(" << name(op->operand(0)) << " > "
+                << name(op->operand(1)) << " ? " << name(op->operand(0))
+                << " : " << name(op->operand(1)) << ")";
+        else if (op->is(ops::MinF))
+            os_ << "(" << name(op->operand(0)) << " < "
+                << name(op->operand(1)) << " ? " << name(op->operand(0))
+                << " : " << name(op->operand(1)) << ")";
+        else if (op->is(ops::NegF))
+            os_ << "-" << name(op->operand(0));
+        else if (op->is(ops::SIToFP) || op->is(ops::FPToSI) ||
+                 op->is(ops::IndexCast))
+            os_ << "(" << typeName(op->result(0)->type()) << ")"
+                << name(op->operand(0));
+        else if (op->is(ops::Exp))
+            os_ << "expf(" << name(op->operand(0)) << ")";
+        else
+            fatal("emitter: unsupported arith op " + op->name());
+        os_ << ";\n";
+    }
+
+    const char *
+    cmpSymbol(Operation *op)
+    {
+        switch (cmpPredicateFromName(op->attr(kPredicate).getString())) {
+          case CmpPredicate::EQ:
+            return "==";
+          case CmpPredicate::NE:
+            return "!=";
+          case CmpPredicate::LT:
+            return "<";
+          case CmpPredicate::LE:
+            return "<=";
+          case CmpPredicate::GT:
+            return ">";
+          case CmpPredicate::GE:
+            return ">=";
+        }
+        return "==";
+    }
+
+    std::ostream &os_;
+    std::unordered_map<Value *, std::string> names_;
+    int counter_ = 0;
+    int indent_ = 0;
+};
+
+} // namespace
+
+std::string
+emitHlsCppFunc(Operation *func)
+{
+    std::ostringstream os;
+    Emitter(os).emitFunc(func);
+    return os.str();
+}
+
+std::string
+emitHlsCpp(Operation *module)
+{
+    std::ostringstream os;
+    os << "//===- Generated by the ScaleHLS reproduction "
+          "-===//\n#include <algorithm>\n#include <cmath>\n\n";
+    // Emit callees before callers so the C++ compiles without prototypes.
+    std::vector<Operation *> funcs;
+    for (auto &op : module->region(0).front().ops())
+        if (op->is(ops::Func))
+            funcs.push_back(op.get());
+    std::stable_sort(funcs.begin(), funcs.end(),
+                     [](Operation *a, Operation *b) {
+                         return !isTopFunc(a) && isTopFunc(b);
+                     });
+    for (Operation *func : funcs) {
+        Emitter(os).emitFunc(func);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace scalehls

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The synthesizable HLS C/C++ emitter (paper Section VI-B): translates the
+ * structured directive-level IR into C++ with #pragma HLS directives. The
+ * array partition, resource and interface information is decoded from the
+ * memref types; loop and function directives come from hlscpp attributes.
+ */
+
+#ifndef SCALEHLS_EMIT_HLSCPP_EMITTER_H
+#define SCALEHLS_EMIT_HLSCPP_EMITTER_H
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace scalehls {
+
+/** Emit a module (all functions) as synthesizable HLS C++. Throws
+ * FatalError when the IR still contains tensor-level operations (lower the
+ * graph dialect first). */
+std::string emitHlsCpp(Operation *module);
+
+/** Emit a single function. */
+std::string emitHlsCppFunc(Operation *func);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_EMIT_HLSCPP_EMITTER_H

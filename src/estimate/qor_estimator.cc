@@ -1,0 +1,547 @@
+#include "estimate/qor_estimator.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "analysis/loop_analysis.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Union-find over access indices for bank-conflict grouping. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+    size_t
+    find(size_t x)
+    {
+        while (parent_[x] != x)
+            x = parent_[x] = parent_[parent_[x]];
+        return x;
+    }
+    void
+    merge(size_t a, size_t b)
+    {
+        parent_[find(a)] = find(b);
+    }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+/** Could accesses @p a and @p b hit the same physical bank? Per-dimension
+ * reasoning over the partition plan; any unknown subscript difference is a
+ * potential conflict. */
+bool
+possiblySameBank(const MemAccess &a, const MemAccess &b,
+                 const PartitionPlan &plan,
+                 const std::vector<int64_t> &shape)
+{
+    if (!a.normalized || !b.normalized)
+        return true;
+    unsigned rank = shape.size();
+    if (a.indices.size() != rank || b.indices.size() != rank)
+        return true;
+    for (unsigned d = 0; d < rank; ++d) {
+        auto diff = constantDiff(a.indices[d], b.indices[d]);
+        if (!diff)
+            continue; // Unknown relation along this dim: no separation,
+                      // but another dim may still prove distinct banks.
+        int64_t c = *diff;
+        switch (plan.kinds[d]) {
+          case PartitionKind::None:
+            break; // One bank along this dim; can't separate.
+          case PartitionKind::Cyclic:
+            if (euclidMod(c, plan.factors[d]) != 0)
+                return false; // Provably different banks.
+            break;
+          case PartitionKind::Block: {
+            int64_t block = ceilDiv(shape[d], plan.factors[d]);
+            if (c != 0 && std::abs(c) >= block)
+                return false;
+            break;
+          }
+        }
+    }
+    return true;
+}
+
+/** Deduplicate reads with identical subscripts (they may share a port,
+ * paper Section V-E1). */
+std::vector<MemAccess>
+dedupeReads(const std::vector<MemAccess> &group)
+{
+    std::vector<MemAccess> out;
+    std::set<std::string> seen;
+    for (const MemAccess &access : group) {
+        if (!access.normalized) {
+            out.push_back(access);
+            continue;
+        }
+        if (seen.insert(subscriptKey(access)).second)
+            out.push_back(access);
+    }
+    return out;
+}
+
+int64_t
+groupPressure(const std::vector<MemAccess> &accesses,
+              const PartitionPlan &plan,
+              const std::vector<int64_t> &shape, int ports)
+{
+    if (accesses.empty() || ports <= 0)
+        return 0;
+    UnionFind uf(accesses.size());
+    for (size_t i = 0; i < accesses.size(); ++i)
+        for (size_t j = i + 1; j < accesses.size(); ++j)
+            if (possiblySameBank(accesses[i], accesses[j], plan, shape))
+                uf.merge(i, j);
+    std::map<size_t, int64_t> sizes;
+    for (size_t i = 0; i < accesses.size(); ++i)
+        ++sizes[uf.find(i)];
+    int64_t pressure = 0;
+    for (const auto &[root, count] : sizes)
+        pressure = std::max(pressure, ceilDiv(count, ports));
+    return pressure;
+}
+
+} // namespace
+
+int64_t
+memoryPortII(Operation *scope, const std::vector<Value *> &band_ivs)
+{
+    int64_t ii = 1;
+    auto accesses = collectAccesses(scope, band_ivs);
+    for (auto &[memref, group] : groupByMemRef(accesses)) {
+        Type t = memref->type();
+        if (!t.isMemRef())
+            continue;
+        PartitionPlan plan = decodePartitionMap(t.layout(), t.shape());
+        MemKind kind = t.memorySpace();
+
+        std::vector<MemAccess> reads;
+        std::vector<MemAccess> writes;
+        for (const MemAccess &access : group)
+            (access.isWrite ? writes : reads).push_back(access);
+        reads = dedupeReads(reads);
+
+        if (kind == MemKind::BRAM_S2P || kind == MemKind::DRAM) {
+            // Independent read and write ports.
+            ii = std::max(ii, groupPressure(reads, plan, t.shape(),
+                                            memReadPorts(kind)));
+            ii = std::max(ii, groupPressure(writes, plan, t.shape(),
+                                            memWritePorts(kind)));
+        } else {
+            // Shared ports (1P: one, T2P: two).
+            std::vector<MemAccess> all = reads;
+            all.insert(all.end(), writes.begin(), writes.end());
+            int ports = kind == MemKind::BRAM_T2P ? 2 : 1;
+            ii = std::max(ii, groupPressure(all, plan, t.shape(), ports));
+        }
+    }
+    return ii;
+}
+
+int64_t
+recurrencePathLatency(Operation *read, Operation *store)
+{
+    // Longest def-use path (in cycles) from the read to the store.
+    std::map<Operation *, int64_t> memo;
+    std::function<int64_t(Operation *)> longest =
+        [&](Operation *op) -> int64_t {
+        if (op == store)
+            return opProfile(op).latency;
+        auto it = memo.find(op);
+        if (it != memo.end())
+            return it->second;
+        memo[op] = 0; // Cycle guard.
+        int64_t best = 0;
+        for (Value *result : op->results()) {
+            for (Operation *user : result->users()) {
+                int64_t path = longest(user);
+                if (path > 0)
+                    best = std::max(best, path);
+            }
+        }
+        int64_t total = best > 0 ? best + opProfile(op).latency : 0;
+        memo[op] = total;
+        return total;
+    };
+    if (read == store)
+        return opProfile(store).latency + 1;
+    return longest(read);
+}
+
+QoREstimator::BlockEstimate
+QoREstimator::estimateBlock(Block *block)
+{
+    BlockEstimate result;
+    std::map<Operation *, int64_t> finish;
+    // Conservative memory ordering state.
+    std::map<Value *, std::vector<Operation *>> last_accesses;
+    std::map<Value *, Operation *> last_write;
+
+    for (auto &op_ptr : block->ops()) {
+        Operation *op = op_ptr.get();
+        int64_t start = 0;
+        // Define-use dependencies within the block (values defined in
+        // enclosing blocks are ready at cycle 0).
+        std::function<void(Operation *)> scanOperands =
+            [&](Operation *nested) {
+                for (Value *operand : nested->operands()) {
+                    Operation *def =
+                        operand ? operand->definingOp() : nullptr;
+                    if (def && finish.count(def))
+                        start = std::max(start, finish[def]);
+                }
+            };
+        op->walk(scanOperands);
+
+        // Memory dependencies: a write waits for all prior accesses of the
+        // memref; any access waits for the last prior write.
+        std::vector<std::pair<Value *, bool>> touched;
+        op->walk([&](Operation *nested) {
+            if (isMemoryAccess(nested))
+                touched.push_back(
+                    {accessedMemRef(nested), isMemoryWrite(nested)});
+        });
+        for (auto [memref, is_write] : touched) {
+            if (auto it = last_write.find(memref); it != last_write.end())
+                start = std::max(start, finish[it->second]);
+            if (is_write)
+                for (Operation *prior : last_accesses[memref])
+                    start = std::max(start, finish[prior]);
+        }
+
+        int64_t latency = opLatency(op);
+        if (latency < 0) {
+            result.feasible = false;
+            latency = 1;
+        }
+        finish[op] = start + latency;
+        result.latency = std::max(result.latency, finish[op]);
+
+        for (auto [memref, is_write] : touched) {
+            last_accesses[memref].push_back(op);
+            if (is_write)
+                last_write[memref] = op;
+        }
+    }
+    return result;
+}
+
+int64_t
+QoREstimator::opLatency(Operation *op)
+{
+    if (op->is(ops::AffineFor) || op->is(ops::ScfFor)) {
+        LoopEstimate est = estimateLoop(op);
+        return est.feasible ? est.latency : -1;
+    }
+    if (op->is(ops::AffineIf) || op->is(ops::ScfIf)) {
+        int64_t latency = 0;
+        bool feasible = true;
+        for (unsigned i = 0; i < op->numRegions(); ++i) {
+            if (op->region(i).empty())
+                continue;
+            BlockEstimate est = estimateBlock(&op->region(i).front());
+            latency = std::max(latency, est.latency);
+            feasible &= est.feasible;
+        }
+        return feasible ? latency + 1 : -1;
+    }
+    if (op->is(ops::Call)) {
+        Operation *callee = lookupFunc(module_, op->attr(kCallee)
+                                                    .getString());
+        if (!callee)
+            return 1;
+        QoRResult est = estimateFunc(callee);
+        return est.feasible ? est.latency + 1 : -1;
+    }
+    if (op->is(ops::MemCopy)) {
+        Value *src = op->operand(0);
+        return src->type().isMemRef() ? src->type().numElements() : 1;
+    }
+    return opProfile(op).latency;
+}
+
+int64_t
+QoREstimator::minLoopII(const std::vector<Operation *> &band,
+                        Operation *pipelined)
+{
+    int64_t ii = 1;
+    for (const Recurrence &rec : findRecurrences(band)) {
+        int64_t path = recurrencePathLatency(rec.read, rec.store);
+        if (path == 0)
+            path = opProfile(rec.store).latency + 1;
+        ii = std::max(ii, ceilDiv(path, std::max<int64_t>(
+                                            1, rec.flatDistance)));
+    }
+    ii = std::max(ii, memoryPortII(pipelined, bandIVs(band)));
+    return ii;
+}
+
+QoREstimator::LoopEstimate
+QoREstimator::estimateLoop(Operation *loop)
+{
+    LoopEstimate result;
+    if (loop->is(ops::ScfFor)) {
+        // Unraised loop: unknown trip count.
+        result.feasible = false;
+        result.latency = 1;
+        result.interval = 1;
+        return result;
+    }
+
+    // Descend through a flattened perfect chain to the pipelined leaf.
+    std::vector<Operation *> chain = {loop};
+    Operation *cur = loop;
+    while (getLoopDirective(cur).flatten) {
+        Block *body = AffineForOp(cur).body();
+        if (body->size() != 1 || !body->front()->is(ops::AffineFor))
+            break;
+        cur = body->front();
+        chain.push_back(cur);
+    }
+    Operation *leaf = chain.back();
+    LoopDirective leaf_directive = getLoopDirective(leaf);
+
+    if (leaf_directive.pipeline) {
+        int64_t flat_trip = 1;
+        for (Operation *member : chain) {
+            auto trip = getTripCount(AffineForOp(member));
+            if (!trip) {
+                result.feasible = false;
+                trip = 1;
+            }
+            flat_trip *= *trip;
+        }
+        BlockEstimate body = estimateBlock(AffineForOp(leaf).body());
+        result.feasible &= body.feasible;
+        int64_t ii =
+            std::max(leaf_directive.targetII, minLoopII(chain, leaf));
+        // depth + II * (trip - 1), plus small pipeline control overhead.
+        result.latency = body.latency + ii * (flat_trip - 1) + 2;
+        result.interval = ii * flat_trip;
+        return result;
+    }
+
+    // Sequential loop: nested structure handled by block recursion.
+    AffineForOp for_op(loop);
+    auto trip = getTripCount(for_op);
+    if (!trip) {
+        result.feasible = false;
+        trip = 1;
+    }
+    BlockEstimate body = estimateBlock(for_op.body());
+    result.feasible &= body.feasible;
+    result.latency = *trip * (body.latency + 1) + 2;
+    result.interval = result.latency;
+    return result;
+}
+
+ResourceUsage
+QoREstimator::funcResources(Operation *func)
+{
+    ResourceUsage usage;
+    FuncDirective fd = getFuncDirective(func);
+
+    // Memories: local allocations only. Interface arrays of the top
+    // function are external ports in Vivado HLS (the testbench owns the
+    // storage), so they do not consume on-chip memory.
+    std::vector<Type> memory_types;
+    func->walk([&](Operation *op) {
+        if (op->is(ops::Alloc))
+            memory_types.push_back(op->result(0)->type());
+    });
+    for (const Type &t : memory_types) {
+        ResourceUsage mem = memrefResource(t);
+        if (fd.dataflow) {
+            // Dataflow channels are double buffered (paper Fig. 4).
+            mem.bram18k *= 2;
+            mem.memoryBits *= 2;
+            mem.lut *= 2;
+        }
+        usage += mem;
+    }
+
+    // Compute resources. Pipelined regions share operators across II
+    // cycles: instances = ceil(count / II). Sequential code fully shares
+    // one instance per op kind.
+    std::set<std::string> sequential_kinds;
+    std::map<std::string, OpProfile> profiles;
+
+    auto countsIn = [&](Operation *scope) {
+        std::map<std::string, int64_t> counts;
+        scope->walk([&](Operation *op) {
+            if (op != scope && isComputeOp(op)) {
+                ++counts[op->name()];
+                profiles.emplace(op->name(), opProfile(op));
+            }
+        });
+        return counts;
+    };
+
+    // Pipelined leaf loops.
+    std::vector<Operation *> pipelined;
+    func->walk([&](Operation *op) {
+        if (op->is(ops::AffineFor) && getLoopDirective(op).pipeline)
+            pipelined.push_back(op);
+    });
+    for (Operation *leaf : pipelined) {
+        // Rebuild the flattened chain for the II.
+        std::vector<Operation *> chain = {leaf};
+        for (Operation *parent = leaf->parentOp();
+             isa(parent, ops::AffineFor) &&
+             getLoopDirective(parent).flatten;
+             parent = parent->parentOp())
+            chain.insert(chain.begin(), parent);
+        int64_t ii = std::max(getLoopDirective(leaf).targetII,
+                              minLoopII(chain, leaf));
+        for (const auto &[kind, count] : countsIn(leaf)) {
+            const OpProfile &profile = profiles[kind];
+            int64_t instances = ceilDiv(count, ii);
+            usage.dsp += instances * profile.dsp;
+            usage.lut += instances * profile.lut;
+        }
+    }
+
+    // Remaining (sequential or function-pipelined) compute ops.
+    bool func_pipelined = fd.pipeline;
+    std::map<std::string, int64_t> rest;
+    func->walk([&](Operation *op) {
+        if (!isComputeOp(op))
+            return;
+        for (Operation *p = op->parentOp(); p; p = p->parentOp())
+            if (p->is(ops::AffineFor) && getLoopDirective(p).pipeline)
+                return; // Counted above.
+        ++rest[op->name()];
+        profiles.emplace(op->name(), opProfile(op));
+    });
+    for (const auto &[kind, count] : rest) {
+        const OpProfile &profile = profiles[kind];
+        int64_t instances =
+            func_pipelined ? ceilDiv(count, fd.targetII) : 1;
+        usage.dsp += instances * profile.dsp;
+        usage.lut += instances * profile.lut;
+    }
+
+    // Control logic overheads.
+    int64_t loops = 0;
+    int64_t calls = 0;
+    func->walk([&](Operation *op) {
+        loops += isLoop(op) ? 1 : 0;
+        calls += op->is(ops::Call) ? 1 : 0;
+    });
+    usage.lut += 200 + 50 * loops + 100 * calls;
+
+    // Sub-function instances (one hardware module per call site).
+    func->walk([&](Operation *op) {
+        if (!op->is(ops::Call))
+            return;
+        Operation *callee =
+            lookupFunc(module_, op->attr(kCallee).getString());
+        if (callee)
+            usage += estimateFunc(callee).resources;
+    });
+    return usage;
+}
+
+QoRResult
+QoREstimator::estimateFunc(Operation *func)
+{
+    auto it = cache_.find(func);
+    if (it != cache_.end())
+        return it->second;
+    // Guard against recursion.
+    cache_[func] = QoRResult{1, 1, {}, false};
+
+    assert(isa(func, ops::Func));
+    Block *body = funcBody(func);
+    FuncDirective fd = getFuncDirective(func);
+    QoRResult result;
+
+    if (fd.dataflow) {
+        // Stages execute overlapped across frames: the interval is the
+        // slowest stage; a single frame still pays the summed latency.
+        int64_t total = 0;
+        int64_t max_stage = 1;
+        bool feasible = true;
+        for (auto &op : body->ops()) {
+            int64_t latency = opLatency(op.get());
+            if (latency < 0) {
+                feasible = false;
+                latency = 1;
+            }
+            if (op->is(ops::Call) || isLoop(op.get()))
+                max_stage = std::max(max_stage, latency);
+            total += latency;
+        }
+        result.latency = total + 2;
+        result.interval = max_stage;
+        result.feasible = feasible;
+    } else if (fd.pipeline) {
+        BlockEstimate est = estimateBlock(body);
+        result.latency = est.latency + 2;
+        result.interval =
+            std::max(fd.targetII, memoryPortII(func, {}));
+        result.feasible = est.feasible;
+    } else {
+        BlockEstimate est = estimateBlock(body);
+        result.latency = est.latency + 2;
+        result.interval = result.latency;
+        result.feasible = est.feasible;
+    }
+
+    result.resources = funcResources(func);
+    cache_[func] = result;
+    return result;
+}
+
+QoRResult
+QoREstimator::estimateModule()
+{
+    Operation *top = getTopFunc(module_);
+    assert(top && "module has no functions");
+    return estimateFunc(top);
+}
+
+int64_t
+dynamicOpCount(Operation *func, Operation *module)
+{
+    std::function<int64_t(Block *)> countBlock = [&](Block *block) {
+        int64_t total = 0;
+        for (auto &op : block->ops()) {
+            if (isComputeOp(op.get())) {
+                ++total;
+            } else if (op->is(ops::AffineFor)) {
+                AffineForOp for_op(op.get());
+                int64_t trip = getTripCount(for_op).value_or(1);
+                total += trip * countBlock(for_op.body());
+            } else if (op->is(ops::AffineIf) || op->is(ops::ScfIf)) {
+                int64_t branch = 0;
+                for (unsigned i = 0; i < op->numRegions(); ++i)
+                    if (!op->region(i).empty())
+                        branch = std::max(
+                            branch, countBlock(&op->region(i).front()));
+                total += branch;
+            } else if (op->is(ops::Call) && module) {
+                Operation *callee =
+                    lookupFunc(module, op->attr(kCallee).getString());
+                if (callee)
+                    total += dynamicOpCount(callee, module);
+            }
+        }
+        return total;
+    };
+    return countBlock(funcBody(func));
+}
+
+} // namespace scalehls

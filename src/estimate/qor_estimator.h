@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The analytical QoR estimator (paper Section V-E1): ALAP-style critical
+ * path scheduling of each block, memory ports as non-shareable resources
+ * (identical-address reads excepted), define-use plus memory dependence
+ * edges, pipelined/flattened loop latency composition, dataflow interval
+ * computation, and resource accounting with II-driven operator sharing.
+ */
+
+#ifndef SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H
+#define SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H
+
+#include <map>
+
+#include "analysis/memory_analysis.h"
+#include "estimate/resource_model.h"
+
+namespace scalehls {
+
+/** Latency / throughput / resource estimate of a design. */
+struct QoRResult
+{
+    int64_t latency = 0;  ///< Cycles to process one invocation / frame.
+    int64_t interval = 0; ///< Cycles between successive frames.
+    ResourceUsage resources;
+    bool feasible = true; ///< False when analysis failed (unknown trips).
+
+    /** True when the design fits the budget. */
+    bool
+    fits(const ResourceBudget &budget) const
+    {
+        return budget.fits(resources);
+    }
+};
+
+/** Analytical QoR estimator over the directive-level IR. */
+class QoREstimator
+{
+  public:
+    explicit QoREstimator(Operation *module) : module_(module) {}
+
+    /** Estimate a function (memoized; call invalidate() after rewrites). */
+    QoRResult estimateFunc(Operation *func);
+
+    /** Estimate the module's top function. */
+    QoRResult estimateModule();
+
+    /** Drop memoized function estimates. */
+    void invalidate() { cache_.clear(); }
+
+  private:
+    struct LoopEstimate
+    {
+        int64_t latency = 0;
+        int64_t interval = 0;
+        bool feasible = true;
+    };
+    struct BlockEstimate
+    {
+        int64_t latency = 0;
+        bool feasible = true;
+    };
+
+    BlockEstimate estimateBlock(Block *block);
+    LoopEstimate estimateLoop(Operation *loop);
+    int64_t opLatency(Operation *op);
+
+    /** Minimum legal II of a pipelined loop body given recurrences and
+     * memory port pressure (paper's achievable-II analysis). */
+    int64_t minLoopII(const std::vector<Operation *> &band,
+                      Operation *pipelined);
+
+    /** Resource usage of a function (compute sharing under II, memories,
+     * sub-function instances). */
+    ResourceUsage funcResources(Operation *func);
+
+    Operation *module_;
+    std::map<Operation *, QoRResult> cache_;
+};
+
+/** Memory port pressure (min II imposed by bank conflicts) of the accesses
+ * inside @p scope, normalized over @p band_ivs. Shared helper for the
+ * estimator and the virtual HLS synthesizer. */
+int64_t memoryPortII(Operation *scope, const std::vector<Value *> &band_ivs);
+
+/** Longest def-use path latency (cycles) from @p read's result to
+ * @p store's stored value, both inclusive; 0 when no path exists. */
+int64_t recurrencePathLatency(Operation *read, Operation *store);
+
+/** Total dynamically executed arithmetic operation count of a function
+ * (compute ops weighted by enclosing trip counts), for OP/cycle metrics. */
+int64_t dynamicOpCount(Operation *func, Operation *module);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H

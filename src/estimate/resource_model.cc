@@ -1,0 +1,118 @@
+#include "estimate/resource_model.h"
+
+#include "analysis/memory_analysis.h"
+#include "dialect/ops.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+bool
+isComputeOp(const Operation *op)
+{
+    return (op->dialect() == "arith" || op->dialect() == "math") &&
+           !op->is(ops::Constant);
+}
+
+OpProfile
+opProfile(const Operation *op)
+{
+    // Memory accesses: BRAM-style 2-cycle reads, 1-cycle writes.
+    if (op->is(ops::AffineLoad) || op->is(ops::MemLoad))
+        return {2, 1, 0, 0};
+    if (op->is(ops::AffineStore) || op->is(ops::MemStore))
+        return {1, 1, 0, 0};
+
+    if (!isComputeOp(op))
+        return {0, 1, 0, 0};
+
+    unsigned width = 32;
+    if (op->numOperands() > 0 && op->operand(0))
+        width = op->operand(0)->type().bitWidth();
+    bool is_double = width > 32;
+
+    // Floating point cores (Vivado HLS "full_dsp" configurations).
+    if (op->is(ops::AddF) || op->is(ops::SubF))
+        return is_double ? OpProfile{7, 1, 3, 400} : OpProfile{4, 1, 2, 200};
+    if (op->is(ops::MulF))
+        return is_double ? OpProfile{6, 1, 11, 300}
+                         : OpProfile{3, 1, 3, 100};
+    if (op->is(ops::DivF))
+        return is_double ? OpProfile{30, 1, 0, 3200}
+                         : OpProfile{12, 1, 0, 800};
+    if (op->is(ops::MaxF) || op->is(ops::MinF) || op->is(ops::CmpF))
+        return {1, 1, 0, 80};
+    if (op->is(ops::NegF))
+        return {1, 1, 0, 40};
+    if (op->is(ops::Exp))
+        return is_double ? OpProfile{20, 1, 26, 2000}
+                         : OpProfile{10, 1, 7, 600};
+
+    // Integer / index arithmetic (address computation is mostly fabric).
+    if (op->is(ops::MulI))
+        return {1, 1, 0, 60};
+    if (op->is(ops::DivSI) || op->is(ops::RemSI))
+        return {8, 1, 0, 400};
+    if (op->is(ops::AddI) || op->is(ops::SubI))
+        return {1, 1, 0, 20};
+    if (op->is(ops::CmpI))
+        return {1, 1, 0, 20};
+    if (op->is(ops::Select))
+        return {1, 1, 0, 30};
+    if (op->is(ops::SIToFP) || op->is(ops::FPToSI))
+        return {3, 1, 0, 150};
+    if (op->is(ops::IndexCast))
+        return {0, 1, 0, 0};
+    return {1, 1, 0, 20};
+}
+
+ResourceBudget
+xc7z020()
+{
+    ResourceBudget budget;
+    budget.name = "xc7z020";
+    budget.dsp = 220;
+    budget.lut = 53200;
+    budget.memoryBits = static_cast<int64_t>(4.9 * 1024 * 1024);
+    return budget;
+}
+
+ResourceBudget
+vu9pSlr()
+{
+    ResourceBudget budget;
+    budget.name = "vu9p-slr";
+    budget.dsp = 2280;
+    budget.lut = 394080;
+    budget.memoryBits = static_cast<int64_t>(115.3 * 1024 * 1024);
+    return budget;
+}
+
+ResourceUsage
+memrefResource(Type memref_type)
+{
+    ResourceUsage usage;
+    if (!memref_type.isMemRef())
+        return usage;
+    if (memref_type.memorySpace() == MemKind::DRAM)
+        return usage; // Off-chip.
+
+    int64_t elements = memref_type.numElements();
+    int64_t width = memref_type.elementType().bitWidth();
+    PartitionPlan plan =
+        decodePartitionMap(memref_type.layout(), memref_type.shape());
+    int64_t banks = plan.totalBanks();
+    int64_t per_bank_elements = ceilDiv(elements, banks);
+    int64_t per_bank_bits = per_bank_elements * width;
+
+    usage.memoryBits = elements * width;
+    // Small banks go to LUTRAM; larger ones consume whole BRAM18Ks.
+    constexpr int64_t kLutRamThresholdBits = 1024;
+    if (per_bank_bits > kLutRamThresholdBits) {
+        usage.bram18k = banks * ceilDiv(per_bank_bits, 18 * 1024);
+    } else {
+        usage.lut = banks * ceilDiv(per_bank_bits, 64);
+    }
+    return usage;
+}
+
+} // namespace scalehls

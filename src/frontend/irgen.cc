@@ -1,0 +1,482 @@
+#include "frontend/irgen.h"
+
+#include <map>
+
+#include "dialect/ops.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Scalar value type of a C type when used for arithmetic: loop counters
+ * and subscripts use index; data uses f32/f64. C `int` data is i32. */
+Type
+elementType(CType t)
+{
+    switch (t) {
+      case CType::Int:
+        return Type::i32();
+      case CType::Float:
+        return Type::f32();
+      case CType::Double:
+        return Type::f64();
+    }
+    return Type::f32();
+}
+
+class IRGen
+{
+  public:
+    explicit IRGen(const CProgram &program) : program_(program) {}
+
+    std::unique_ptr<Operation>
+    run(const std::string &top_func)
+    {
+        auto module = createModule();
+        for (const CFunc &func : program_.funcs)
+            genFunc(module.get(), func);
+        if (Operation *top = lookupFunc(
+                module.get(),
+                top_func.empty() ? program_.funcs.front().name : top_func))
+            setTopFunc(top);
+        else
+            fatal("top function '" + top_func + "' not found");
+        return module;
+    }
+
+  private:
+    /** A named program entity. */
+    struct Symbol
+    {
+        Value *value = nullptr;
+        bool isArray = false;
+        bool isMutableScalar = false; ///< Backed by a memref<1xT>.
+        Type elemType;
+    };
+
+    [[noreturn]] void
+    error(int line, const std::string &msg)
+    {
+        fatal("irgen error at line " + std::to_string(line) + ": " + msg);
+    }
+
+    Symbol &
+    lookup(const std::string &name, int line)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        error(line, "use of undeclared identifier '" + name + "'");
+    }
+
+    void
+    define(const std::string &name, Symbol symbol)
+    {
+        scopes_.back()[name] = std::move(symbol);
+    }
+
+    void
+    genFunc(Operation *module, const CFunc &func)
+    {
+        std::vector<Type> arg_types;
+        for (const CParam &param : func.params) {
+            if (param.dims.empty()) {
+                arg_types.push_back(param.type == CType::Int
+                                        ? Type::index()
+                                        : elementType(param.type));
+            } else {
+                // On-chip dual-port BRAM is the default array resource.
+                arg_types.push_back(Type::memref(param.dims,
+                                                 elementType(param.type),
+                                                 AffineMap(),
+                                                 MemKind::BRAM_S2P));
+            }
+        }
+        Operation *func_op = createFunc(module, func.name, arg_types);
+        std::string arg_names;
+        for (unsigned i = 0; i < func.params.size(); ++i)
+            arg_names += (i ? "," : "") + func.params[i].name;
+        func_op->setAttr("arg_names", arg_names);
+        Block *body = funcBody(func_op);
+        builder_ = OpBuilder(body, body->back()); // Before func.return.
+
+        scopes_.clear();
+        scopes_.emplace_back();
+        for (unsigned i = 0; i < func.params.size(); ++i) {
+            const CParam &param = func.params[i];
+            Symbol symbol;
+            symbol.value = body->argument(i);
+            symbol.isArray = !param.dims.empty();
+            symbol.elemType = elementType(param.type);
+            define(param.name, symbol);
+        }
+        for (const auto &stmt : func.body)
+            genStmt(*stmt);
+    }
+
+    //
+    // Statements
+    //
+
+    void
+    genStmt(const CStmt &stmt)
+    {
+        switch (stmt.kind) {
+          case CStmt::Kind::Decl:
+            genDecl(stmt);
+            break;
+          case CStmt::Kind::Assign:
+            genAssign(stmt);
+            break;
+          case CStmt::Kind::For:
+            genFor(stmt);
+            break;
+          case CStmt::Kind::If:
+            genIf(stmt);
+            break;
+          case CStmt::Kind::Return:
+            // Kernels are void; a trailing bare return is a no-op.
+            break;
+        }
+    }
+
+    void
+    genDecl(const CStmt &stmt)
+    {
+        Symbol symbol;
+        symbol.elemType = elementType(stmt.declType);
+        if (!stmt.arrayDims.empty()) {
+            symbol.isArray = true;
+            symbol.value =
+                createAlloc(builder_,
+                            Type::memref(stmt.arrayDims, symbol.elemType,
+                                         AffineMap(), MemKind::BRAM_S2P))
+                    ->result(0);
+        } else {
+            // Mutable scalars are modeled as single-element memrefs; the
+            // -affine-store-forward pass later removes the round trips.
+            symbol.isMutableScalar = true;
+            symbol.value =
+                createAlloc(builder_,
+                            Type::memref({1}, symbol.elemType, AffineMap(),
+                                         MemKind::BRAM_S2P))
+                    ->result(0);
+            if (stmt.init) {
+                Value *init = genExpr(*stmt.init, symbol.elemType);
+                Value *zero = createConstantIndex(builder_, 0)->result(0);
+                createMemStore(builder_, init, symbol.value, {zero});
+            }
+        }
+        define(stmt.name, symbol);
+    }
+
+    void
+    genAssign(const CStmt &stmt)
+    {
+        // Resolve the store target: memref + indices.
+        Value *memref = nullptr;
+        std::vector<Value *> indices;
+        Type elem_type;
+        if (stmt.lhs->kind == CExpr::Kind::Var) {
+            Symbol &symbol = lookup(stmt.lhs->name, stmt.line);
+            if (!symbol.isMutableScalar)
+                error(stmt.line, "cannot assign to '" + stmt.lhs->name +
+                                     "' (parameters and induction "
+                                     "variables are read-only)");
+            memref = symbol.value;
+            indices.push_back(createConstantIndex(builder_, 0)->result(0));
+            elem_type = symbol.elemType;
+        } else {
+            Symbol &symbol = lookup(stmt.lhs->name, stmt.line);
+            if (!symbol.isArray)
+                error(stmt.line,
+                      "subscripted variable is not an array: " +
+                          stmt.lhs->name);
+            memref = symbol.value;
+            if (stmt.lhs->children.size() != memref->type().rank())
+                error(stmt.line, "subscript count does not match array "
+                                 "rank for " + stmt.lhs->name);
+            for (const auto &index : stmt.lhs->children)
+                indices.push_back(genExpr(*index, Type::index()));
+            elem_type = symbol.elemType;
+        }
+
+        Value *rhs = genExpr(*stmt.rhs, elem_type);
+        if (stmt.assignOp != "=") {
+            Value *current =
+                createMemLoad(builder_, memref, indices)->result(0);
+            std::string_view op_name;
+            bool is_float = elem_type.isFloat();
+            if (stmt.assignOp == "+=")
+                op_name = is_float ? ops::AddF : ops::AddI;
+            else if (stmt.assignOp == "-=")
+                op_name = is_float ? ops::SubF : ops::SubI;
+            else
+                op_name = is_float ? ops::MulF : ops::MulI;
+            rhs = createBinary(builder_, op_name, current, rhs)->result(0);
+        }
+        createMemStore(builder_, rhs, memref, indices);
+    }
+
+    void
+    genFor(const CStmt &stmt)
+    {
+        Value *lb = genExpr(*stmt.lowerExpr, Type::index());
+        Value *ub = genExpr(*stmt.upperExpr, Type::index());
+        Value *step = createConstantIndex(builder_, stmt.step)->result(0);
+        ScfForOp for_op = createScfFor(builder_, lb, ub, step);
+
+        OpBuilder saved = builder_;
+        builder_.setInsertionPointToEnd(for_op.body());
+        scopes_.emplace_back();
+        Symbol iv;
+        iv.value = for_op.inductionVar();
+        iv.elemType = Type::index();
+        define(stmt.ivName, iv);
+        for (const auto &nested : stmt.body)
+            genStmt(*nested);
+        scopes_.pop_back();
+        builder_ = saved;
+    }
+
+    void
+    genIf(const CStmt &stmt)
+    {
+        Value *cond = genCond(*stmt.cond);
+        Operation *if_op =
+            createScfIf(builder_, cond, !stmt.elseBody.empty());
+
+        OpBuilder saved = builder_;
+        builder_.setInsertionPointToEnd(&if_op->region(0).front());
+        scopes_.emplace_back();
+        for (const auto &nested : stmt.body)
+            genStmt(*nested);
+        scopes_.pop_back();
+        if (!stmt.elseBody.empty()) {
+            builder_.setInsertionPointToEnd(&if_op->region(1).front());
+            scopes_.emplace_back();
+            for (const auto &nested : stmt.elseBody)
+                genStmt(*nested);
+            scopes_.pop_back();
+        }
+        builder_ = saved;
+    }
+
+    //
+    // Expressions
+    //
+
+    /** Insert a conversion from value's type to @p expected if needed. */
+    Value *
+    coerce(Value *value, Type expected, int line)
+    {
+        Type from = value->type();
+        if (from == expected)
+            return value;
+        if (from.isIntOrIndex() && expected.isFloat())
+            return builder_
+                .create(std::string(ops::SIToFP), {expected}, {value})
+                ->result(0);
+        if (from.isIntOrIndex() && expected.isIntOrIndex())
+            return builder_
+                .create(std::string(ops::IndexCast), {expected}, {value})
+                ->result(0);
+        if (from.isFloat() && expected.isFloat())
+            return builder_
+                .create(std::string(ops::SIToFP), {expected}, {value})
+                ->result(0); // Width change; reuse the cast op name.
+        error(line, "unsupported implicit conversion from " +
+                        from.toString() + " to " + expected.toString());
+    }
+
+    Value *
+    genExpr(const CExpr &expr, Type expected)
+    {
+        switch (expr.kind) {
+          case CExpr::Kind::IntLit:
+            if (expected.isFloat())
+                return createConstantFloat(
+                           builder_, static_cast<double>(expr.intValue),
+                           expected)
+                    ->result(0);
+            return createConstantInt(builder_, expr.intValue, expected)
+                ->result(0);
+          case CExpr::Kind::FloatLit:
+            if (!expected.isFloat())
+                error(expr.line, "float literal in integer context");
+            return createConstantFloat(builder_, expr.floatValue, expected)
+                ->result(0);
+          case CExpr::Kind::Var: {
+            Symbol &symbol = lookup(expr.name, expr.line);
+            if (symbol.isArray)
+                error(expr.line,
+                      "array '" + expr.name + "' used as a scalar");
+            if (symbol.isMutableScalar) {
+                Value *zero =
+                    createConstantIndex(builder_, 0)->result(0);
+                Value *loaded =
+                    createMemLoad(builder_, symbol.value, {zero})
+                        ->result(0);
+                return coerce(loaded, expected, expr.line);
+            }
+            return coerce(symbol.value, expected, expr.line);
+          }
+          case CExpr::Kind::Subscript: {
+            Symbol &symbol = lookup(expr.name, expr.line);
+            if (!symbol.isArray)
+                error(expr.line, "subscripted variable is not an array: " +
+                                     expr.name);
+            if (expr.children.size() != symbol.value->type().rank())
+                error(expr.line, "subscript count does not match array "
+                                 "rank for " + expr.name);
+            std::vector<Value *> indices;
+            for (const auto &index : expr.children)
+                indices.push_back(genExpr(*index, Type::index()));
+            Value *loaded =
+                createMemLoad(builder_, symbol.value, indices)->result(0);
+            return coerce(loaded, expected, expr.line);
+          }
+          case CExpr::Kind::Binary:
+            return genBinary(expr, expected);
+          case CExpr::Kind::Unary: {
+            Value *zero =
+                expected.isFloat()
+                    ? createConstantFloat(builder_, 0.0, expected)
+                          ->result(0)
+                    : createConstantInt(builder_, 0, expected)->result(0);
+            Value *operand = genExpr(*expr.children[0], expected);
+            return createBinary(builder_,
+                                expected.isFloat() ? ops::SubF : ops::SubI,
+                                zero, operand)
+                ->result(0);
+          }
+          case CExpr::Kind::Ternary: {
+            Value *cond = genCond(*expr.children[0]);
+            Value *then_value = genExpr(*expr.children[1], expected);
+            Value *else_value = genExpr(*expr.children[2], expected);
+            return createSelect(builder_, cond, then_value, else_value)
+                ->result(0);
+          }
+        }
+        error(expr.line, "unsupported expression");
+    }
+
+    Value *
+    genBinary(const CExpr &expr, Type expected)
+    {
+        const std::string &op = expr.op;
+        if (op == "<" || op == "<=" || op == ">" || op == ">=" ||
+            op == "==" || op == "!=")
+            error(expr.line, "comparison used in a value context "
+                             "(use a ternary expression)");
+        Value *lhs = genExpr(*expr.children[0], expected);
+        Value *rhs = genExpr(*expr.children[1], expected);
+        std::string_view name;
+        bool is_float = expected.isFloat();
+        if (op == "+")
+            name = is_float ? ops::AddF : ops::AddI;
+        else if (op == "-")
+            name = is_float ? ops::SubF : ops::SubI;
+        else if (op == "*")
+            name = is_float ? ops::MulF : ops::MulI;
+        else if (op == "/")
+            name = is_float ? ops::DivF : ops::DivSI;
+        else if (op == "%") {
+            if (is_float)
+                error(expr.line, "'%' requires integer operands");
+            name = ops::RemSI;
+        } else {
+            error(expr.line, "unsupported binary operator '" + op + "'");
+        }
+        return createBinary(builder_, name, lhs, rhs)->result(0);
+    }
+
+    /** True if the expression is float-typed (drives cmpf vs cmpi). */
+    bool
+    isFloatExpr(const CExpr &expr)
+    {
+        switch (expr.kind) {
+          case CExpr::Kind::FloatLit:
+            return true;
+          case CExpr::Kind::IntLit:
+            return false;
+          case CExpr::Kind::Var: {
+            Symbol &symbol = lookup(expr.name, expr.line);
+            return !symbol.isArray && symbol.elemType.isFloat();
+          }
+          case CExpr::Kind::Subscript: {
+            Symbol &symbol = lookup(expr.name, expr.line);
+            return symbol.elemType.isFloat();
+          }
+          case CExpr::Kind::Binary:
+          case CExpr::Kind::Unary: {
+            for (const auto &child : expr.children)
+                if (isFloatExpr(*child))
+                    return true;
+            return false;
+          }
+          case CExpr::Kind::Ternary:
+            return isFloatExpr(*expr.children[1]) ||
+                   isFloatExpr(*expr.children[2]);
+        }
+        return false;
+    }
+
+    Value *
+    genCond(const CExpr &expr)
+    {
+        if (expr.kind != CExpr::Kind::Binary)
+            fatal("irgen error at line " + std::to_string(expr.line) +
+                  ": conditions must be comparisons");
+        CmpPredicate pred;
+        if (expr.op == "<")
+            pred = CmpPredicate::LT;
+        else if (expr.op == "<=")
+            pred = CmpPredicate::LE;
+        else if (expr.op == ">")
+            pred = CmpPredicate::GT;
+        else if (expr.op == ">=")
+            pred = CmpPredicate::GE;
+        else if (expr.op == "==")
+            pred = CmpPredicate::EQ;
+        else if (expr.op == "!=")
+            pred = CmpPredicate::NE;
+        else
+            fatal("irgen error at line " + std::to_string(expr.line) +
+                  ": conditions must be comparisons");
+
+        bool is_float =
+            isFloatExpr(*expr.children[0]) || isFloatExpr(*expr.children[1]);
+        Type operand_type = is_float ? Type::f32() : Type::index();
+        Value *lhs = genExpr(*expr.children[0], operand_type);
+        Value *rhs = genExpr(*expr.children[1], operand_type);
+        Operation *cmp = is_float ? createCmpF(builder_, pred, lhs, rhs)
+                                  : createCmpI(builder_, pred, lhs, rhs);
+        return cmp->result(0);
+    }
+
+    const CProgram &program_;
+    OpBuilder builder_;
+    std::vector<std::map<std::string, Symbol>> scopes_;
+};
+
+} // namespace
+
+std::unique_ptr<Operation>
+buildModule(const CProgram &program, const std::string &top_func)
+{
+    if (program.funcs.empty())
+        fatal("irgen: empty program");
+    return IRGen(program).run(top_func);
+}
+
+std::unique_ptr<Operation>
+parseCToModule(const std::string &source, const std::string &top_func)
+{
+    return buildModule(parseProgram(source), top_func);
+}
+
+} // namespace scalehls

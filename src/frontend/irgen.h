@@ -1,0 +1,30 @@
+/**
+ * @file
+ * IR generation: lowers the parsed HLS C AST into the scf + memref dialects
+ * (the paper's C front-end, Section VI-A). The result is then raised to the
+ * affine dialect by the -raise-scf-to-affine pass.
+ */
+
+#ifndef SCALEHLS_FRONTEND_IRGEN_H
+#define SCALEHLS_FRONTEND_IRGEN_H
+
+#include <memory>
+#include <string>
+
+#include "frontend/parser.h"
+#include "ir/ir.h"
+
+namespace scalehls {
+
+/** Build a module from a parsed program. @p top_func marks the top function
+ * (empty selects the first function). */
+std::unique_ptr<Operation> buildModule(const CProgram &program,
+                                       const std::string &top_func = "");
+
+/** Parse HLS C source and build the scf-level module. */
+std::unique_ptr<Operation> parseCToModule(const std::string &source,
+                                          const std::string &top_func = "");
+
+} // namespace scalehls
+
+#endif // SCALEHLS_FRONTEND_IRGEN_H

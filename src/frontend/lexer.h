@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lexer for the synthesizable HLS C subset accepted by the front-end.
+ */
+
+#ifndef SCALEHLS_FRONTEND_LEXER_H
+#define SCALEHLS_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalehls {
+
+/** Token kinds. Punctuation tokens are named after their spelling. */
+enum class TokKind
+{
+    Eof,
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    KwVoid,
+    KwInt,
+    KwFloat,
+    KwDouble,
+    KwFor,
+    KwIf,
+    KwElse,
+    KwReturn,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Assign,        // =
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Less,
+    LessEqual,
+    Greater,
+    GreaterEqual,
+    EqualEqual,
+    NotEqual,
+    Question,
+    Colon,
+};
+
+/** A lexed token with source location for diagnostics. */
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+    int column = 0;
+};
+
+/** Tokenize @p source; throws FatalError on malformed input. Comments
+ * (// and block) and #pragma lines are skipped. */
+std::vector<Token> tokenize(const std::string &source);
+
+/** Human-readable token kind name for diagnostics. */
+std::string tokKindName(TokKind kind);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_FRONTEND_LEXER_H

@@ -1,0 +1,467 @@
+#include "frontend/parser.h"
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    CProgram
+    run()
+    {
+        CProgram program;
+        while (peek().kind != TokKind::Eof)
+            program.funcs.push_back(parseFunction());
+        return program;
+    }
+
+  private:
+    const Token &
+    peek(int offset = 0) const
+    {
+        size_t i = pos_ + offset;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    Token
+    advance()
+    {
+        Token tok = peek();
+        if (pos_ + 1 < tokens_.size())
+            ++pos_;
+        return tok;
+    }
+
+    bool
+    check(TokKind kind) const
+    {
+        return peek().kind == kind;
+    }
+
+    bool
+    match(TokKind kind)
+    {
+        if (!check(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    Token
+    expect(TokKind kind, const std::string &context)
+    {
+        if (!check(kind)) {
+            fatal("parse error at line " + std::to_string(peek().line) +
+                  ": expected " + tokKindName(kind) + " " + context +
+                  ", found '" + peek().text + "'");
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        fatal("parse error at line " + std::to_string(peek().line) + ": " +
+              msg);
+    }
+
+    bool
+    isTypeToken(TokKind kind) const
+    {
+        return kind == TokKind::KwInt || kind == TokKind::KwFloat ||
+               kind == TokKind::KwDouble;
+    }
+
+    CType
+    parseType()
+    {
+        Token tok = advance();
+        switch (tok.kind) {
+          case TokKind::KwInt:
+            return CType::Int;
+          case TokKind::KwFloat:
+            return CType::Float;
+          case TokKind::KwDouble:
+            return CType::Double;
+          default:
+            error("expected a type (int/float/double)");
+        }
+    }
+
+    CFunc
+    parseFunction()
+    {
+        if (!match(TokKind::KwVoid))
+            error("HLS kernels must return void (the emitter converts "
+                  "returned values to output pointers)");
+        CFunc func;
+        func.name = expect(TokKind::Identifier, "as function name").text;
+        expect(TokKind::LParen, "after function name");
+        if (!check(TokKind::RParen)) {
+            do {
+                CParam param;
+                param.type = parseType();
+                if (match(TokKind::Star))
+                    error("pointer parameters are not supported; use "
+                          "fixed-size arrays");
+                param.name =
+                    expect(TokKind::Identifier, "as parameter name").text;
+                while (match(TokKind::LBracket)) {
+                    Token dim = expect(TokKind::IntLiteral,
+                                       "as array dimension");
+                    param.dims.push_back(dim.intValue);
+                    expect(TokKind::RBracket, "after array dimension");
+                }
+                func.params.push_back(std::move(param));
+            } while (match(TokKind::Comma));
+        }
+        expect(TokKind::RParen, "after parameters");
+        expect(TokKind::LBrace, "to open function body");
+        func.body = parseStmtList();
+        expect(TokKind::RBrace, "to close function body");
+        return func;
+    }
+
+    std::vector<std::unique_ptr<CStmt>>
+    parseStmtList()
+    {
+        std::vector<std::unique_ptr<CStmt>> stmts;
+        while (!check(TokKind::RBrace) && !check(TokKind::Eof))
+            stmts.push_back(parseStmt());
+        return stmts;
+    }
+
+    std::vector<std::unique_ptr<CStmt>>
+    parseBlockOrSingle()
+    {
+        if (match(TokKind::LBrace)) {
+            auto stmts = parseStmtList();
+            expect(TokKind::RBrace, "to close block");
+            return stmts;
+        }
+        std::vector<std::unique_ptr<CStmt>> stmts;
+        stmts.push_back(parseStmt());
+        return stmts;
+    }
+
+    std::unique_ptr<CStmt>
+    parseStmt()
+    {
+        if (isTypeToken(peek().kind))
+            return parseDecl();
+        if (check(TokKind::KwFor))
+            return parseFor();
+        if (check(TokKind::KwIf))
+            return parseIf();
+        if (check(TokKind::KwReturn)) {
+            auto stmt = std::make_unique<CStmt>();
+            stmt->kind = CStmt::Kind::Return;
+            stmt->line = peek().line;
+            advance();
+            if (!check(TokKind::Semicolon))
+                error("only bare 'return;' is supported in void kernels");
+            expect(TokKind::Semicolon, "after return");
+            return stmt;
+        }
+        return parseAssign();
+    }
+
+    std::unique_ptr<CStmt>
+    parseDecl()
+    {
+        auto stmt = std::make_unique<CStmt>();
+        stmt->kind = CStmt::Kind::Decl;
+        stmt->line = peek().line;
+        stmt->declType = parseType();
+        stmt->name = expect(TokKind::Identifier, "as variable name").text;
+        while (match(TokKind::LBracket)) {
+            Token dim = expect(TokKind::IntLiteral, "as array dimension");
+            stmt->arrayDims.push_back(dim.intValue);
+            expect(TokKind::RBracket, "after array dimension");
+        }
+        if (match(TokKind::Assign)) {
+            if (!stmt->arrayDims.empty())
+                error("array initializers are not supported");
+            stmt->init = parseExpr();
+        }
+        expect(TokKind::Semicolon, "after declaration");
+        return stmt;
+    }
+
+    std::unique_ptr<CStmt>
+    parseAssign()
+    {
+        auto stmt = std::make_unique<CStmt>();
+        stmt->kind = CStmt::Kind::Assign;
+        stmt->line = peek().line;
+        stmt->lhs = parseUnary();
+        if (stmt->lhs->kind != CExpr::Kind::Var &&
+            stmt->lhs->kind != CExpr::Kind::Subscript)
+            error("assignment target must be a variable or array element");
+        if (match(TokKind::Assign))
+            stmt->assignOp = "=";
+        else if (match(TokKind::PlusAssign))
+            stmt->assignOp = "+=";
+        else if (match(TokKind::MinusAssign))
+            stmt->assignOp = "-=";
+        else if (match(TokKind::StarAssign))
+            stmt->assignOp = "*=";
+        else
+            error("expected an assignment operator");
+        stmt->rhs = parseExpr();
+        expect(TokKind::Semicolon, "after assignment");
+        return stmt;
+    }
+
+    std::unique_ptr<CStmt>
+    parseFor()
+    {
+        auto stmt = std::make_unique<CStmt>();
+        stmt->kind = CStmt::Kind::For;
+        stmt->line = peek().line;
+        expect(TokKind::KwFor, "");
+        expect(TokKind::LParen, "after 'for'");
+
+        // Init: `int i = <expr>` or `i = <expr>`.
+        match(TokKind::KwInt);
+        stmt->ivName = expect(TokKind::Identifier,
+                              "as loop induction variable").text;
+        expect(TokKind::Assign, "in loop init");
+        stmt->lowerExpr = parseExpr();
+        expect(TokKind::Semicolon, "after loop init");
+
+        // Condition: `i < <expr>` or `i <= <expr>`.
+        std::string cond_iv =
+            expect(TokKind::Identifier, "in loop condition").text;
+        if (cond_iv != stmt->ivName)
+            error("loop condition must test the induction variable '" +
+                  stmt->ivName + "'");
+        bool inclusive;
+        if (match(TokKind::Less)) {
+            inclusive = false;
+        } else if (match(TokKind::LessEqual)) {
+            inclusive = true;
+        } else {
+            error("loop condition must use '<' or '<='");
+        }
+        stmt->upperExpr = parseExpr();
+        if (inclusive) {
+            // Normalize `i <= e` to `i < e + 1`.
+            auto plus_one = std::make_unique<CExpr>();
+            plus_one->kind = CExpr::Kind::Binary;
+            plus_one->op = "+";
+            plus_one->line = stmt->line;
+            auto one = std::make_unique<CExpr>();
+            one->kind = CExpr::Kind::IntLit;
+            one->intValue = 1;
+            plus_one->children.push_back(std::move(stmt->upperExpr));
+            plus_one->children.push_back(std::move(one));
+            stmt->upperExpr = std::move(plus_one);
+        }
+        expect(TokKind::Semicolon, "after loop condition");
+
+        // Increment: `i++`, `++i`, `i += c`.
+        if (match(TokKind::PlusPlus)) {
+            std::string name =
+                expect(TokKind::Identifier, "after '++'").text;
+            if (name != stmt->ivName)
+                error("loop increment must update the induction variable");
+            stmt->step = 1;
+        } else {
+            std::string name =
+                expect(TokKind::Identifier, "in loop increment").text;
+            if (name != stmt->ivName)
+                error("loop increment must update the induction variable");
+            if (match(TokKind::PlusPlus)) {
+                stmt->step = 1;
+            } else if (match(TokKind::PlusAssign)) {
+                Token step = expect(TokKind::IntLiteral,
+                                    "as constant loop step");
+                stmt->step = step.intValue;
+            } else {
+                error("loop increment must be '++' or '+= <constant>'");
+            }
+        }
+        if (stmt->step <= 0)
+            error("loop step must be positive");
+        expect(TokKind::RParen, "after loop header");
+        stmt->body = parseBlockOrSingle();
+        return stmt;
+    }
+
+    std::unique_ptr<CStmt>
+    parseIf()
+    {
+        auto stmt = std::make_unique<CStmt>();
+        stmt->kind = CStmt::Kind::If;
+        stmt->line = peek().line;
+        expect(TokKind::KwIf, "");
+        expect(TokKind::LParen, "after 'if'");
+        stmt->cond = parseExpr();
+        expect(TokKind::RParen, "after if condition");
+        stmt->body = parseBlockOrSingle();
+        if (match(TokKind::KwElse))
+            stmt->elseBody = parseBlockOrSingle();
+        return stmt;
+    }
+
+    //
+    // Expressions (precedence climbing).
+    //
+
+    std::unique_ptr<CExpr>
+    parseExpr()
+    {
+        return parseTernary();
+    }
+
+    std::unique_ptr<CExpr>
+    parseTernary()
+    {
+        auto cond = parseComparison();
+        if (!match(TokKind::Question))
+            return cond;
+        auto expr = std::make_unique<CExpr>();
+        expr->kind = CExpr::Kind::Ternary;
+        expr->line = peek().line;
+        expr->children.push_back(std::move(cond));
+        expr->children.push_back(parseExpr());
+        expect(TokKind::Colon, "in ternary expression");
+        expr->children.push_back(parseExpr());
+        return expr;
+    }
+
+    std::unique_ptr<CExpr>
+    parseComparison()
+    {
+        auto lhs = parseAdditive();
+        std::string op;
+        if (match(TokKind::Less))
+            op = "<";
+        else if (match(TokKind::LessEqual))
+            op = "<=";
+        else if (match(TokKind::Greater))
+            op = ">";
+        else if (match(TokKind::GreaterEqual))
+            op = ">=";
+        else if (match(TokKind::EqualEqual))
+            op = "==";
+        else if (match(TokKind::NotEqual))
+            op = "!=";
+        else
+            return lhs;
+        auto expr = std::make_unique<CExpr>();
+        expr->kind = CExpr::Kind::Binary;
+        expr->op = op;
+        expr->line = peek().line;
+        expr->children.push_back(std::move(lhs));
+        expr->children.push_back(parseAdditive());
+        return expr;
+    }
+
+    std::unique_ptr<CExpr>
+    parseAdditive()
+    {
+        auto lhs = parseMultiplicative();
+        while (check(TokKind::Plus) || check(TokKind::Minus)) {
+            std::string op = advance().text;
+            auto expr = std::make_unique<CExpr>();
+            expr->kind = CExpr::Kind::Binary;
+            expr->op = op;
+            expr->line = peek().line;
+            expr->children.push_back(std::move(lhs));
+            expr->children.push_back(parseMultiplicative());
+            lhs = std::move(expr);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<CExpr>
+    parseMultiplicative()
+    {
+        auto lhs = parseUnary();
+        while (check(TokKind::Star) || check(TokKind::Slash) ||
+               check(TokKind::Percent)) {
+            std::string op = advance().text;
+            auto expr = std::make_unique<CExpr>();
+            expr->kind = CExpr::Kind::Binary;
+            expr->op = op;
+            expr->line = peek().line;
+            expr->children.push_back(std::move(lhs));
+            expr->children.push_back(parseUnary());
+            lhs = std::move(expr);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<CExpr>
+    parseUnary()
+    {
+        if (check(TokKind::Minus)) {
+            advance();
+            auto expr = std::make_unique<CExpr>();
+            expr->kind = CExpr::Kind::Unary;
+            expr->op = "-";
+            expr->line = peek().line;
+            expr->children.push_back(parseUnary());
+            return expr;
+        }
+        return parsePrimary();
+    }
+
+    std::unique_ptr<CExpr>
+    parsePrimary()
+    {
+        auto expr = std::make_unique<CExpr>();
+        expr->line = peek().line;
+        if (check(TokKind::IntLiteral)) {
+            expr->kind = CExpr::Kind::IntLit;
+            expr->intValue = advance().intValue;
+            return expr;
+        }
+        if (check(TokKind::FloatLiteral)) {
+            expr->kind = CExpr::Kind::FloatLit;
+            expr->floatValue = advance().floatValue;
+            return expr;
+        }
+        if (match(TokKind::LParen)) {
+            auto inner = parseExpr();
+            expect(TokKind::RParen, "after parenthesized expression");
+            return inner;
+        }
+        if (check(TokKind::Identifier)) {
+            std::string name = advance().text;
+            if (check(TokKind::LBracket)) {
+                expr->kind = CExpr::Kind::Subscript;
+                expr->name = name;
+                while (match(TokKind::LBracket)) {
+                    expr->children.push_back(parseExpr());
+                    expect(TokKind::RBracket, "after subscript");
+                }
+                return expr;
+            }
+            expr->kind = CExpr::Kind::Var;
+            expr->name = name;
+            return expr;
+        }
+        error("expected an expression");
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+CProgram
+parseProgram(const std::string &source)
+{
+    return Parser(tokenize(source)).run();
+}
+
+} // namespace scalehls

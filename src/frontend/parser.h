@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Recursive-descent parser for the HLS C subset, producing a small AST that
+ * the IR generator consumes. The subset mirrors what Vivado HLS accepts for
+ * synthesizable kernels: void functions, fixed-size arrays, static control
+ * flow (counted for loops, if/else), and scalar arithmetic.
+ */
+
+#ifndef SCALEHLS_FRONTEND_PARSER_H
+#define SCALEHLS_FRONTEND_PARSER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.h"
+
+namespace scalehls {
+
+/** C scalar types supported by the front-end. */
+enum class CType { Int, Float, Double };
+
+/** Expression AST node. */
+struct CExpr
+{
+    enum class Kind
+    {
+        IntLit,
+        FloatLit,
+        Var,
+        Subscript,
+        Binary,
+        Unary,
+        Ternary,
+    };
+
+    Kind kind;
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::string name; ///< Var name or Subscript base array name.
+    std::string op;   ///< Operator spelling for Binary/Unary ("+", "<", ...).
+    std::vector<std::unique_ptr<CExpr>> children;
+    int line = 0;
+};
+
+/** Statement AST node. */
+struct CStmt
+{
+    enum class Kind { Decl, Assign, For, If, Return };
+
+    Kind kind;
+    int line = 0;
+
+    // Decl
+    CType declType = CType::Int;
+    std::string name;
+    std::vector<int64_t> arrayDims;
+    std::unique_ptr<CExpr> init;
+
+    // Assign ("=", "+=", "-=", "*=")
+    std::unique_ptr<CExpr> lhs;
+    std::string assignOp;
+    std::unique_ptr<CExpr> rhs;
+
+    // For
+    std::string ivName;
+    std::unique_ptr<CExpr> lowerExpr;
+    std::unique_ptr<CExpr> upperExpr; ///< Exclusive after normalization.
+    int64_t step = 1;
+
+    // If
+    std::unique_ptr<CExpr> cond;
+    std::vector<std::unique_ptr<CStmt>> body;
+    std::vector<std::unique_ptr<CStmt>> elseBody;
+};
+
+/** A function parameter: scalar or fixed-size array. */
+struct CParam
+{
+    CType type = CType::Float;
+    std::string name;
+    std::vector<int64_t> dims; ///< Empty for scalars.
+};
+
+/** A parsed function definition. */
+struct CFunc
+{
+    std::string name;
+    std::vector<CParam> params;
+    std::vector<std::unique_ptr<CStmt>> body;
+};
+
+/** A parsed translation unit. */
+struct CProgram
+{
+    std::vector<CFunc> funcs;
+};
+
+/** Parse HLS C source; throws FatalError with a line-located message on
+ * unsupported or malformed constructs. */
+CProgram parseProgram(const std::string &source);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_FRONTEND_PARSER_H

@@ -1,0 +1,452 @@
+#include "ir/affine_expr.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+AffineExpr
+makeNode(AffineExprKind kind, int64_t value, AffineExpr lhs, AffineExpr rhs)
+{
+    auto node = std::make_shared<AffineExprNode>();
+    node->kind = kind;
+    node->value = value;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return AffineExpr(std::move(node));
+}
+
+} // namespace
+
+AffineExprKind
+AffineExpr::kind() const
+{
+    assert(node_ && "null affine expression");
+    return node_->kind;
+}
+
+int64_t
+AffineExpr::constantValue() const
+{
+    assert(kind() == AffineExprKind::Constant);
+    return node_->value;
+}
+
+unsigned
+AffineExpr::position() const
+{
+    assert(kind() == AffineExprKind::DimId ||
+           kind() == AffineExprKind::SymbolId);
+    return static_cast<unsigned>(node_->value);
+}
+
+AffineExpr
+AffineExpr::lhs() const
+{
+    return node_->lhs;
+}
+
+AffineExpr
+AffineExpr::rhs() const
+{
+    return node_->rhs;
+}
+
+bool
+AffineExpr::isConstantEqual(int64_t v) const
+{
+    return isConstant() && constantValue() == v;
+}
+
+bool
+AffineExpr::equals(const AffineExpr &other) const
+{
+    if (node_ == other.node_)
+        return true;
+    if (!node_ || !other.node_)
+        return false;
+    if (kind() != other.kind())
+        return false;
+    switch (kind()) {
+      case AffineExprKind::Constant:
+      case AffineExprKind::DimId:
+      case AffineExprKind::SymbolId:
+        return node_->value == other.node_->value;
+      default:
+        return lhs().equals(other.lhs()) && rhs().equals(other.rhs());
+    }
+}
+
+int64_t
+AffineExpr::evaluate(const std::vector<int64_t> &dims,
+                     const std::vector<int64_t> &symbols) const
+{
+    switch (kind()) {
+      case AffineExprKind::Constant:
+        return node_->value;
+      case AffineExprKind::DimId:
+        assert(position() < dims.size() && "dim value missing");
+        return dims[position()];
+      case AffineExprKind::SymbolId:
+        assert(position() < symbols.size() && "symbol value missing");
+        return symbols[position()];
+      case AffineExprKind::Add:
+        return lhs().evaluate(dims, symbols) + rhs().evaluate(dims, symbols);
+      case AffineExprKind::Mul:
+        return lhs().evaluate(dims, symbols) * rhs().evaluate(dims, symbols);
+      case AffineExprKind::Mod:
+        return euclidMod(lhs().evaluate(dims, symbols),
+                         rhs().evaluate(dims, symbols));
+      case AffineExprKind::FloorDiv:
+        return floorDiv(lhs().evaluate(dims, symbols),
+                        rhs().evaluate(dims, symbols));
+      case AffineExprKind::CeilDiv: {
+        int64_t a = lhs().evaluate(dims, symbols);
+        int64_t b = rhs().evaluate(dims, symbols);
+        return -floorDiv(-a, b);
+      }
+    }
+    assert(false && "unreachable");
+    return 0;
+}
+
+AffineExpr
+AffineExpr::replaceDimsAndSymbols(const std::vector<AffineExpr> &dims,
+                                  const std::vector<AffineExpr> &symbols) const
+{
+    switch (kind()) {
+      case AffineExprKind::Constant:
+        return *this;
+      case AffineExprKind::DimId:
+        if (position() < dims.size() && dims[position()])
+            return dims[position()];
+        return *this;
+      case AffineExprKind::SymbolId:
+        if (position() < symbols.size() && symbols[position()])
+            return symbols[position()];
+        return *this;
+      default:
+        return getAffineBinaryExpr(
+            kind(), lhs().replaceDimsAndSymbols(dims, symbols),
+            rhs().replaceDimsAndSymbols(dims, symbols));
+    }
+}
+
+AffineExpr
+AffineExpr::shiftDims(unsigned offset) const
+{
+    switch (kind()) {
+      case AffineExprKind::Constant:
+      case AffineExprKind::SymbolId:
+        return *this;
+      case AffineExprKind::DimId:
+        return getAffineDimExpr(position() + offset);
+      default:
+        return getAffineBinaryExpr(kind(), lhs().shiftDims(offset),
+                                   rhs().shiftDims(offset));
+    }
+}
+
+bool
+AffineExpr::involvesDim(unsigned pos) const
+{
+    switch (kind()) {
+      case AffineExprKind::Constant:
+      case AffineExprKind::SymbolId:
+        return false;
+      case AffineExprKind::DimId:
+        return position() == pos;
+      default:
+        return lhs().involvesDim(pos) || rhs().involvesDim(pos);
+    }
+}
+
+int
+AffineExpr::maxDimPosition() const
+{
+    switch (kind()) {
+      case AffineExprKind::Constant:
+      case AffineExprKind::SymbolId:
+        return -1;
+      case AffineExprKind::DimId:
+        return static_cast<int>(position());
+      default:
+        return std::max(lhs().maxDimPosition(), rhs().maxDimPosition());
+    }
+}
+
+namespace {
+
+/** Accumulate scale * e into a dense coefficient map. */
+bool
+accumulateLinear(const AffineExpr &e, int64_t scale,
+                 std::map<unsigned, int64_t> &coeffs, int64_t &constant)
+{
+    switch (e.kind()) {
+      case AffineExprKind::Constant:
+        constant += scale * e.constantValue();
+        return true;
+      case AffineExprKind::DimId:
+        coeffs[e.position()] += scale;
+        return true;
+      case AffineExprKind::SymbolId:
+        return false;
+      case AffineExprKind::Add:
+        return accumulateLinear(e.lhs(), scale, coeffs, constant) &&
+               accumulateLinear(e.rhs(), scale, coeffs, constant);
+      case AffineExprKind::Mul:
+        if (e.rhs().isConstant())
+            return accumulateLinear(
+                e.lhs(), scale * e.rhs().constantValue(), coeffs, constant);
+        if (e.lhs().isConstant())
+            return accumulateLinear(
+                e.rhs(), scale * e.lhs().constantValue(), coeffs, constant);
+        return false;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+AffineExpr::linearForm(std::vector<std::pair<unsigned, int64_t>> &coeffs,
+                       int64_t &constant) const
+{
+    const AffineExprNode &n = node();
+    if (!n.linComputed) {
+        n.linComputed = true;
+        std::map<unsigned, int64_t> dense;
+        int64_t c = 0;
+        if (accumulateLinear(*this, 1, dense, c)) {
+            n.linValid = true;
+            n.linConst = c;
+            for (const auto &[pos, coeff] : dense)
+                if (coeff != 0)
+                    n.linCoeffs.emplace_back(pos, coeff);
+        }
+    }
+    if (!n.linValid)
+        return false;
+    coeffs = n.linCoeffs;
+    constant = n.linConst;
+    return true;
+}
+
+std::optional<std::vector<int64_t>>
+AffineExpr::linearCoefficients(unsigned num_dims) const
+{
+    std::vector<std::pair<unsigned, int64_t>> sparse;
+    int64_t constant = 0;
+    if (!linearForm(sparse, constant))
+        return std::nullopt;
+    std::vector<int64_t> coeffs(num_dims + 1, 0);
+    for (const auto &[pos, coeff] : sparse) {
+        if (pos >= num_dims)
+            return std::nullopt;
+        coeffs[pos] = coeff;
+    }
+    coeffs.back() = constant;
+    return coeffs;
+}
+
+std::string
+AffineExpr::toString() const
+{
+    std::ostringstream os;
+    switch (kind()) {
+      case AffineExprKind::Constant:
+        os << constantValue();
+        break;
+      case AffineExprKind::DimId:
+        os << "d" << position();
+        break;
+      case AffineExprKind::SymbolId:
+        os << "s" << position();
+        break;
+      case AffineExprKind::Add:
+        os << lhs().toString() << " + " << rhs().toString();
+        break;
+      case AffineExprKind::Mul:
+        os << "(" << lhs().toString() << ") * (" << rhs().toString() << ")";
+        break;
+      case AffineExprKind::Mod:
+        os << "(" << lhs().toString() << ") mod " << rhs().toString();
+        break;
+      case AffineExprKind::FloorDiv:
+        os << "(" << lhs().toString() << ") floordiv " << rhs().toString();
+        break;
+      case AffineExprKind::CeilDiv:
+        os << "(" << lhs().toString() << ") ceildiv " << rhs().toString();
+        break;
+    }
+    return os.str();
+}
+
+std::optional<int64_t>
+constantDiff(const AffineExpr &a, const AffineExpr &b)
+{
+    std::vector<std::pair<unsigned, int64_t>> ca, cb;
+    int64_t const_a = 0, const_b = 0;
+    if (a.linearForm(ca, const_a) && b.linearForm(cb, const_b)) {
+        if (ca != cb)
+            return std::nullopt;
+        return const_a - const_b;
+    }
+    if (a.equals(b))
+        return 0;
+    return std::nullopt;
+}
+
+AffineExpr
+getAffineConstantExpr(int64_t value)
+{
+    return makeNode(AffineExprKind::Constant, value, {}, {});
+}
+
+AffineExpr
+getAffineDimExpr(unsigned position)
+{
+    return makeNode(AffineExprKind::DimId, position, {}, {});
+}
+
+AffineExpr
+getAffineSymbolExpr(unsigned position)
+{
+    return makeNode(AffineExprKind::SymbolId, position, {}, {});
+}
+
+AffineExpr
+getAffineBinaryExpr(AffineExprKind kind, AffineExpr lhs, AffineExpr rhs)
+{
+    assert(lhs && rhs && "null operand to affine binary expression");
+
+    // Constant folding.
+    if (lhs.isConstant() && rhs.isConstant()) {
+        int64_t a = lhs.constantValue();
+        int64_t b = rhs.constantValue();
+        switch (kind) {
+          case AffineExprKind::Add:
+            return getAffineConstantExpr(a + b);
+          case AffineExprKind::Mul:
+            return getAffineConstantExpr(a * b);
+          case AffineExprKind::Mod:
+            assert(b != 0 && "mod by zero");
+            return getAffineConstantExpr(euclidMod(a, b));
+          case AffineExprKind::FloorDiv:
+            assert(b != 0 && "div by zero");
+            return getAffineConstantExpr(floorDiv(a, b));
+          case AffineExprKind::CeilDiv:
+            assert(b != 0 && "div by zero");
+            return getAffineConstantExpr(-floorDiv(-a, b));
+          default:
+            break;
+        }
+    }
+
+    switch (kind) {
+      case AffineExprKind::Add:
+        if (lhs.isConstantEqual(0))
+            return rhs;
+        if (rhs.isConstantEqual(0))
+            return lhs;
+        // Canonicalize constants to the right.
+        if (lhs.isConstant() && !rhs.isConstant())
+            std::swap(lhs, rhs);
+        // Fold (x + c1) + c2 -> x + (c1 + c2).
+        if (rhs.isConstant() && lhs.kind() == AffineExprKind::Add &&
+            lhs.rhs().isConstant()) {
+            return lhs.lhs() + (lhs.rhs().constantValue() +
+                                rhs.constantValue());
+        }
+        break;
+      case AffineExprKind::Mul:
+        if (lhs.isConstantEqual(1))
+            return rhs;
+        if (rhs.isConstantEqual(1))
+            return lhs;
+        if (lhs.isConstantEqual(0) || rhs.isConstantEqual(0))
+            return getAffineConstantExpr(0);
+        if (lhs.isConstant() && !rhs.isConstant())
+            std::swap(lhs, rhs);
+        break;
+      case AffineExprKind::Mod:
+        if (rhs.isConstantEqual(1))
+            return getAffineConstantExpr(0);
+        break;
+      case AffineExprKind::FloorDiv:
+      case AffineExprKind::CeilDiv:
+        if (rhs.isConstantEqual(1))
+            return lhs;
+        break;
+      default:
+        break;
+    }
+    return makeNode(kind, 0, std::move(lhs), std::move(rhs));
+}
+
+AffineExpr
+operator+(AffineExpr lhs, AffineExpr rhs)
+{
+    return getAffineBinaryExpr(AffineExprKind::Add, std::move(lhs),
+                               std::move(rhs));
+}
+
+AffineExpr
+operator+(AffineExpr lhs, int64_t rhs)
+{
+    return std::move(lhs) + getAffineConstantExpr(rhs);
+}
+
+AffineExpr
+operator-(AffineExpr lhs, AffineExpr rhs)
+{
+    return std::move(lhs) + std::move(rhs) * getAffineConstantExpr(-1);
+}
+
+AffineExpr
+operator-(AffineExpr lhs, int64_t rhs)
+{
+    return std::move(lhs) + (-rhs);
+}
+
+AffineExpr
+operator*(AffineExpr lhs, AffineExpr rhs)
+{
+    return getAffineBinaryExpr(AffineExprKind::Mul, std::move(lhs),
+                               std::move(rhs));
+}
+
+AffineExpr
+operator*(AffineExpr lhs, int64_t rhs)
+{
+    return std::move(lhs) * getAffineConstantExpr(rhs);
+}
+
+AffineExpr
+affineMod(AffineExpr lhs, int64_t rhs)
+{
+    return getAffineBinaryExpr(AffineExprKind::Mod, std::move(lhs),
+                               getAffineConstantExpr(rhs));
+}
+
+AffineExpr
+affineFloorDiv(AffineExpr lhs, int64_t rhs)
+{
+    return getAffineBinaryExpr(AffineExprKind::FloorDiv, std::move(lhs),
+                               getAffineConstantExpr(rhs));
+}
+
+AffineExpr
+affineCeilDiv(AffineExpr lhs, int64_t rhs)
+{
+    return getAffineBinaryExpr(AffineExprKind::CeilDiv, std::move(lhs),
+                               getAffineConstantExpr(rhs));
+}
+
+} // namespace scalehls

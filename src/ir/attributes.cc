@@ -1,0 +1,45 @@
+#include "ir/attributes.h"
+
+#include <sstream>
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+std::string
+Attribute::toString() const
+{
+    std::ostringstream os;
+    if (is<bool>()) {
+        os << (getBool() ? "true" : "false");
+    } else if (is<int64_t>()) {
+        os << getInt();
+    } else if (is<double>()) {
+        os << getFloat();
+    } else if (is<std::string>()) {
+        os << '"' << getString() << '"';
+    } else if (is<std::vector<int64_t>>()) {
+        os << "[" << join(getIntArray(), ", ") << "]";
+    } else if (is<AffineMap>()) {
+        os << "affine_map<" << getAffineMap().toString() << ">";
+    } else if (is<IntegerSet>()) {
+        os << "affine_set<" << getIntegerSet().toString() << ">";
+    } else if (is<Type>()) {
+        os << getType().toString();
+    } else if (is<FuncDirective>()) {
+        const auto &d = getFuncDirective();
+        os << "#hlscpp.func_directive<dataflow=" << d.dataflow
+           << ", pipeline=" << d.pipeline << ", targetII=" << d.targetII
+           << ">";
+    } else if (is<LoopDirective>()) {
+        const auto &d = getLoopDirective();
+        os << "#hlscpp.loop_directive<pipeline=" << d.pipeline
+           << ", targetII=" << d.targetII << ", dataflow=" << d.dataflow
+           << ", flatten=" << d.flatten << ">";
+    } else {
+        os << "<<null>>";
+    }
+    return os.str();
+}
+
+} // namespace scalehls

@@ -1,0 +1,2 @@
+// OpBuilder is header-only; this file anchors the translation unit.
+#include "ir/builder.h"

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * OpBuilder: creates operations at a maintained insertion point.
+ */
+
+#ifndef SCALEHLS_IR_BUILDER_H
+#define SCALEHLS_IR_BUILDER_H
+
+#include "ir/ir.h"
+
+namespace scalehls {
+
+/** Builds operations at an insertion point (a block plus an optional
+ * "insert before" anchor; no anchor means append at the end). */
+class OpBuilder
+{
+  public:
+    OpBuilder() = default;
+    explicit OpBuilder(Block *block, Operation *before = nullptr)
+        : block_(block), before_(before)
+    {}
+
+    /** Insert at the start of @p block. */
+    void setInsertionPointToStart(Block *block)
+    {
+        block_ = block;
+        before_ = block->empty() ? nullptr : block->front();
+    }
+    /** Insert at the end of @p block. */
+    void setInsertionPointToEnd(Block *block)
+    {
+        block_ = block;
+        before_ = nullptr;
+    }
+    /** Insert immediately before @p op. */
+    void setInsertionPoint(Operation *op)
+    {
+        block_ = op->parentBlock();
+        before_ = op;
+    }
+    /** Insert immediately after @p op. */
+    void setInsertionPointAfter(Operation *op)
+    {
+        block_ = op->parentBlock();
+        before_ = op->nextOp();
+    }
+
+    Block *insertionBlock() const { return block_; }
+
+    /** Insert a detached op at the insertion point. */
+    Operation *insert(std::unique_ptr<Operation> op)
+    {
+        assert(block_ && "no insertion point set");
+        return block_->insertBefore(before_, std::move(op));
+    }
+
+    /** Create and insert an op. */
+    Operation *create(std::string name, std::vector<Type> result_types,
+                      std::vector<Value *> operands, AttrMap attrs = {},
+                      unsigned num_regions = 0)
+    {
+        return insert(Operation::create(std::move(name),
+                                        std::move(result_types),
+                                        std::move(operands),
+                                        std::move(attrs), num_regions));
+    }
+
+  private:
+    Block *block_ = nullptr;
+    Operation *before_ = nullptr;
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_IR_BUILDER_H

@@ -1,0 +1,54 @@
+#include "ir/integer_set.h"
+
+#include <sstream>
+
+namespace scalehls {
+
+IntegerSet
+IntegerSet::get(unsigned num_dims, AffineExpr constraint, bool is_eq)
+{
+    return IntegerSet(num_dims, {std::move(constraint)}, {is_eq});
+}
+
+bool
+IntegerSet::evaluate(const std::vector<int64_t> &dims) const
+{
+    for (unsigned i = 0; i < numConstraints(); ++i) {
+        int64_t v = constraints_[i].evaluate(dims);
+        if (eqFlags_[i] ? (v != 0) : (v < 0))
+            return false;
+    }
+    return true;
+}
+
+bool
+IntegerSet::equals(const IntegerSet &other) const
+{
+    if (numDims_ != other.numDims_ ||
+        numConstraints() != other.numConstraints())
+        return false;
+    for (unsigned i = 0; i < numConstraints(); ++i) {
+        if (eqFlags_[i] != other.eqFlags_[i] ||
+            !constraints_[i].equals(other.constraints_[i]))
+            return false;
+    }
+    return true;
+}
+
+std::string
+IntegerSet::toString() const
+{
+    std::ostringstream os;
+    os << "(";
+    for (unsigned i = 0; i < numDims_; ++i)
+        os << (i ? ", " : "") << "d" << i;
+    os << ") : (";
+    for (unsigned i = 0; i < numConstraints(); ++i) {
+        os << (i ? ", " : "") << constraints_[i].toString()
+           << (eqFlags_[i] ? " == 0" : " >= 0");
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace scalehls

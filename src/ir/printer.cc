@@ -1,0 +1,334 @@
+#include "ir/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "dialect/ops.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+std::string
+renderAffineExpr(const AffineExpr &expr,
+                 const std::vector<std::string> &dim_names)
+{
+    std::ostringstream os;
+    switch (expr.kind()) {
+      case AffineExprKind::Constant:
+        os << expr.constantValue();
+        break;
+      case AffineExprKind::DimId:
+        if (expr.position() < dim_names.size())
+            os << dim_names[expr.position()];
+        else
+            os << "d" << expr.position();
+        break;
+      case AffineExprKind::SymbolId:
+        os << "s" << expr.position();
+        break;
+      case AffineExprKind::Add: {
+        // Render `a + (-c)` as `a - c` for readability.
+        std::string lhs = renderAffineExpr(expr.lhs(), dim_names);
+        if (expr.rhs().isConstant() && expr.rhs().constantValue() < 0) {
+            os << lhs << " - " << -expr.rhs().constantValue();
+        } else {
+            os << lhs << " + " << renderAffineExpr(expr.rhs(), dim_names);
+        }
+        break;
+      }
+      case AffineExprKind::Mul:
+        os << "(" << renderAffineExpr(expr.lhs(), dim_names) << ") * ("
+           << renderAffineExpr(expr.rhs(), dim_names) << ")";
+        break;
+      case AffineExprKind::Mod:
+        os << "(" << renderAffineExpr(expr.lhs(), dim_names) << ") mod "
+           << renderAffineExpr(expr.rhs(), dim_names);
+        break;
+      case AffineExprKind::FloorDiv:
+        os << "(" << renderAffineExpr(expr.lhs(), dim_names) << ") floordiv "
+           << renderAffineExpr(expr.rhs(), dim_names);
+        break;
+      case AffineExprKind::CeilDiv:
+        os << "(" << renderAffineExpr(expr.lhs(), dim_names) << ") ceildiv "
+           << renderAffineExpr(expr.rhs(), dim_names);
+        break;
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Stateful printer with SSA value naming. */
+class Printer
+{
+  public:
+    explicit Printer(std::ostream &os) : os_(os) {}
+
+    void
+    print(Operation *op, int indent)
+    {
+        if (op->is(ops::Module)) {
+            line(indent) << "module {\n";
+            for (auto &nested : op->region(0).front().ops())
+                print(nested.get(), indent + 1);
+            line(indent) << "}\n";
+            return;
+        }
+        if (op->is(ops::Func)) {
+            printFunc(op, indent);
+            return;
+        }
+        if (op->is(ops::AffineFor)) {
+            printAffineFor(op, indent);
+            return;
+        }
+        if (op->is(ops::AffineIf)) {
+            printAffineIf(op, indent);
+            return;
+        }
+        if (op->is(ops::AffineLoad)) {
+            AffineLoadOp load(op);
+            line(indent) << name(op->result(0)) << " = affine.load "
+                         << name(load.memref())
+                         << renderSubscripts(load.map(), load.mapOperands())
+                         << " : " << op->result(0)->type().toString() << "\n";
+            return;
+        }
+        if (op->is(ops::AffineStore)) {
+            AffineStoreOp store(op);
+            line(indent) << "affine.store " << name(store.value()) << ", "
+                         << name(store.memref())
+                         << renderSubscripts(store.map(),
+                                             store.mapOperands())
+                         << "\n";
+            return;
+        }
+        if (op->is(ops::ScfFor)) {
+            ScfForOp forOp(op);
+            std::string iv = defineName(forOp.inductionVar(), "i");
+            line(indent) << "scf.for " << iv << " = "
+                         << name(forOp.lowerBound()) << " to "
+                         << name(forOp.upperBound()) << " step "
+                         << name(forOp.step()) << " {\n";
+            for (auto &nested : forOp.body()->ops())
+                print(nested.get(), indent + 1);
+            line(indent) << "}\n";
+            return;
+        }
+        if (op->is(ops::ScfIf)) {
+            line(indent) << "scf.if " << name(op->operand(0)) << " {\n";
+            for (auto &nested : op->region(0).front().ops())
+                print(nested.get(), indent + 1);
+            if (!op->region(1).empty()) {
+                line(indent) << "} else {\n";
+                for (auto &nested : op->region(1).front().ops())
+                    print(nested.get(), indent + 1);
+            }
+            line(indent) << "}\n";
+            return;
+        }
+        printGeneric(op, indent);
+    }
+
+  private:
+    std::ostream &
+    line(int indent)
+    {
+        for (int i = 0; i < indent; ++i)
+            os_ << "  ";
+        return os_;
+    }
+
+    std::string
+    defineName(Value *v, const std::string &prefix)
+    {
+        auto it = names_.find(v);
+        if (it != names_.end())
+            return it->second;
+        std::string n = "%" + prefix + std::to_string(counters_[prefix]++);
+        names_[v] = n;
+        return n;
+    }
+
+    std::string
+    name(Value *v)
+    {
+        if (!v)
+            return "%<null>";
+        auto it = names_.find(v);
+        if (it != names_.end())
+            return it->second;
+        return defineName(v, "");
+    }
+
+    std::vector<std::string>
+    names(const std::vector<Value *> &values)
+    {
+        std::vector<std::string> out;
+        out.reserve(values.size());
+        for (Value *v : values)
+            out.push_back(name(v));
+        return out;
+    }
+
+    std::string
+    renderSubscripts(const AffineMap &map,
+                     const std::vector<Value *> &operands)
+    {
+        auto dim_names = names(operands);
+        std::ostringstream os;
+        os << "[";
+        for (unsigned i = 0; i < map.numResults(); ++i)
+            os << (i ? ", " : "")
+               << renderAffineExpr(map.result(i), dim_names);
+        os << "]";
+        return os.str();
+    }
+
+    std::string
+    renderBound(const AffineMap &map, const std::vector<Value *> &operands,
+                bool is_upper)
+    {
+        if (map.numResults() == 1 && map.isConstant())
+            return std::to_string(map.singleConstantResult());
+        auto dim_names = names(operands);
+        std::ostringstream os;
+        if (map.numResults() > 1)
+            os << (is_upper ? "min" : "max");
+        os << "(";
+        for (unsigned i = 0; i < map.numResults(); ++i)
+            os << (i ? ", " : "")
+               << renderAffineExpr(map.result(i), dim_names);
+        os << ")";
+        return os.str();
+    }
+
+    void
+    printFunc(Operation *op, int indent)
+    {
+        Block *body = funcBody(op);
+        line(indent) << "func @" << op->attr(kSymName).getString() << "(";
+        for (unsigned i = 0; i < body->numArguments(); ++i) {
+            Value *arg = body->argument(i);
+            os_ << (i ? ", " : "") << defineName(arg, "arg") << ": "
+                << arg->type().toString();
+        }
+        os_ << ")";
+        printExtraAttrs(op, {kSymName});
+        os_ << " {\n";
+        for (auto &nested : body->ops())
+            print(nested.get(), indent + 1);
+        line(indent) << "}\n";
+    }
+
+    void
+    printAffineFor(Operation *op, int indent)
+    {
+        AffineForOp forOp(op);
+        std::string iv = defineName(forOp.inductionVar(), "i");
+        line(indent) << "affine.for " << iv << " = "
+                     << renderBound(forOp.lowerBoundMap(),
+                                    forOp.lowerBoundOperands(), false)
+                     << " to "
+                     << renderBound(forOp.upperBoundMap(),
+                                    forOp.upperBoundOperands(), true);
+        if (forOp.step() != 1)
+            os_ << " step " << forOp.step();
+        os_ << " {\n";
+        for (auto &nested : forOp.body()->ops())
+            print(nested.get(), indent + 1);
+        line(indent) << "}";
+        printExtraAttrs(op, {kLowerMap, kUpperMap, kLbCount, kStep});
+        os_ << "\n";
+    }
+
+    void
+    printAffineIf(Operation *op, int indent)
+    {
+        AffineIfOp ifOp(op);
+        IntegerSet set = ifOp.condition();
+        auto dim_names = names(ifOp.conditionOperands());
+        line(indent) << "affine.if (";
+        for (unsigned i = 0; i < set.numConstraints(); ++i) {
+            os_ << (i ? " && " : "")
+                << renderAffineExpr(set.constraint(i), dim_names)
+                << (set.isEq(i) ? " == 0" : " >= 0");
+        }
+        os_ << ") {\n";
+        for (auto &nested : ifOp.thenBlock()->ops())
+            print(nested.get(), indent + 1);
+        if (ifOp.hasElse()) {
+            line(indent) << "} else {\n";
+            for (auto &nested : ifOp.elseBlock()->ops())
+                print(nested.get(), indent + 1);
+        }
+        line(indent) << "}\n";
+    }
+
+    void
+    printGeneric(Operation *op, int indent)
+    {
+        line(indent);
+        for (unsigned i = 0; i < op->numResults(); ++i)
+            os_ << (i ? ", " : "") << defineName(op->result(i), "") ;
+        if (op->numResults())
+            os_ << " = ";
+        os_ << op->name();
+        for (unsigned i = 0; i < op->numOperands(); ++i)
+            os_ << (i ? "," : "") << " " << name(op->operand(i));
+        printExtraAttrs(op, {});
+        if (op->numResults()) {
+            os_ << " : ";
+            for (unsigned i = 0; i < op->numResults(); ++i)
+                os_ << (i ? ", " : "") << op->result(i)->type().toString();
+        }
+        // Generic regions (rare: scf.if handled above).
+        if (op->numRegions()) {
+            os_ << " {\n";
+            for (unsigned r = 0; r < op->numRegions(); ++r)
+                for (auto &block : op->region(r).blocks())
+                    for (auto &nested : block->ops())
+                        print(nested.get(), indent + 1);
+            line(indent) << "}";
+        }
+        os_ << "\n";
+    }
+
+    void
+    printExtraAttrs(Operation *op, const std::vector<std::string> &hidden)
+    {
+        std::vector<std::string> parts;
+        for (const auto &[key, value] : op->attrs()) {
+            bool skip = false;
+            for (const auto &h : hidden)
+                skip |= (key == h);
+            if (skip)
+                continue;
+            parts.push_back(key + " = " + value.toString());
+        }
+        if (!parts.empty())
+            os_ << " {" << join(parts, ", ") << "}";
+    }
+
+    std::ostream &os_;
+    std::unordered_map<Value *, std::string> names_;
+    std::unordered_map<std::string, int> counters_;
+};
+
+} // namespace
+
+void
+printOp(Operation *op, std::ostream &os)
+{
+    Printer(os).print(op, 0);
+}
+
+std::string
+printOp(Operation *op)
+{
+    std::ostringstream os;
+    printOp(op, os);
+    return os.str();
+}
+
+} // namespace scalehls

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Textual IR printing (MLIR-flavoured pretty forms for structured ops,
+ * generic form for everything else). Used by tests, examples and debugging.
+ */
+
+#ifndef SCALEHLS_IR_PRINTER_H
+#define SCALEHLS_IR_PRINTER_H
+
+#include <ostream>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace scalehls {
+
+/** Print @p op (recursively) to @p os. */
+void printOp(Operation *op, std::ostream &os);
+
+/** Print to a string. */
+std::string printOp(Operation *op);
+
+/** Render an affine expression with the given dim-operand names
+ * (e.g. "%i + 1" instead of "d0 + 1"). */
+std::string renderAffineExpr(const AffineExpr &expr,
+                             const std::vector<std::string> &dim_names);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_IR_PRINTER_H

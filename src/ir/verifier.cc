@@ -1,0 +1,230 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "dialect/graph_ops.h"
+#include "dialect/ops.h"
+
+namespace scalehls {
+
+namespace {
+
+class Verifier
+{
+  public:
+    std::vector<std::string> errors;
+
+    void
+    error(Operation *op, const std::string &msg)
+    {
+        errors.push_back("'" + op->name() + "': " + msg);
+    }
+
+    /** True if @p value is visible at @p user: defined as a block argument
+     * of an enclosing block, or by an op earlier in an enclosing block. */
+    bool
+    dominates(Value *value, Operation *user)
+    {
+        if (Block *owner = value->ownerBlock()) {
+            // Block argument: user must be nested in the owner block.
+            for (Block *b = user->parentBlock(); b;) {
+                if (b == owner)
+                    return true;
+                Operation *parent = b->parentOp();
+                b = parent ? parent->parentBlock() : nullptr;
+            }
+            return false;
+        }
+        Operation *def = value->definingOp();
+        // Walk up from user to find the ancestor sharing def's block.
+        for (Operation *u = user; u; u = u->parentOp()) {
+            if (u->parentBlock() == def->parentBlock())
+                return def == u ? false : def->isBeforeInBlock(u);
+        }
+        return false;
+    }
+
+    void
+    verifyOperation(Operation *op)
+    {
+        for (unsigned i = 0; i < op->numOperands(); ++i) {
+            Value *v = op->operand(i);
+            if (!v) {
+                error(op, "null operand #" + std::to_string(i));
+                continue;
+            }
+            if (op->parentBlock() && !dominates(v, op))
+                error(op, "operand #" + std::to_string(i) +
+                              " does not dominate its use");
+        }
+
+        if (op->is(ops::AffineFor)) {
+            verifyAffineFor(op);
+        } else if (op->is(ops::AffineIf)) {
+            verifyAffineIf(op);
+        } else if (op->is(ops::AffineLoad) || op->is(ops::AffineStore)) {
+            verifyAffineAccess(op);
+        } else if (op->is(ops::Func)) {
+            verifyFunc(op);
+        } else if (op->is(ops::ScfFor)) {
+            verifyScfFor(op);
+        } else if (op->dialect() == "arith" && op->numOperands() == 2 &&
+                   op->numResults() == 1 && !op->is(ops::CmpI) &&
+                   !op->is(ops::CmpF)) {
+            if (op->operand(0) && op->operand(1) &&
+                op->operand(0)->type() != op->operand(1)->type())
+                error(op, "binary op operand type mismatch");
+        }
+    }
+
+    void
+    verifyAffineFor(Operation *op)
+    {
+        if (op->numRegions() != 1 || op->region(0).size() != 1) {
+            error(op, "affine.for must have a single-block region");
+            return;
+        }
+        AffineForOp forOp(op);
+        Block *body = forOp.body();
+        if (body->numArguments() != 1 ||
+            !body->argument(0)->type().isIndex())
+            error(op, "affine.for body must have one index argument");
+        if (!op->attr(kLowerMap).is<AffineMap>() ||
+            !op->attr(kUpperMap).is<AffineMap>())
+            error(op, "affine.for requires bound maps");
+        else {
+            unsigned total = forOp.lowerBoundMap().numDims() +
+                             forOp.upperBoundMap().numDims();
+            if (total != op->numOperands())
+                error(op, "affine.for bound operand count mismatch");
+        }
+        if (!op->attr(kStep).is<int64_t>() || forOp.step() <= 0)
+            error(op, "affine.for requires a positive constant step");
+        for (Value *v : op->operands())
+            if (v && !v->type().isIntOrIndex())
+                error(op, "affine.for bound operands must be index values");
+    }
+
+    void
+    verifyAffineIf(Operation *op)
+    {
+        if (op->numRegions() != 2) {
+            error(op, "affine.if must have then and else regions");
+            return;
+        }
+        if (!op->attr(kCondition).is<IntegerSet>()) {
+            error(op, "affine.if requires an IntegerSet condition");
+            return;
+        }
+        AffineIfOp ifOp(op);
+        if (ifOp.condition().numDims() != op->numOperands())
+            error(op, "affine.if operand count must match set dims");
+        if (op->region(0).empty())
+            error(op, "affine.if requires a then block");
+    }
+
+    void
+    verifyAffineAccess(Operation *op)
+    {
+        bool is_load = op->is(ops::AffineLoad);
+        unsigned memref_idx = is_load ? 0 : 1;
+        if (op->numOperands() <= memref_idx) {
+            error(op, "missing memref operand");
+            return;
+        }
+        Value *memref = op->operand(memref_idx);
+        if (!memref || !memref->type().isMemRef()) {
+            error(op, "expected memref operand");
+            return;
+        }
+        if (!op->attr(kMap).is<AffineMap>()) {
+            error(op, "affine access requires a map attribute");
+            return;
+        }
+        AffineMap map = op->attr(kMap).getAffineMap();
+        if (map.numResults() != memref->type().rank())
+            error(op, "access map result count must equal memref rank");
+        unsigned num_map_operands = op->numOperands() - memref_idx - 1;
+        if (map.numDims() != num_map_operands)
+            error(op, "access map dim count must equal map operand count");
+        if (is_load &&
+            op->result(0)->type() != memref->type().elementType())
+            error(op, "load result type must match memref element type");
+        if (!is_load &&
+            op->operand(0)->type() != memref->type().elementType())
+            error(op, "stored value type must match memref element type");
+    }
+
+    void
+    verifyFunc(Operation *op)
+    {
+        if (op->numRegions() != 1 || op->region(0).size() != 1) {
+            error(op, "func must have a single-block body");
+            return;
+        }
+        Block *body = funcBody(op);
+        if (body->empty() || !body->back()->is(ops::Return))
+            error(op, "func body must end with func.return");
+        if (!op->attr(kSymName).is<std::string>())
+            error(op, "func requires sym_name");
+    }
+
+    void
+    verifyScfFor(Operation *op)
+    {
+        if (op->numOperands() != 3)
+            error(op, "scf.for requires lb, ub, step operands");
+        if (op->numRegions() != 1 || op->region(0).size() != 1)
+            error(op, "scf.for must have a single-block region");
+    }
+
+    void
+    verifyModule(Operation *module)
+    {
+        std::set<std::string> names;
+        for (auto &op : module->region(0).front().ops()) {
+            if (!op->is(ops::Func)) {
+                error(op.get(), "modules may only contain functions");
+                continue;
+            }
+            std::string name = funcName(op.get());
+            if (!names.insert(name).second)
+                error(op.get(), "duplicate function name: " + name);
+        }
+        // Call graph: callees must exist with matching arity.
+        module->walk([&](Operation *op) {
+            if (!op->is(ops::Call))
+                return;
+            std::string callee = op->attr(kCallee).getString();
+            Operation *target = lookupFunc(module, callee);
+            if (!target) {
+                error(op, "unknown callee: " + callee);
+                return;
+            }
+            if (funcBody(target)->numArguments() != op->numOperands())
+                error(op, "call arity mismatch for " + callee);
+        });
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+verify(Operation *root)
+{
+    Verifier v;
+    if (root->is(ops::Module))
+        v.verifyModule(root);
+    root->walk([&](Operation *op) { v.verifyOperation(op); });
+    return v.errors;
+}
+
+bool
+verifyOk(Operation *root)
+{
+    return verify(root).empty();
+}
+
+} // namespace scalehls

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * IR structural verifier: SSA dominance, op-specific invariants (affine
+ * bound maps, access map arities, terminators) and module-level checks.
+ */
+
+#ifndef SCALEHLS_IR_VERIFIER_H
+#define SCALEHLS_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace scalehls {
+
+/** Verify @p root recursively; returns human-readable error strings
+ * (empty when the IR is valid). */
+std::vector<std::string> verify(Operation *root);
+
+/** Convenience wrapper: true when verify() reports no errors. */
+bool verifyOk(Operation *root);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_IR_VERIFIER_H

@@ -1,0 +1,95 @@
+#include "model/graph_builder.h"
+
+namespace scalehls {
+
+ModelBuilder::ModelBuilder(Operation *module, const std::string &name,
+                           std::vector<int64_t> input_shape)
+{
+    Type input_type = Type::tensor(std::move(input_shape), Type::f32());
+    func_ = createFunc(module, name, {input_type});
+    Block *body = funcBody(func_);
+    input_ = body->argument(0);
+    builder_ = OpBuilder(body, body->back()); // Before func.return.
+}
+
+Value *
+ModelBuilder::conv(Value *x, int64_t out_channels, int64_t kernel,
+                   int64_t stride, int64_t pad, bool relu)
+{
+    const auto &in = x->type().shape();
+    Value *weight =
+        createWeight(builder_, {out_channels, in[1], kernel, kernel})
+            ->result(0);
+    Value *out = createConv2D(builder_, x, weight, stride, pad)->result(0);
+    return relu ? createRelu(builder_, out)->result(0) : out;
+}
+
+Value *
+ModelBuilder::dwconv(Value *x, int64_t kernel, int64_t stride, int64_t pad,
+                     bool relu)
+{
+    const auto &in = x->type().shape();
+    Value *weight =
+        createWeight(builder_, {in[1], 1, kernel, kernel})->result(0);
+    Value *out =
+        createDWConv2D(builder_, x, weight, stride, pad)->result(0);
+    return relu ? createRelu(builder_, out)->result(0) : out;
+}
+
+Value *
+ModelBuilder::dense(Value *x, int64_t out_features)
+{
+    const auto &in = x->type().shape();
+    Value *weight =
+        createWeight(builder_, {out_features, in[1]})->result(0);
+    return createDense(builder_, x, weight)->result(0);
+}
+
+Value *
+ModelBuilder::relu(Value *x)
+{
+    return createRelu(builder_, x)->result(0);
+}
+
+Value *
+ModelBuilder::add(Value *a, Value *b)
+{
+    return createGraphAdd(builder_, a, b)->result(0);
+}
+
+Value *
+ModelBuilder::maxpool(Value *x, int64_t kernel, int64_t stride)
+{
+    return createMaxPool(builder_, x, kernel, stride)->result(0);
+}
+
+Value *
+ModelBuilder::avgpool(Value *x, int64_t kernel, int64_t stride)
+{
+    return createAvgPool(builder_, x, kernel, stride)->result(0);
+}
+
+Value *
+ModelBuilder::flatten(Value *x)
+{
+    return createFlatten(builder_, x)->result(0);
+}
+
+Operation *
+ModelBuilder::finish(Value *output)
+{
+    Block *body = funcBody(func_);
+    body->back()->setOperands({output});
+    setTopFunc(func_);
+    return func_;
+}
+
+int64_t
+modelOpCount(Operation *func)
+{
+    int64_t total = 0;
+    func->walk([&](Operation *op) { total += graphOpCount(op); });
+    return total;
+}
+
+} // namespace scalehls

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Graph-level model construction: the stand-in for the paper's
+ * Torch-MLIR / ONNX-MLIR front-ends. Models are built programmatically as
+ * graph-dialect functions with the same layer graphs (ops, shapes,
+ * residual/bypass edges) those importers would produce.
+ */
+
+#ifndef SCALEHLS_MODEL_GRAPH_BUILDER_H
+#define SCALEHLS_MODEL_GRAPH_BUILDER_H
+
+#include "dialect/graph_ops.h"
+
+namespace scalehls {
+
+/** Fluent builder for a graph-dialect model function. */
+class ModelBuilder
+{
+  public:
+    /** Creates func @name(tensor<input_shape>) inside @p module. */
+    ModelBuilder(Operation *module, const std::string &name,
+                 std::vector<int64_t> input_shape);
+
+    Value *input() const { return input_; }
+
+    /** Conv + optional ReLU (batch norms are folded into conv weights, as
+     * deployment flows do). */
+    Value *conv(Value *x, int64_t out_channels, int64_t kernel,
+                int64_t stride, int64_t pad, bool relu = true);
+    /** Depthwise conv + optional ReLU. */
+    Value *dwconv(Value *x, int64_t kernel, int64_t stride, int64_t pad,
+                  bool relu = true);
+    Value *dense(Value *x, int64_t out_features);
+    Value *relu(Value *x);
+    Value *add(Value *a, Value *b);
+    Value *maxpool(Value *x, int64_t kernel, int64_t stride);
+    Value *avgpool(Value *x, int64_t kernel, int64_t stride);
+    Value *flatten(Value *x);
+
+    /** Set the function result and return the function op. */
+    Operation *finish(Value *output);
+
+    Operation *func() const { return func_; }
+
+  private:
+    Operation *func_ = nullptr;
+    Value *input_ = nullptr;
+    OpBuilder builder_;
+};
+
+/** Total multiply/add operation count of a graph function (the OP count
+ * used by the DSP-efficiency metric, paper Eq. 2). */
+int64_t modelOpCount(Operation *func);
+
+/** @name Model zoo (CIFAR-10 input shapes, batch 1) */
+///@{
+Operation *buildResNet18(Operation *module);
+Operation *buildVGG16(Operation *module);
+Operation *buildMobileNet(Operation *module);
+///@}
+
+} // namespace scalehls
+
+#endif // SCALEHLS_MODEL_GRAPH_BUILDER_H

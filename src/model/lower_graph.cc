@@ -1,0 +1,473 @@
+#include "model/lower_graph.h"
+
+#include <map>
+
+#include "dialect/graph_ops.h"
+#include "support/utils.h"
+
+namespace scalehls {
+
+namespace {
+
+Type
+bufferType(Type tensor, MemKind space = MemKind::BRAM_S2P)
+{
+    assert(tensor.isTensor());
+    return Type::memref(tensor.shape(), tensor.elementType(), AffineMap(),
+                        space);
+}
+
+/** Builds affine loop nests and typed accesses for one lowering site. */
+class NestBuilder
+{
+  public:
+    explicit NestBuilder(OpBuilder builder) : b_(std::move(builder)) {}
+
+    /** Open a nest of loops [0, bound) and position inside the innermost
+     * body. Returns the induction variables. */
+    std::vector<Value *>
+    open(const std::vector<int64_t> &bounds)
+    {
+        std::vector<Value *> ivs;
+        for (int64_t bound : bounds) {
+            AffineForOp loop = createAffineFor(b_, 0, bound);
+            ivs.push_back(loop.inductionVar());
+            b_.setInsertionPointToEnd(loop.body());
+        }
+        return ivs;
+    }
+
+    /** Guard: conjunction of 0 <= exprs[i] < limits[i]. Positions the
+     * builder inside the guard. */
+    void
+    guard(const std::vector<AffineExpr> &exprs,
+          const std::vector<int64_t> &limits,
+          const std::vector<Value *> &operands)
+    {
+        std::vector<AffineExpr> constraints;
+        std::vector<bool> eq_flags;
+        for (unsigned i = 0; i < exprs.size(); ++i) {
+            constraints.push_back(exprs[i]);                   // e >= 0
+            constraints.push_back(getAffineConstantExpr(limits[i] - 1) -
+                                  exprs[i]);                   // e <= L-1
+            eq_flags.push_back(false);
+            eq_flags.push_back(false);
+        }
+        AffineIfOp if_op = createAffineIf(
+            b_,
+            IntegerSet(operands.size(), std::move(constraints),
+                       std::move(eq_flags)),
+            operands);
+        b_.setInsertionPointToEnd(if_op.thenBlock());
+    }
+
+    Value *
+    load(Value *memref, const std::vector<AffineExpr> &exprs,
+         const std::vector<Value *> &operands)
+    {
+        AffineMap map(operands.size(), 0, exprs);
+        return createAffineLoad(b_, memref, map, operands)->result(0);
+    }
+
+    void
+    store(Value *value, Value *memref,
+          const std::vector<AffineExpr> &exprs,
+          const std::vector<Value *> &operands)
+    {
+        AffineMap map(operands.size(), 0, exprs);
+        createAffineStore(b_, value, memref, map, operands);
+    }
+
+    Value *
+    constant(double value)
+    {
+        return createConstantFloat(b_, value, Type::f32())->result(0);
+    }
+
+    Value *
+    binary(std::string_view name, Value *lhs, Value *rhs)
+    {
+        return createBinary(b_, name, lhs, rhs)->result(0);
+    }
+
+    OpBuilder &builder() { return b_; }
+
+  private:
+    OpBuilder b_;
+};
+
+/** Dim expressions d0..dn-1. */
+std::vector<AffineExpr>
+dims(unsigned n)
+{
+    std::vector<AffineExpr> out;
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(getAffineDimExpr(i));
+    return out;
+}
+
+class FuncLowering
+{
+  public:
+    explicit FuncLowering(Operation *func) : func_(func) {}
+
+    bool
+    run()
+    {
+        Block *body = funcBody(func_);
+        bool has_tensors = false;
+        for (unsigned i = 0; i < body->numArguments(); ++i)
+            has_tensors |= body->argument(i)->type().isTensor();
+        for (auto &op : body->ops())
+            has_tensors |= isGraphOp(op.get());
+        Operation *ret = body->back();
+        for (Value *operand : ret->operands())
+            has_tensors |= operand->type().isTensor();
+        if (!has_tensors)
+            return false;
+
+        // Tensor arguments become BRAM buffers in place.
+        for (unsigned i = 0; i < body->numArguments(); ++i) {
+            Value *arg = body->argument(i);
+            if (arg->type().isTensor())
+                arg->setType(bufferType(arg->type()));
+        }
+
+        for (Operation *op : body->opsVector())
+            lowerOp(op);
+
+        // Function results become appended output arguments. A locally
+        // allocated result buffer is replaced by the argument outright
+        // (the producer writes straight into the caller's buffer); only
+        // results aliasing an input need a copy nest.
+        std::vector<Value *> results = ret->operands();
+        ret->setOperands({});
+        for (Value *buffer : results) {
+            Value *out_arg = body->addArgument(buffer->type());
+            Operation *alloc = buffer->definingOp();
+            if (isa(alloc, ops::Alloc)) {
+                buffer->replaceAllUsesWith(out_arg);
+                alloc->erase();
+                continue;
+            }
+            NestBuilder nest{OpBuilder(body, ret)};
+            auto ivs = nest.open(buffer->type().shape());
+            auto exprs = dims(ivs.size());
+            nest.store(nest.load(buffer, exprs, ivs), out_arg, exprs, ivs);
+        }
+        return true;
+    }
+
+  private:
+    /** Allocate the output buffer for a graph op result. All uses are
+     * rewired eagerly, so later lowerings read their operands directly. */
+    Value *
+    allocFor(Operation *op, OpBuilder &b)
+    {
+        Value *buffer =
+            createAlloc(b, bufferType(op->result(0)->type()))->result(0);
+        op->result(0)->replaceAllUsesWith(buffer);
+        return buffer;
+    }
+
+    void
+    lowerOp(Operation *op)
+    {
+        if (op->is(ops::GraphWeight)) {
+            OpBuilder b;
+            b.setInsertionPoint(op);
+            // Weights live off-chip and stream in through AXI.
+            Value *buffer =
+                createAlloc(b, bufferType(op->result(0)->type(),
+                                          MemKind::DRAM))
+                    ->result(0);
+            op->result(0)->replaceAllUsesWith(buffer);
+            op->erase();
+            return;
+        }
+        if (op->is(ops::GraphConv2D) || op->is(ops::GraphDWConv2D)) {
+            lowerConv(op, op->is(ops::GraphDWConv2D));
+            return;
+        }
+        if (op->is(ops::GraphDense)) {
+            lowerDense(op);
+            return;
+        }
+        if (op->is(ops::GraphRelu)) {
+            lowerRelu(op);
+            return;
+        }
+        if (op->is(ops::GraphAdd)) {
+            lowerAdd(op);
+            return;
+        }
+        if (op->is(ops::GraphMaxPool) || op->is(ops::GraphAvgPool)) {
+            lowerPool(op, op->is(ops::GraphMaxPool));
+            return;
+        }
+        if (op->is(ops::GraphFlatten)) {
+            lowerFlatten(op);
+            return;
+        }
+        if (op->is(ops::GraphCopy)) {
+            lowerCopy(op);
+            return;
+        }
+        if (op->is(ops::Call)) {
+            lowerCall(op);
+            return;
+        }
+        // Non-graph ops (constants, returns) pass through.
+    }
+
+    void
+    lowerConv(Operation *op, bool depthwise)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *in = op->operand(0);
+        Value *weight = op->operand(1);
+        Value *out = allocFor(op, b);
+        int64_t stride = op->attr(kStrides).getInt();
+        int64_t pad = op->attr(kPads).getInt();
+        const auto &os = out->type().shape();  // [N, OC, OH, OW]
+        const auto &is = in->type().shape();   // [N, IC, IH, IW]
+        const auto &ws = weight->type().shape();
+
+        // Init nest: out = 0.
+        {
+            NestBuilder nest{b};
+            auto ivs = nest.open(os);
+            nest.store(nest.constant(0.0), out, dims(4), ivs);
+        }
+        // Compute nest.
+        {
+            NestBuilder nest{OpBuilder(op->parentBlock(), op)};
+            std::vector<int64_t> bounds = {os[0], os[1], os[2], os[3]};
+            if (!depthwise)
+                bounds.push_back(is[1]); // input channels
+            bounds.push_back(ws[2]);
+            bounds.push_back(ws[3]);
+            auto ivs = nest.open(bounds);
+            unsigned n = ivs.size();
+            auto d = dims(n);
+            // (n, oc, oh, ow, [ic,] kh, kw)
+            AffineExpr ih = d[2] * stride + d[n - 2] - pad;
+            AffineExpr iw = d[3] * stride + d[n - 1] - pad;
+            if (pad > 0)
+                nest.guard({ih, iw}, {is[2], is[3]}, ivs);
+            AffineExpr ic = depthwise ? d[1] : d[4];
+            Value *x = nest.load(in, {d[0], ic, ih, iw}, ivs);
+            Value *w = nest.load(
+                weight,
+                {d[1], depthwise ? getAffineConstantExpr(0) : d[4],
+                 d[n - 2], d[n - 1]},
+                ivs);
+            Value *acc = nest.load(out, {d[0], d[1], d[2], d[3]}, ivs);
+            Value *prod = nest.binary(ops::MulF, x, w);
+            Value *sum = nest.binary(ops::AddF, acc, prod);
+            nest.store(sum, out, {d[0], d[1], d[2], d[3]}, ivs);
+        }
+        op->erase();
+    }
+
+    void
+    lowerDense(Operation *op)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *in = op->operand(0);
+        Value *weight = op->operand(1);
+        Value *out = allocFor(op, b);
+        const auto &os = out->type().shape(); // [N, O]
+        const auto &is = in->type().shape();  // [N, I]
+        {
+            NestBuilder nest{b};
+            auto ivs = nest.open(os);
+            nest.store(nest.constant(0.0), out, dims(2), ivs);
+        }
+        {
+            NestBuilder nest{OpBuilder(op->parentBlock(), op)};
+            auto ivs = nest.open({os[0], os[1], is[1]});
+            auto d = dims(3);
+            Value *x = nest.load(in, {d[0], d[2]}, ivs);
+            Value *w = nest.load(weight, {d[1], d[2]}, ivs);
+            Value *acc = nest.load(out, {d[0], d[1]}, ivs);
+            Value *sum =
+                nest.binary(ops::AddF, acc, nest.binary(ops::MulF, x, w));
+            nest.store(sum, out, {d[0], d[1]}, ivs);
+        }
+        op->erase();
+    }
+
+    void
+    lowerRelu(Operation *op)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *in = op->operand(0);
+        // In-place when the input is a local buffer (elementwise update
+        // needs no second copy, halving feature-map memory).
+        Value *out;
+        if (isa(in->definingOp(), ops::Alloc)) {
+            out = in;
+            op->result(0)->replaceAllUsesWith(out);
+        } else {
+            out = allocFor(op, b);
+        }
+        NestBuilder nest{b};
+        auto ivs = nest.open(out->type().shape());
+        auto d = dims(ivs.size());
+        Value *x = nest.load(in, d, ivs);
+        Value *y = nest.binary(ops::MaxF, x, nest.constant(0.0));
+        nest.store(y, out, d, ivs);
+        op->erase();
+    }
+
+    void
+    lowerAdd(Operation *op)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *lhs = op->operand(0);
+        Value *rhs = op->operand(1);
+        // Elementwise adds update the left operand in place when it is a
+        // local buffer (residual connections reuse the feature map).
+        Value *out;
+        if (isa(lhs->definingOp(), ops::Alloc)) {
+            out = lhs;
+            op->result(0)->replaceAllUsesWith(out);
+        } else {
+            out = allocFor(op, b);
+        }
+        NestBuilder nest{b};
+        auto ivs = nest.open(out->type().shape());
+        auto d = dims(ivs.size());
+        Value *sum = nest.binary(ops::AddF, nest.load(lhs, d, ivs),
+                                 nest.load(rhs, d, ivs));
+        nest.store(sum, out, d, ivs);
+        op->erase();
+    }
+
+    void
+    lowerPool(Operation *op, bool is_max)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *in = op->operand(0);
+        Value *out = allocFor(op, b);
+        int64_t kernel = op->attr(kKernel).getInt();
+        int64_t stride = op->attr(kStrides).getInt();
+        const auto &os = out->type().shape();
+        {
+            NestBuilder nest{b};
+            auto ivs = nest.open(os);
+            nest.store(nest.constant(is_max ? -3.0e38 : 0.0), out, dims(4),
+                       ivs);
+        }
+        {
+            NestBuilder nest{OpBuilder(op->parentBlock(), op)};
+            auto ivs = nest.open({os[0], os[1], os[2], os[3], kernel,
+                                  kernel});
+            auto d = dims(6);
+            AffineExpr ih = d[2] * stride + d[4];
+            AffineExpr iw = d[3] * stride + d[5];
+            Value *x = nest.load(in, {d[0], d[1], ih, iw}, ivs);
+            Value *acc = nest.load(out, {d[0], d[1], d[2], d[3]}, ivs);
+            Value *y = nest.binary(is_max ? ops::MaxF : ops::AddF, acc, x);
+            nest.store(y, out, {d[0], d[1], d[2], d[3]}, ivs);
+        }
+        if (!is_max) {
+            // Average: scale by 1/(k*k).
+            NestBuilder nest{OpBuilder(op->parentBlock(), op)};
+            auto ivs = nest.open(os);
+            auto d = dims(4);
+            Value *x = nest.load(out, d, ivs);
+            Value *y = nest.binary(
+                ops::MulF, x,
+                nest.constant(1.0 / static_cast<double>(kernel * kernel)));
+            nest.store(y, out, d, ivs);
+        }
+        op->erase();
+    }
+
+    void
+    lowerFlatten(Operation *op)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *in = op->operand(0);
+        Value *out = allocFor(op, b);
+        const auto &is = in->type().shape();
+        NestBuilder nest{b};
+        auto ivs = nest.open(is);
+        auto d = dims(is.size());
+        // out[n][c*H*W + h*W + w] = in[n][c][h][w] (rank-4 common case;
+        // general rank handled by the same linearization).
+        AffineExpr linear = getAffineConstantExpr(0);
+        int64_t mult = 1;
+        for (unsigned i = is.size(); i > 1; --i) {
+            linear = linear + d[i - 1] * mult;
+            mult *= is[i - 1];
+        }
+        Value *x = nest.load(in, d, ivs);
+        nest.store(x, out, {d[0], linear}, ivs);
+        op->erase();
+    }
+
+    void
+    lowerCopy(Operation *op)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        Value *in = op->operand(0);
+        Value *out = allocFor(op, b);
+        NestBuilder nest{b};
+        auto ivs = nest.open(out->type().shape());
+        auto d = dims(ivs.size());
+        nest.store(nest.load(in, d, ivs), out, d, ivs);
+        op->erase();
+    }
+
+    void
+    lowerCall(Operation *op)
+    {
+        OpBuilder b;
+        b.setInsertionPoint(op);
+        std::vector<Value *> operands = op->operands();
+        // Tensor results become caller-allocated output buffers appended
+        // to the operand list (the callee lowering appends matching args).
+        std::vector<Value *> buffers;
+        for (Value *result : op->results()) {
+            Type t = result->type();
+            Value *buffer =
+                createAlloc(b, t.isTensor() ? bufferType(t) : t)
+                    ->result(0);
+            buffers.push_back(buffer);
+            result->replaceAllUsesWith(buffer);
+            operands.push_back(buffer);
+        }
+        AttrMap attrs = op->attrs();
+        b.create(std::string(ops::Call), {}, operands, std::move(attrs));
+        op->erase();
+    }
+
+    Operation *func_;
+};
+
+} // namespace
+
+bool
+lowerGraphToAffine(Operation *module)
+{
+    bool changed = false;
+    std::vector<Operation *> funcs;
+    for (auto &op : module->region(0).front().ops())
+        if (op->is(ops::Func))
+            funcs.push_back(op.get());
+    for (Operation *func : funcs)
+        changed |= FuncLowering(func).run();
+    return changed;
+}
+
+} // namespace scalehls

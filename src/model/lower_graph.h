@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Graph-to-loop lowering (bufferization): converts graph-dialect tensor
+ * functions into affine loop nests over memrefs, the Pii->iii step of the
+ * DNN flow. Feature maps become on-chip (BRAM) buffers; weights become
+ * off-chip (DRAM/AXI) arrays, matching the deployment style the paper's
+ * Table V memory figures imply.
+ */
+
+#ifndef SCALEHLS_MODEL_LOWER_GRAPH_H
+#define SCALEHLS_MODEL_LOWER_GRAPH_H
+
+#include "ir/ir.h"
+
+namespace scalehls {
+
+/** Lower every function of @p module from graph level to loop level.
+ * Function signatures change: tensor arguments become memref arguments and
+ * tensor results become appended output memref arguments (calls are
+ * rewritten to match). Returns true if anything was lowered. */
+bool lowerGraphToAffine(Operation *module);
+
+} // namespace scalehls
+
+#endif // SCALEHLS_MODEL_LOWER_GRAPH_H

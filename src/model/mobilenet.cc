@@ -1,0 +1,48 @@
+/**
+ * @file
+ * MobileNetV1 for CIFAR-10 (paper Table V / Fig. 8c): a 3x3 stem followed
+ * by depthwise-separable conv pairs. Depthwise convolutions stress the
+ * graph-level cost model differently from dense convs (fewer MACs per
+ * byte), which is why the paper includes it.
+ */
+
+#include "model/graph_builder.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Depthwise separable unit: 3x3 depthwise + 1x1 pointwise. */
+Value *
+separable(ModelBuilder &m, Value *x, int64_t out_channels, int64_t stride)
+{
+    x = m.dwconv(x, 3, stride, 1);
+    return m.conv(x, out_channels, 1, 1, 0);
+}
+
+} // namespace
+
+Operation *
+buildMobileNet(Operation *module)
+{
+    ModelBuilder m(module, "mobilenet", {1, 3, 32, 32});
+    Value *x = m.conv(m.input(), 32, 3, 1, 1);
+
+    x = separable(m, x, 64, 1);
+    x = separable(m, x, 128, 2);
+    x = separable(m, x, 128, 1);
+    x = separable(m, x, 256, 2);
+    x = separable(m, x, 256, 1);
+    x = separable(m, x, 512, 2);
+    for (int i = 0; i < 5; ++i)
+        x = separable(m, x, 512, 1);
+    x = separable(m, x, 1024, 2);
+    x = separable(m, x, 1024, 1);
+
+    x = m.avgpool(x, 2, 2); // Global average pool (2x2 maps).
+    x = m.flatten(x);
+    x = m.dense(x, 10);
+    return m.finish(x);
+}
+
+} // namespace scalehls

@@ -1,0 +1,154 @@
+#include "model/polybench.h"
+
+#include <sstream>
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+const std::vector<std::string> &
+polybenchKernelNames()
+{
+    static const std::vector<std::string> names = {
+        "bicg", "gemm", "gesummv", "syr2k", "syrk", "trmm"};
+    return names;
+}
+
+namespace {
+
+std::string
+gemmSource(int64_t n)
+{
+    std::ostringstream os;
+    os << "void gemm(float alpha, float beta, float C[" << n << "][" << n
+       << "], float A[" << n << "][" << n << "], float B[" << n << "][" << n
+       << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    for (int j = 0; j < " << n << "; j++) {\n"
+       << "      C[i][j] *= beta;\n"
+       << "      for (int k = 0; k < " << n << "; k++) {\n"
+       << "        C[i][j] += alpha * A[i][k] * B[k][j];\n"
+       << "      }\n    }\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+syrkSource(int64_t n)
+{
+    std::ostringstream os;
+    os << "void syrk(float alpha, float beta, float C[" << n << "][" << n
+       << "], float A[" << n << "][" << n << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    for (int j = 0; j <= i; j++) {\n"
+       << "      C[i][j] *= beta;\n"
+       << "      for (int k = 0; k < " << n << "; k++) {\n"
+       << "        C[i][j] += alpha * A[i][k] * A[j][k];\n"
+       << "      }\n    }\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+syr2kSource(int64_t n)
+{
+    std::ostringstream os;
+    os << "void syr2k(float alpha, float beta, float C[" << n << "][" << n
+       << "], float A[" << n << "][" << n << "], float B[" << n << "][" << n
+       << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    for (int j = 0; j <= i; j++) {\n"
+       << "      C[i][j] *= beta;\n"
+       << "      for (int k = 0; k < " << n << "; k++) {\n"
+       << "        C[i][j] += A[j][k] * alpha * B[i][k]"
+          " + B[j][k] * alpha * A[i][k];\n"
+       << "      }\n    }\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+trmmSource(int64_t n)
+{
+    std::ostringstream os;
+    os << "void trmm(float alpha, float A[" << n << "][" << n
+       << "], float B[" << n << "][" << n << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    for (int j = 0; j < " << n << "; j++) {\n"
+       << "      for (int k = i + 1; k < " << n << "; k++) {\n"
+       << "        B[i][j] += A[k][i] * B[k][j];\n"
+       << "      }\n"
+       << "      B[i][j] *= alpha;\n"
+       << "    }\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+bicgSource(int64_t n)
+{
+    std::ostringstream os;
+    os << "void bicg(float A[" << n << "][" << n << "], float s[" << n
+       << "], float q[" << n << "], float p[" << n << "], float r[" << n
+       << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    s[i] = 0.0;\n"
+       << "  }\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    q[i] = 0.0;\n"
+       << "    for (int j = 0; j < " << n << "; j++) {\n"
+       << "      s[j] += r[i] * A[i][j];\n"
+       << "      q[i] += A[i][j] * p[j];\n"
+       << "    }\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+gesummvSource(int64_t n)
+{
+    std::ostringstream os;
+    os << "void gesummv(float alpha, float beta, float A[" << n << "][" << n
+       << "], float B[" << n << "][" << n << "], float tmp[" << n
+       << "], float x[" << n << "], float y[" << n << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    tmp[i] = 0.0;\n"
+       << "    y[i] = 0.0;\n"
+       << "    for (int j = 0; j < " << n << "; j++) {\n"
+       << "      tmp[i] += A[i][j] * x[j];\n"
+       << "      y[i] += B[i][j] * x[j];\n"
+       << "    }\n"
+       << "    y[i] = alpha * tmp[i] + beta * y[i];\n"
+       << "  }\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+polybenchSource(const std::string &kernel, int64_t n)
+{
+    if (kernel == "gemm")
+        return gemmSource(n);
+    if (kernel == "syrk")
+        return syrkSource(n);
+    if (kernel == "syr2k")
+        return syr2kSource(n);
+    if (kernel == "trmm")
+        return trmmSource(n);
+    if (kernel == "bicg")
+        return bicgSource(n);
+    if (kernel == "gesummv")
+        return gesummvSource(n);
+    fatal("unknown PolyBench kernel: " + kernel);
+}
+
+std::string
+syrkFig5Source()
+{
+    return "void syrk(float alpha, float beta, float C[16][16],"
+           " float A[16][8]) {\n"
+           "  for (int i = 0; i < 16; i++) {\n"
+           "    for (int j = 0; j <= i; j++) {\n"
+           "      C[i][j] *= beta;\n"
+           "      for (int k = 0; k < 8; k++) {\n"
+           "        C[i][j] += alpha * A[i][k] * A[j][k];\n"
+           "      }\n    }\n  }\n}\n";
+}
+
+} // namespace scalehls

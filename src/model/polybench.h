@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Parameterized HLS C sources for the six PolyBench-C computation kernels
+ * of paper Table III (BICG, GEMM, GESUMMV, SYR2K, SYRK, TRMM), plus the
+ * Fig. 5 SYRK example at its original 16x8 size.
+ */
+
+#ifndef SCALEHLS_MODEL_POLYBENCH_H
+#define SCALEHLS_MODEL_POLYBENCH_H
+
+#include <string>
+#include <vector>
+
+namespace scalehls {
+
+/** The kernel names in Table III order. */
+const std::vector<std::string> &polybenchKernelNames();
+
+/** HLS C source of a kernel at problem size @p n. Throws on unknown
+ * names. */
+std::string polybenchSource(const std::string &kernel, int64_t n);
+
+/** The 16x8 SYRK example of paper Fig. 5 (input C block (i)). */
+std::string syrkFig5Source();
+
+} // namespace scalehls
+
+#endif // SCALEHLS_MODEL_POLYBENCH_H

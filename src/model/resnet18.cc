@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ResNet-18 for CIFAR-10 (paper Table V / Fig. 8a): the standard CIFAR
+ * variant — 3x3 stem, four stages of two basic blocks (64/128/256/512
+ * channels), strided 1x1 projection shortcuts, global average pool, and a
+ * 10-way classifier. Residual connections create the bypass paths the
+ * -legalize-dataflow pass must handle.
+ */
+
+#include "model/graph_builder.h"
+
+namespace scalehls {
+
+namespace {
+
+/** A basic residual block: two 3x3 convs plus an identity or projection
+ * shortcut. */
+Value *
+basicBlock(ModelBuilder &m, Value *x, int64_t channels, int64_t stride)
+{
+    Value *shortcut = x;
+    if (stride != 1 || x->type().shape()[1] != channels)
+        shortcut = m.conv(x, channels, 1, stride, 0, /*relu=*/false);
+    Value *y = m.conv(x, channels, 3, stride, 1);
+    y = m.conv(y, channels, 3, 1, 1, /*relu=*/false);
+    return m.relu(m.add(y, shortcut));
+}
+
+} // namespace
+
+Operation *
+buildResNet18(Operation *module)
+{
+    ModelBuilder m(module, "resnet18", {1, 3, 32, 32});
+    Value *x = m.conv(m.input(), 64, 3, 1, 1);
+
+    x = basicBlock(m, x, 64, 1);
+    x = basicBlock(m, x, 64, 1);
+    x = basicBlock(m, x, 128, 2);
+    x = basicBlock(m, x, 128, 1);
+    x = basicBlock(m, x, 256, 2);
+    x = basicBlock(m, x, 256, 1);
+    x = basicBlock(m, x, 512, 2);
+    x = basicBlock(m, x, 512, 1);
+
+    x = m.avgpool(x, 4, 4); // Global average pool (4x4 feature maps).
+    x = m.flatten(x);
+    x = m.dense(x, 10);
+    return m.finish(x);
+}
+
+} // namespace scalehls

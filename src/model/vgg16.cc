@@ -1,0 +1,36 @@
+/**
+ * @file
+ * VGG-16 for CIFAR-10 (paper Table V / Fig. 8b): five 3x3 conv blocks
+ * (64x2, 128x2, 256x3, 512x3, 512x3) separated by 2x2 max pools, then a
+ * small classifier head. A pure chain — the easy case for dataflow
+ * legalization (no bypass edges).
+ */
+
+#include "model/graph_builder.h"
+
+namespace scalehls {
+
+Operation *
+buildVGG16(Operation *module)
+{
+    ModelBuilder m(module, "vgg16", {1, 3, 32, 32});
+    Value *x = m.input();
+
+    auto block = [&](int64_t channels, int convs) {
+        for (int i = 0; i < convs; ++i)
+            x = m.conv(x, channels, 3, 1, 1);
+        x = m.maxpool(x, 2, 2);
+    };
+    block(64, 2);
+    block(128, 2);
+    block(256, 3);
+    block(512, 3);
+    block(512, 3);
+
+    x = m.flatten(x); // 512x1x1 after five pools.
+    x = m.relu(m.dense(x, 512));
+    x = m.dense(x, 10);
+    return m.finish(x);
+}
+
+} // namespace scalehls

@@ -1,0 +1,39 @@
+#include "support/utils.h"
+
+#include <algorithm>
+
+namespace scalehls {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+std::vector<int64_t>
+divisorsOf(int64_t n)
+{
+    std::vector<int64_t> divs;
+    if (n <= 0)
+        return divs;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            divs.push_back(d);
+            if (d != n / d)
+                divs.push_back(n / d);
+        }
+    }
+    std::sort(divs.begin(), divs.end());
+    return divs;
+}
+
+int64_t
+nextPow2(int64_t n)
+{
+    int64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace scalehls

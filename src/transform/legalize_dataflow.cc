@@ -1,0 +1,176 @@
+/**
+ * @file
+ * -legalize-dataflow (paper Section V-A1): assigns dataflow stage numbers
+ * to graph ops such that every tensor edge spans exactly one stage, the
+ * legality condition of downstream dataflow pipelining (no bypass paths,
+ * single producer/consumer per channel). Two strategies (paper Fig. 4):
+ * conservative stage merging, or aggressive copy-node insertion via the
+ * insert-copy option.
+ */
+
+#include <map>
+
+#include "dialect/graph_ops.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+/** A dataflow node: any graph op except weight constants. */
+bool
+isDataflowNode(const Operation *op)
+{
+    return isGraphOp(op) && !op->is(ops::GraphWeight);
+}
+
+/** Single-input elementwise ops fuse into their producer's stage
+ * (conv+relu): they lower in place, saving a buffer and a stage. Adds do
+ * not fuse — they are the residual-bypass consumers whose legalization
+ * the paper studies (Fig. 4). */
+bool
+fusesWithProducer(const Operation *op)
+{
+    return op->is(ops::GraphRelu) || op->is(ops::GraphFlatten);
+}
+
+/** Longest-path stage assignment over the tensor def-use DAG. */
+std::map<Operation *, int64_t>
+assignStages(Block *body)
+{
+    std::map<Operation *, int64_t> stage;
+    for (auto &op : body->ops()) {
+        if (!isDataflowNode(op.get()))
+            continue;
+        int64_t edge = fusesWithProducer(op.get()) ? 0 : 1;
+        int64_t s = 0;
+        for (Value *operand : op->operands()) {
+            Operation *def = operand->definingOp();
+            if (def && isDataflowNode(def)) {
+                assert(stage.count(def) && "operands precede uses");
+                s = std::max(s, stage[def] + edge);
+            }
+        }
+        stage[op.get()] = s;
+    }
+    return stage;
+}
+
+/** The maximum stage gap over all edges; 1 (or less) means legal. */
+int64_t
+maxGap(const std::map<Operation *, int64_t> &stage)
+{
+    int64_t gap = 0;
+    for (const auto &[op, s] : stage) {
+        for (Value *operand : op->operands()) {
+            Operation *def = operand->definingOp();
+            if (def && isDataflowNode(def))
+                gap = std::max(gap, s - stage.at(def));
+        }
+    }
+    return gap;
+}
+
+/** Conservative legalization: collapse the stages spanned by the worst
+ * bypass edge into one (paper Fig. 4b). */
+void
+mergeStages(std::map<Operation *, int64_t> &stage)
+{
+    while (true) {
+        // Find the worst bypass edge.
+        Operation *bad_use = nullptr;
+        int64_t lo = 0, hi = 0;
+        for (const auto &[op, s] : stage) {
+            for (Value *operand : op->operands()) {
+                Operation *def = operand->definingOp();
+                if (!def || !isDataflowNode(def))
+                    continue;
+                int64_t gap = s - stage.at(def);
+                if (gap > 1 && (bad_use == nullptr || gap > hi - lo)) {
+                    bad_use = op;
+                    lo = stage.at(def);
+                    hi = s;
+                }
+            }
+        }
+        if (!bad_use)
+            return;
+        // Stages (lo, hi] merge into lo + 1; later stages shift down.
+        int64_t shift = hi - lo - 1;
+        for (auto &[op, s] : stage) {
+            if (s > lo && s <= hi)
+                s = lo + 1;
+            else if (s > hi)
+                s -= shift;
+        }
+    }
+}
+
+/** Aggressive legalization: insert copy chains on short edges so all paths
+ * have equal length (paper Fig. 4c). */
+void
+insertCopies(Block *body)
+{
+    while (true) {
+        auto stage = assignStages(body);
+        // Find one bypass edge and patch it with a single copy; iterate to
+        // a fixed point (each copy lengthens the short path by one).
+        Operation *use = nullptr;
+        Value *edge = nullptr;
+        for (auto &op : body->ops()) {
+            if (!isDataflowNode(op.get()))
+                continue;
+            for (Value *operand : op->operands()) {
+                Operation *d = operand->definingOp();
+                if (d && isDataflowNode(d) &&
+                    stage[op.get()] - stage[d] > 1) {
+                    use = op.get();
+                    edge = operand;
+                    break;
+                }
+            }
+            if (use)
+                break;
+        }
+        if (!use)
+            return;
+        OpBuilder b;
+        b.setInsertionPoint(use);
+        Operation *copy = createGraphCopy(b, edge);
+        for (unsigned i = 0; i < use->numOperands(); ++i)
+            if (use->operand(i) == edge)
+                use->setOperand(i, copy->result(0));
+    }
+}
+
+} // namespace
+
+bool
+applyLegalizeDataflow(Operation *func, bool insert_copy)
+{
+    assert(isa(func, ops::Func));
+    Block *body = funcBody(func);
+
+    bool has_graph_ops = false;
+    for (auto &op : body->ops())
+        has_graph_ops |= isDataflowNode(op.get());
+    if (!has_graph_ops)
+        return false;
+
+    if (insert_copy)
+        insertCopies(body);
+
+    auto stage = assignStages(body);
+    if (!insert_copy)
+        mergeStages(stage);
+
+    for (const auto &[op, s] : stage)
+        op->setAttr(kDataflowStage, s);
+
+    FuncDirective d = getFuncDirective(func);
+    d.dataflow = true;
+    setFuncDirective(func, d);
+    return true;
+}
+
+} // namespace scalehls

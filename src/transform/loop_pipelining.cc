@@ -1,0 +1,114 @@
+/**
+ * @file
+ * -loop-pipelining and -func-pipelining (paper Section V-C1): legalize the
+ * target (fully unroll contained loops, pipeline contained sub-functions)
+ * before attaching the pipeline directive with the requested II; perfectly
+ * wrapping outer loops are annotated as flattened.
+ */
+
+#include <limits>
+
+#include "analysis/loop_analysis.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Fully unroll every loop properly nested in @p scope, innermost first.
+ * Returns false (leaving partial changes) when some loop cannot be
+ * statically unrolled. */
+bool
+unrollAllNested(Operation *scope)
+{
+    bool ok = true;
+    // Repeat: each round unrolls the current innermost loops; unrolling
+    // can expose new op lists but never adds loops.
+    while (ok) {
+        std::vector<Operation *> innermost;
+        scope->walk([&](Operation *op) {
+            if (op != scope && op->is(ops::AffineFor) && !containsLoops(op))
+                innermost.push_back(op);
+        });
+        if (innermost.empty())
+            break;
+        for (Operation *loop : innermost) {
+            if (!applyLoopUnroll(loop, std::numeric_limits<int64_t>::max()))
+                return false;
+        }
+    }
+    return ok;
+}
+
+/** Pipeline every function called inside @p scope. */
+bool
+pipelineCallees(Operation *scope, int64_t target_ii)
+{
+    Operation *module = scope->parentOfName(ops::Module);
+    bool ok = true;
+    scope->walk([&](Operation *op) {
+        if (!op->is(ops::Call) || !module)
+            return;
+        Operation *callee =
+            lookupFunc(module, op->attr(kCallee).getString());
+        if (callee)
+            ok &= applyFuncPipelining(callee, target_ii);
+    });
+    return ok;
+}
+
+} // namespace
+
+bool
+applyLoopPipelining(Operation *loop_op, int64_t target_ii)
+{
+    assert(isa(loop_op, ops::AffineFor));
+    if (target_ii < 1)
+        return false;
+
+    // Legalization: no loop hierarchy below a pipelined loop.
+    if (!unrollAllNested(loop_op))
+        return false;
+    if (!pipelineCallees(loop_op, 1))
+        return false;
+
+    LoopDirective d = getLoopDirective(loop_op);
+    d.pipeline = true;
+    d.targetII = target_ii;
+    d.flatten = false;
+    setLoopDirective(loop_op, d);
+
+    // Flatten perfectly nesting ancestors (paper Section IV-C2).
+    Operation *child = loop_op;
+    for (Operation *parent = child->parentOp();
+         isa(parent, ops::AffineFor); parent = parent->parentOp()) {
+        Block *body = AffineForOp(parent).body();
+        if (body->size() != 1 || body->front() != child)
+            break;
+        LoopDirective pd = getLoopDirective(parent);
+        pd.flatten = true;
+        pd.pipeline = false;
+        setLoopDirective(parent, pd);
+        child = parent;
+    }
+    return true;
+}
+
+bool
+applyFuncPipelining(Operation *func, int64_t target_ii)
+{
+    assert(isa(func, ops::Func));
+    if (target_ii < 1)
+        return false;
+    if (!unrollAllNested(func))
+        return false;
+    if (!pipelineCallees(func, 1))
+        return false;
+    FuncDirective d = getFuncDirective(func);
+    d.pipeline = true;
+    d.targetII = target_ii;
+    setFuncDirective(func, d);
+    return true;
+}
+
+} // namespace scalehls

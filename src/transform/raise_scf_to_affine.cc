@@ -1,0 +1,231 @@
+/**
+ * @file
+ * -raise-scf-to-affine: identifies affine regions in the scf-level IR
+ * produced by the C front-end and converts scf.for / scf.if / memref
+ * accesses into their affine counterparts (paper Section VI-A).
+ */
+
+#include <algorithm>
+
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Trace a value back to an affine expression over affine.for induction
+ * variables. @p dims collects the IV operands (deduplicated). */
+std::optional<AffineExpr>
+traceAffineExpr(Value *v, std::vector<Value *> &dims)
+{
+    if (auto c = getConstantIntValue(v))
+        return getAffineConstantExpr(*c);
+
+    // affine.for induction variables are valid affine dims.
+    if (Block *owner = v->ownerBlock()) {
+        if (isa(owner->parentOp(), ops::AffineFor)) {
+            auto it = std::find(dims.begin(), dims.end(), v);
+            unsigned pos;
+            if (it == dims.end()) {
+                dims.push_back(v);
+                pos = dims.size() - 1;
+            } else {
+                pos = it - dims.begin();
+            }
+            return getAffineDimExpr(pos);
+        }
+        return std::nullopt;
+    }
+
+    Operation *def = v->definingOp();
+    if (!def)
+        return std::nullopt;
+    if (def->is(ops::IndexCast))
+        return traceAffineExpr(def->operand(0), dims);
+    if (def->numOperands() != 2)
+        return std::nullopt;
+
+    // Affine arithmetic: +, -, * by constant, floordiv/mod by constant.
+    auto lhs = traceAffineExpr(def->operand(0), dims);
+    if (!lhs)
+        return std::nullopt;
+    auto rhs = traceAffineExpr(def->operand(1), dims);
+    if (!rhs)
+        return std::nullopt;
+
+    if (def->is(ops::AddI))
+        return *lhs + *rhs;
+    if (def->is(ops::SubI))
+        return *lhs - *rhs;
+    if (def->is(ops::MulI)) {
+        if (rhs->isConstant() || lhs->isConstant())
+            return *lhs * *rhs;
+        return std::nullopt;
+    }
+    if (def->is(ops::DivSI) && rhs->isConstant() &&
+        rhs->constantValue() > 0)
+        return getAffineBinaryExpr(AffineExprKind::FloorDiv, *lhs, *rhs);
+    if (def->is(ops::RemSI) && rhs->isConstant() &&
+        rhs->constantValue() > 0)
+        return getAffineBinaryExpr(AffineExprKind::Mod, *lhs, *rhs);
+    return std::nullopt;
+}
+
+/** Move all ops of @p from to the end of @p to. */
+void
+spliceBlock(Block *from, Block *to)
+{
+    for (Operation *op : from->opsVector())
+        to->pushBack(from->take(op));
+}
+
+bool
+raiseScfForOp(Operation *op)
+{
+    ScfForOp for_op(op);
+    std::vector<Value *> lb_dims;
+    auto lb = traceAffineExpr(for_op.lowerBound(), lb_dims);
+    if (!lb)
+        return false;
+    std::vector<Value *> ub_dims;
+    auto ub = traceAffineExpr(for_op.upperBound(), ub_dims);
+    if (!ub)
+        return false;
+    auto step = getConstantIntValue(for_op.step());
+    if (!step || *step <= 0)
+        return false;
+
+    OpBuilder b;
+    b.setInsertionPoint(op);
+    AffineForOp affine_for = createAffineFor(
+        b, AffineMap(lb_dims.size(), 0, {*lb}), lb_dims,
+        AffineMap(ub_dims.size(), 0, {*ub}), ub_dims, *step);
+    for_op.inductionVar()->replaceAllUsesWith(affine_for.inductionVar());
+    spliceBlock(for_op.body(), affine_for.body());
+    op->erase();
+    return true;
+}
+
+bool
+raiseScfIfOp(Operation *op)
+{
+    Operation *cmp = op->operand(0)->definingOp();
+    if (!isa(cmp, ops::CmpI))
+        return false;
+    std::vector<Value *> dims;
+    auto lhs = traceAffineExpr(cmp->operand(0), dims);
+    if (!lhs)
+        return false;
+    auto rhs = traceAffineExpr(cmp->operand(1), dims);
+    if (!rhs)
+        return false;
+
+    CmpPredicate pred =
+        cmpPredicateFromName(cmp->attr(kPredicate).getString());
+    AffineExpr constraint;
+    bool is_eq = false;
+    switch (pred) {
+      case CmpPredicate::EQ:
+        constraint = *lhs - *rhs;
+        is_eq = true;
+        break;
+      case CmpPredicate::LT: // lhs < rhs  <=>  rhs - lhs - 1 >= 0
+        constraint = *rhs - *lhs - 1;
+        break;
+      case CmpPredicate::LE:
+        constraint = *rhs - *lhs;
+        break;
+      case CmpPredicate::GT:
+        constraint = *lhs - *rhs - 1;
+        break;
+      case CmpPredicate::GE:
+        constraint = *lhs - *rhs;
+        break;
+      case CmpPredicate::NE:
+        // Not expressible as a conjunction of affine constraints.
+        return false;
+    }
+
+    OpBuilder b;
+    b.setInsertionPoint(op);
+    bool has_else = !op->region(1).empty();
+    AffineIfOp affine_if =
+        createAffineIf(b, IntegerSet::get(dims.size(), constraint, is_eq),
+                       dims, has_else);
+    spliceBlock(&op->region(0).front(), affine_if.thenBlock());
+    if (has_else)
+        spliceBlock(&op->region(1).front(), affine_if.elseBlock());
+    op->erase();
+    return true;
+}
+
+bool
+raiseMemAccess(Operation *op)
+{
+    bool is_load = op->is(ops::MemLoad);
+    unsigned first = is_load ? 1 : 2;
+    std::vector<Value *> dims;
+    std::vector<AffineExpr> exprs;
+    for (unsigned i = first; i < op->numOperands(); ++i) {
+        auto expr = traceAffineExpr(op->operand(i), dims);
+        if (!expr)
+            return false;
+        exprs.push_back(*expr);
+    }
+    OpBuilder b;
+    b.setInsertionPoint(op);
+    AffineMap map(dims.size(), 0, exprs);
+    if (is_load) {
+        Operation *load =
+            createAffineLoad(b, op->operand(0), map, dims);
+        op->replaceAllUsesWith(load);
+    } else {
+        createAffineStore(b, op->operand(0), op->operand(1), map, dims);
+    }
+    op->erase();
+    return true;
+}
+
+} // namespace
+
+bool
+raiseScfToAffine(Operation *scope)
+{
+    bool any_change = false;
+    // Outer loops must be raised before inner ones so that inner bounds
+    // trace to affine IVs; iterate to a fixed point.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // One raise per round keeps the walk snapshot valid.
+        std::vector<Operation *> scf_ops;
+        scope->walk([&](Operation *op) {
+            if (op->is(ops::ScfFor) || op->is(ops::ScfIf))
+                scf_ops.push_back(op);
+        });
+        for (Operation *op : scf_ops) {
+            bool raised = op->is(ops::ScfFor) ? raiseScfForOp(op)
+                                              : raiseScfIfOp(op);
+            if (raised) {
+                changed = true;
+                break;
+            }
+        }
+        any_change |= changed;
+    }
+
+    // Raise memory accesses once all loops are affine.
+    std::vector<Operation *> accesses;
+    scope->walk([&](Operation *op) {
+        if (op->is(ops::MemLoad) || op->is(ops::MemStore))
+            accesses.push_back(op);
+    });
+    for (Operation *op : accesses)
+        any_change |= raiseMemAccess(op);
+
+    // The arith index chains feeding the raised ops are now mostly dead.
+    applyCanonicalize(scope);
+    return any_change;
+}
+
+} // namespace scalehls

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * -remove-variable-bound (paper Section V-B3): substitutes variable loop
+ * bounds with their constant extremes (computed from the ranges of the
+ * outer induction variables) and guards the body with the original bound
+ * condition as an affine.if, enabling rectangular loop analyses.
+ */
+
+#include "analysis/loop_analysis.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+bool
+removeVariableBounds(AffineForOp for_op)
+{
+    if (for_op.hasConstantBounds())
+        return false;
+
+    AffineMap lb_map = for_op.lowerBoundMap();
+    AffineMap ub_map = for_op.upperBoundMap();
+    auto lb_operands = for_op.lowerBoundOperands();
+    auto ub_operands = for_op.upperBoundOperands();
+
+    auto lb_const = getBoundMin(lb_map, lb_operands, /*is_lower=*/true);
+    auto ub_const = getBoundMax(ub_map, ub_operands, /*is_lower=*/false);
+    if (!lb_const || !ub_const)
+        return false; // Bound operands are not analyzable IVs.
+
+    // Build the guard: conjunction of the original bound constraints over
+    // dims [iv, lb_operands..., ub_operands...].
+    std::vector<Value *> set_operands = {for_op.inductionVar()};
+    std::vector<AffineExpr> constraints;
+    std::vector<bool> eq_flags;
+
+    auto operandDim = [&](Value *v) {
+        for (unsigned i = 0; i < set_operands.size(); ++i)
+            if (set_operands[i] == v)
+                return getAffineDimExpr(i);
+        set_operands.push_back(v);
+        return getAffineDimExpr(set_operands.size() - 1);
+    };
+
+    AffineExpr iv_expr = getAffineDimExpr(0);
+    if (!lb_map.isConstant()) {
+        for (const auto &result : lb_map.results()) {
+            std::vector<AffineExpr> dim_repls;
+            for (Value *v : lb_operands)
+                dim_repls.push_back(operandDim(v));
+            // iv - lb_expr >= 0
+            constraints.push_back(
+                iv_expr - result.replaceDimsAndSymbols(dim_repls));
+            eq_flags.push_back(false);
+        }
+    }
+    if (!ub_map.isConstant()) {
+        for (const auto &result : ub_map.results()) {
+            std::vector<AffineExpr> dim_repls;
+            for (Value *v : ub_operands)
+                dim_repls.push_back(operandDim(v));
+            // ub_expr - iv - 1 >= 0
+            constraints.push_back(
+                result.replaceDimsAndSymbols(dim_repls) - iv_expr - 1);
+            eq_flags.push_back(false);
+        }
+    }
+
+    // Rewrite the bounds to constants.
+    for_op.setLowerBound(AffineMap::constant({*lb_const}), {});
+    for_op.setUpperBound(AffineMap::constant({*ub_const}), {});
+
+    // Generate the guard in the innermost loop (paper Fig. 5(iii)): this
+    // keeps the band perfectly nested for subsequent permutation/tiling.
+    Operation *deepest = for_op.op();
+    while (true) {
+        Block *candidate = AffineForOp(deepest).body();
+        if (candidate->size() == 1 &&
+            candidate->front()->is(ops::AffineFor))
+            deepest = candidate->front();
+        else
+            break;
+    }
+    Block *body = AffineForOp(deepest).body();
+    auto body_ops = body->opsVector();
+    OpBuilder b;
+    b.setInsertionPointToEnd(body);
+    AffineIfOp guard = createAffineIf(
+        b,
+        IntegerSet(set_operands.size(), std::move(constraints),
+                   std::move(eq_flags)),
+        set_operands);
+    for (Operation *op : body_ops)
+        guard.thenBlock()->pushBack(body->take(op));
+    return true;
+}
+
+} // namespace
+
+bool
+applyRemoveVariableBound(Operation *outermost)
+{
+    assert(isa(outermost, ops::AffineFor));
+    bool changed = false;
+    for (Operation *loop : getLoopNest(outermost))
+        changed |= removeVariableBounds(AffineForOp(loop));
+    return changed;
+}
+
+} // namespace scalehls

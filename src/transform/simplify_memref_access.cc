@@ -1,0 +1,106 @@
+/**
+ * @file
+ * -simplify-memref-access (paper Section V-D): folds identical memory
+ * access operations when no dependency conflict exists — duplicate loads of
+ * the same address in a block with no intervening write to the memref
+ * collapse into one.
+ */
+
+#include <map>
+
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+struct LoadKey
+{
+    Value *memref;
+    std::string map;
+    std::vector<Value *> operands;
+
+    bool
+    operator<(const LoadKey &other) const
+    {
+        if (memref != other.memref)
+            return memref < other.memref;
+        if (map != other.map)
+            return map < other.map;
+        return operands < other.operands;
+    }
+};
+
+bool
+simplifyBlock(Block *block)
+{
+    bool changed = false;
+    std::map<LoadKey, Operation *> available;
+    auto invalidate = [&](Value *memref) {
+        for (auto it = available.begin(); it != available.end();) {
+            if (it->first.memref == memref)
+                it = available.erase(it);
+            else
+                ++it;
+        }
+    };
+
+    for (Operation *op : block->opsVector()) {
+        if (op->numRegions() > 0 || op->is(ops::Call) ||
+            op->is(ops::MemCopy)) {
+            std::vector<Value *> touched;
+            op->walk([&](Operation *nested) {
+                if (isMemoryAccess(nested) && isMemoryWrite(nested))
+                    touched.push_back(accessedMemRef(nested));
+            });
+            for (Value *operand : op->operands())
+                if (operand->type().isMemRef())
+                    touched.push_back(operand);
+            for (Value *memref : touched)
+                invalidate(memref);
+            continue;
+        }
+        if (isMemoryWrite(op)) {
+            invalidate(accessedMemRef(op));
+            continue;
+        }
+        if (!isMemoryAccess(op))
+            continue;
+
+        LoadKey key;
+        key.memref = accessedMemRef(op);
+        if (op->is(ops::AffineLoad)) {
+            key.map = AffineLoadOp(op).map().toString();
+            key.operands = AffineLoadOp(op).mapOperands();
+        } else {
+            for (unsigned i = 1; i < op->numOperands(); ++i)
+                key.operands.push_back(op->operand(i));
+        }
+        auto [it, inserted] = available.emplace(key, op);
+        if (!inserted) {
+            op->replaceAllUsesWith(it->second);
+            op->erase();
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+applySimplifyMemrefAccess(Operation *scope)
+{
+    bool changed = false;
+    std::vector<Block *> blocks;
+    scope->walk([&](Operation *op) {
+        for (unsigned i = 0; i < op->numRegions(); ++i)
+            for (auto &block : op->region(i).blocks())
+                blocks.push_back(block.get());
+    });
+    for (Block *block : blocks)
+        changed |= simplifyBlock(block);
+    return changed;
+}
+
+} // namespace scalehls

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * -split-function (paper Section V-A2): outlines each group of min-gran
+ * adjacent dataflow stages into a sub-function and replaces the group with
+ * a call, exposing the throughput-area tradeoff of dataflow granularity
+ * (paper Fig. 4d).
+ */
+
+#include <map>
+
+#include "dialect/graph_ops.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+bool
+applySplitFunction(Operation *module, Operation *func, int64_t min_gran)
+{
+    assert(isa(module, ops::Module) && isa(func, ops::Func));
+    if (min_gran < 1)
+        min_gran = 1;
+    Block *body = funcBody(func);
+
+    // Group staged ops by merged stage id (stage / min_gran).
+    std::map<int64_t, std::vector<Operation *>> groups;
+    for (auto &op : body->ops()) {
+        Attribute stage = op->attr(kDataflowStage);
+        if (stage.is<int64_t>())
+            groups[stage.getInt() / min_gran].push_back(op.get());
+    }
+    if (groups.size() < 2)
+        return false; // Nothing to split.
+
+    Operation *ret = body->back();
+    assert(ret->is(ops::Return));
+
+    // Values replaced by call results so far.
+    std::map<Value *, Value *> replacement;
+    auto resolve = [&](Value *v) {
+        auto it = replacement.find(v);
+        return it == replacement.end() ? v : it->second;
+    };
+
+    int64_t index = 0;
+    for (auto &[group_id, group_ops] : groups) {
+        // Inputs: operands defined outside the group. Outputs: results
+        // used outside the group.
+        std::vector<Value *> inputs;
+        std::vector<Value *> outputs;
+        auto inGroup = [&](Operation *op) {
+            for (Operation *member : group_ops)
+                if (member == op)
+                    return true;
+            return false;
+        };
+        for (Operation *op : group_ops) {
+            for (Value *operand : op->operands()) {
+                Operation *def = operand->definingOp();
+                if (def && inGroup(def))
+                    continue;
+                if (std::find(inputs.begin(), inputs.end(), operand) ==
+                    inputs.end())
+                    inputs.push_back(operand);
+            }
+            for (Value *result : op->results()) {
+                bool external = false;
+                for (Operation *user : result->users())
+                    external |= !inGroup(user);
+                if (external)
+                    outputs.push_back(result);
+            }
+        }
+
+        // Create the sub-function.
+        std::string sub_name =
+            funcName(func) + "_dataflow" + std::to_string(index++);
+        std::vector<Type> arg_types;
+        for (Value *input : inputs)
+            arg_types.push_back(input->type());
+        Operation *sub_func = createFunc(module, sub_name, arg_types);
+        sub_func->setAttr(kDataflowStage, group_id);
+        Block *sub_body = funcBody(sub_func);
+        Operation *sub_ret = sub_body->back();
+
+        // Move the group ops and retarget their external operands to the
+        // new arguments.
+        for (Operation *op : group_ops)
+            sub_body->insertBefore(sub_ret, body->take(op));
+        for (Operation *op : group_ops) {
+            op->walk([&](Operation *nested) {
+                for (unsigned i = 0; i < nested->numOperands(); ++i) {
+                    Value *operand = nested->operand(i);
+                    for (unsigned k = 0; k < inputs.size(); ++k)
+                        if (operand == inputs[k])
+                            nested->setOperand(i, sub_body->argument(k));
+                }
+            });
+        }
+        sub_ret->setOperands(outputs);
+
+        // Build the call in the original function (before func.return,
+        // in stage order) and redirect uses outside the sub-function.
+        std::vector<Type> result_types;
+        for (Value *output : outputs)
+            result_types.push_back(output->type());
+        std::vector<Value *> call_operands;
+        for (Value *input : inputs)
+            call_operands.push_back(resolve(input));
+        OpBuilder b(body, ret);
+        Operation *call =
+            b.create(std::string(ops::Call), result_types, call_operands,
+                     {{kCallee, Attribute(sub_name)}});
+        auto insideSubFunc = [&](Operation *user) {
+            for (Operation *p = user; p; p = p->parentOp())
+                if (p == sub_func)
+                    return true;
+            return false;
+        };
+        for (unsigned k = 0; k < outputs.size(); ++k) {
+            auto users = outputs[k]->users();
+            for (Operation *user : users) {
+                if (insideSubFunc(user))
+                    continue;
+                for (unsigned i = 0; i < user->numOperands(); ++i)
+                    if (user->operand(i) == outputs[k])
+                        user->setOperand(i, call->result(k));
+            }
+            replacement[outputs[k]] = call->result(k);
+        }
+    }
+
+    FuncDirective d = getFuncDirective(func);
+    d.dataflow = true;
+    setFuncDirective(func, d);
+    return true;
+}
+
+} // namespace scalehls

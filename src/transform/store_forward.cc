@@ -1,0 +1,184 @@
+/**
+ * @file
+ * -affine-store-forward (paper Section V-D): store-to-load forwarding,
+ * dead-store elimination and removal of write-only local buffers. Operates
+ * block-locally (the structured IR keeps blocks short and this matches what
+ * downstream HLS needs after unrolling).
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+/** A memory address key: memref + map + operand identities. */
+struct AddressKey
+{
+    Value *memref;
+    std::string map;
+    std::vector<Value *> operands;
+
+    bool
+    operator<(const AddressKey &other) const
+    {
+        if (memref != other.memref)
+            return memref < other.memref;
+        if (map != other.map)
+            return map < other.map;
+        return operands < other.operands;
+    }
+};
+
+std::optional<AddressKey>
+addressOf(Operation *op)
+{
+    AddressKey key;
+    key.memref = accessedMemRef(op);
+    if (op->is(ops::AffineLoad)) {
+        key.map = AffineLoadOp(op).map().toString();
+        key.operands = AffineLoadOp(op).mapOperands();
+    } else if (op->is(ops::AffineStore)) {
+        key.map = AffineStoreOp(op).map().toString();
+        key.operands = AffineStoreOp(op).mapOperands();
+    } else {
+        unsigned first = op->is(ops::MemLoad) ? 1 : 2;
+        for (unsigned i = first; i < op->numOperands(); ++i)
+            key.operands.push_back(op->operand(i));
+    }
+    return key;
+}
+
+/** Forward stores to loads within one block. Region-bearing ops (loops,
+ * ifs, calls) conservatively invalidate memrefs they may touch. */
+bool
+forwardInBlock(Block *block)
+{
+    bool changed = false;
+    // Last store per address, and whether a load of that address consumed
+    // state since (to keep dead-store elimination correct).
+    std::map<AddressKey, Operation *> last_store;
+    std::map<AddressKey, bool> store_read;
+    // Memrefs invalidated for forwarding (unknown writes).
+    auto invalidateMemRef = [&](Value *memref) {
+        for (auto it = last_store.begin(); it != last_store.end();) {
+            if (it->first.memref == memref) {
+                store_read.erase(it->first);
+                it = last_store.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    for (Operation *op : block->opsVector()) {
+        if (op->numRegions() > 0 || op->is(ops::Call)) {
+            // Unknown effects: invalidate memrefs accessed inside.
+            std::vector<Value *> touched;
+            op->walk([&](Operation *nested) {
+                if (isMemoryAccess(nested))
+                    touched.push_back(accessedMemRef(nested));
+            });
+            if (op->is(ops::Call) || op->is(ops::MemCopy)) {
+                for (Value *operand : op->operands())
+                    if (operand->type().isMemRef())
+                        touched.push_back(operand);
+            }
+            for (Value *memref : touched)
+                invalidateMemRef(memref);
+            continue;
+        }
+        if (isMemoryWrite(op)) {
+            auto key = addressOf(op);
+            // Dead-store elimination: an unread store to the identical
+            // address is overwritten by this one.
+            auto prior = last_store.find(*key);
+            if (prior != last_store.end() && !store_read[*key]) {
+                prior->second->erase();
+                changed = true;
+            }
+            // A store with a non-identical address may alias every tracked
+            // address of the same memref.
+            invalidateMemRef(key->memref);
+            last_store[*key] = op;
+            store_read[*key] = false;
+            continue;
+        }
+        if (isMemoryAccess(op)) { // A load.
+            auto key = addressOf(op);
+            auto it = last_store.find(*key);
+            if (it != last_store.end()) {
+                Value *stored = it->second->operand(0);
+                op->result(0)->replaceAllUsesWith(stored);
+                op->erase();
+                changed = true;
+            } else {
+                // Loads of the memref block dead-store elimination.
+                for (auto &[tracked, read] : store_read)
+                    if (tracked.memref == key->memref)
+                        read = true;
+            }
+            continue;
+        }
+        if (op->is(ops::MemCopy)) {
+            invalidateMemRef(op->operand(0));
+            invalidateMemRef(op->operand(1));
+        }
+    }
+    return changed;
+}
+
+/** Erase stores (and finally allocs) of locally-allocated buffers that are
+ * never read. */
+bool
+removeWriteOnlyBuffers(Operation *scope)
+{
+    bool changed = false;
+    std::vector<Operation *> allocs = scope->collect(ops::Alloc);
+    for (Operation *alloc : allocs) {
+        Value *memref = alloc->result(0);
+        bool only_stores = true;
+        for (Operation *user : memref->users()) {
+            bool is_store = isMemoryWrite(user) &&
+                            accessedMemRef(user) == memref &&
+                            user->operand(0) != memref;
+            if (!is_store) {
+                only_stores = false;
+                break;
+            }
+        }
+        if (!only_stores)
+            continue;
+        for (Operation *user : std::vector<Operation *>(
+                 memref->users().begin(), memref->users().end()))
+            user->erase();
+        alloc->erase();
+        changed = true;
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+applyAffineStoreForward(Operation *scope)
+{
+    bool changed = false;
+    std::vector<Block *> blocks;
+    scope->walk([&](Operation *op) {
+        for (unsigned i = 0; i < op->numRegions(); ++i)
+            for (auto &block : op->region(i).blocks())
+                blocks.push_back(block.get());
+    });
+    if (Block *own = scope->parentBlock(); own == nullptr && blocks.empty())
+        return false;
+    for (Block *block : blocks)
+        changed |= forwardInBlock(block);
+    changed |= removeWriteOnlyBuffers(scope);
+    return changed;
+}
+
+} // namespace scalehls

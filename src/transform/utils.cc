@@ -1,0 +1,174 @@
+#include "transform/utils.h"
+
+#include <algorithm>
+
+#include "support/utils.h"
+
+namespace scalehls {
+
+Value *
+materializeExpr(OpBuilder &b, const AffineExpr &expr,
+                const std::vector<Value *> &operands)
+{
+    switch (expr.kind()) {
+      case AffineExprKind::Constant:
+        return createConstantIndex(b, expr.constantValue())->result(0);
+      case AffineExprKind::DimId:
+        assert(expr.position() < operands.size());
+        return operands[expr.position()];
+      case AffineExprKind::SymbolId:
+        fatal("cannot materialize symbolic affine expression");
+      default: {
+        Value *lhs = materializeExpr(b, expr.lhs(), operands);
+        Value *rhs = materializeExpr(b, expr.rhs(), operands);
+        std::string_view name;
+        switch (expr.kind()) {
+          case AffineExprKind::Add:
+            name = ops::AddI;
+            break;
+          case AffineExprKind::Mul:
+            name = ops::MulI;
+            break;
+          case AffineExprKind::Mod:
+            name = ops::RemSI;
+            break;
+          case AffineExprKind::FloorDiv:
+          case AffineExprKind::CeilDiv:
+            name = ops::DivSI;
+            break;
+          default:
+            fatal("unexpected affine expression kind");
+        }
+        return createBinary(b, name, lhs, rhs)->result(0);
+      }
+    }
+}
+
+AffineMap
+rebuildMapWithoutIV(const AffineMap &map, std::vector<Value *> &operands,
+                    Value *iv, const AffineExpr &repl,
+                    const std::vector<Value *> &repl_operands)
+{
+    // New operand list: old operands minus iv, plus repl_operands (deduped).
+    std::vector<Value *> new_operands;
+    auto operandDim = [&](Value *v) -> unsigned {
+        auto it = std::find(new_operands.begin(), new_operands.end(), v);
+        if (it != new_operands.end())
+            return it - new_operands.begin();
+        new_operands.push_back(v);
+        return new_operands.size() - 1;
+    };
+
+    std::vector<AffineExpr> dim_repls(operands.size());
+    for (unsigned p = 0; p < operands.size(); ++p) {
+        if (operands[p] == iv) {
+            // Compose repl with its operands mapped into new positions.
+            std::vector<AffineExpr> inner(repl_operands.size());
+            for (unsigned i = 0; i < repl_operands.size(); ++i)
+                inner[i] = getAffineDimExpr(operandDim(repl_operands[i]));
+            dim_repls[p] = repl.replaceDimsAndSymbols(inner);
+        } else {
+            dim_repls[p] = getAffineDimExpr(operandDim(operands[p]));
+        }
+    }
+
+    AffineMap new_map = map.replaceDims(dim_repls, new_operands.size());
+    operands = new_operands;
+    return new_map;
+}
+
+namespace {
+
+/** Rewrite an IntegerSet the same way rebuildMapWithoutIV rewrites a map. */
+IntegerSet
+rebuildSetWithoutIV(const IntegerSet &set, std::vector<Value *> &operands,
+                    Value *iv, const AffineExpr &repl,
+                    const std::vector<Value *> &repl_operands)
+{
+    AffineMap map(set.numDims(), 0, set.constraints());
+    AffineMap new_map =
+        rebuildMapWithoutIV(map, operands, iv, repl, repl_operands);
+    return IntegerSet(new_map.numDims(), new_map.results(), set.eqFlags());
+}
+
+} // namespace
+
+void
+substituteIV(Operation *root, Value *iv, const AffineExpr &repl,
+             const std::vector<Value *> &repl_operands,
+             OpBuilder &materialize_builder)
+{
+    Value *materialized = nullptr;
+    auto getMaterialized = [&]() {
+        if (!materialized)
+            materialized =
+                materializeExpr(materialize_builder, repl, repl_operands);
+        return materialized;
+    };
+
+    root->walk([&](Operation *op) {
+        bool uses_iv = false;
+        for (Value *operand : op->operands())
+            uses_iv |= (operand == iv);
+        if (!uses_iv)
+            return;
+
+        if (op->is(ops::AffineLoad) || op->is(ops::AffineStore)) {
+            bool is_load = op->is(ops::AffineLoad);
+            unsigned first = is_load ? 1 : 2;
+            std::vector<Value *> map_operands;
+            for (unsigned i = first; i < op->numOperands(); ++i)
+                map_operands.push_back(op->operand(i));
+            AffineMap new_map = rebuildMapWithoutIV(
+                op->attr(kMap).getAffineMap(), map_operands, iv, repl,
+                repl_operands);
+            std::vector<Value *> all;
+            if (is_load) {
+                all = {op->operand(0)};
+            } else {
+                all = {op->operand(0), op->operand(1)};
+            }
+            all.insert(all.end(), map_operands.begin(), map_operands.end());
+            op->setOperands(all);
+            op->setAttr(kMap, new_map);
+            return;
+        }
+        if (op->is(ops::AffineIf)) {
+            std::vector<Value *> operands = op->operands();
+            IntegerSet new_set = rebuildSetWithoutIV(
+                AffineIfOp(op).condition(), operands, iv, repl,
+                repl_operands);
+            op->setOperands(operands);
+            op->setAttr(kCondition, new_set);
+            return;
+        }
+        if (op->is(ops::AffineFor)) {
+            AffineForOp for_op(op);
+            std::vector<Value *> lb_operands = for_op.lowerBoundOperands();
+            std::vector<Value *> ub_operands = for_op.upperBoundOperands();
+            AffineMap lb = for_op.lowerBoundMap();
+            AffineMap ub = for_op.upperBoundMap();
+            bool lb_uses = std::count(lb_operands.begin(), lb_operands.end(),
+                                      iv) > 0;
+            bool ub_uses = std::count(ub_operands.begin(), ub_operands.end(),
+                                      iv) > 0;
+            if (lb_uses)
+                lb = rebuildMapWithoutIV(lb, lb_operands, iv, repl,
+                                         repl_operands);
+            if (ub_uses)
+                ub = rebuildMapWithoutIV(ub, ub_operands, iv, repl,
+                                         repl_operands);
+            if (lb_uses || ub_uses) {
+                for_op.setLowerBound(lb, lb_operands);
+                for_op.setUpperBound(ub, ub_operands);
+            }
+            return;
+        }
+        // Plain SSA use: materialize the expression once.
+        for (unsigned i = 0; i < op->numOperands(); ++i)
+            if (op->operand(i) == iv)
+                op->setOperand(i, getMaterialized());
+    });
+}
+
+} // namespace scalehls

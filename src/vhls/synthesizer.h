@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The virtual HLS synthesizer: this project's substitute for Xilinx Vivado
+ * HLS 2019.1 (which generated all QoR numbers in the paper and is not
+ * available offline). It implements the documented Vivado HLS semantics at
+ * the scheduling level:
+ *
+ *  - resource-constrained list scheduling of straight-line regions with
+ *    shared functional units and finite memory ports;
+ *  - pipelined loops with II bounded by recurrences and bank conflicts,
+ *    latency = depth + II * (trip - 1);
+ *  - loop flattening of perfect nests, dataflow interval = slowest stage;
+ *  - DSP/LUT/BRAM allocation with operator sharing under II.
+ *
+ * Absolute cycle counts differ from the real tool, but the response to
+ * directives (pipeline, unroll, partition, dataflow) follows the same
+ * mechanisms, which is what the paper's experiments exercise.
+ */
+
+#ifndef SCALEHLS_VHLS_SYNTHESIZER_H
+#define SCALEHLS_VHLS_SYNTHESIZER_H
+
+#include <map>
+
+#include "estimate/qor_estimator.h"
+
+namespace scalehls {
+
+/** A synthesis report, mirroring the fields the paper quotes from Vivado
+ * HLS reports. */
+struct SynthesisReport
+{
+    int64_t latency = 0;  ///< Cycles per frame.
+    int64_t interval = 0; ///< Initiation interval of the top module.
+    ResourceUsage usage;
+    ResourceBudget budget;
+    bool feasible = true;
+
+    bool fits() const { return budget.fits(usage); }
+    double dspUtil() const
+    {
+        return budget.dsp ? 100.0 * usage.dsp / budget.dsp : 0;
+    }
+    double lutUtil() const
+    {
+        return budget.lut ? 100.0 * usage.lut / budget.lut : 0;
+    }
+    double memUtil() const
+    {
+        return budget.memoryBits
+                   ? 100.0 * usage.memoryBits / budget.memoryBits
+                   : 0;
+    }
+};
+
+/** Cycle-level synthesis model of a module against a device budget. */
+class VirtualSynthesizer
+{
+  public:
+    VirtualSynthesizer(Operation *module, ResourceBudget budget)
+        : module_(module), budget_(std::move(budget))
+    {}
+
+    /** Synthesize the top function. */
+    SynthesisReport synthesize();
+    /** Synthesize a specific function. */
+    SynthesisReport synthesizeFunc(Operation *func);
+
+    /** Drop memoized per-function reports. */
+    void invalidate() { cache_.clear(); }
+
+  private:
+    struct RegionResult
+    {
+        int64_t latency = 0;
+        bool feasible = true;
+    };
+
+    /** Resource-constrained list scheduling of one block: shared units
+     * (one instance per op kind) and per-bank memory port limits. */
+    RegionResult scheduleBlock(Block *block, bool share_units);
+    RegionResult scheduleLoop(Operation *loop);
+    int64_t opLatency(Operation *op, bool &feasible);
+
+    Operation *module_;
+    ResourceBudget budget_;
+    std::map<Operation *, SynthesisReport> cache_;
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_VHLS_SYNTHESIZER_H

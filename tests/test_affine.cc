@@ -1,0 +1,171 @@
+/** @file Unit and property tests for affine expressions, maps and sets. */
+
+#include <gtest/gtest.h>
+
+#include "ir/affine_map.h"
+#include "ir/integer_set.h"
+
+namespace scalehls {
+namespace {
+
+TEST(AffineExpr, ConstantFolding)
+{
+    AffineExpr e = getAffineConstantExpr(3) + getAffineConstantExpr(4);
+    ASSERT_TRUE(e.isConstant());
+    EXPECT_EQ(e.constantValue(), 7);
+
+    e = getAffineConstantExpr(3) * getAffineConstantExpr(-4);
+    EXPECT_EQ(e.constantValue(), -12);
+
+    e = affineMod(getAffineConstantExpr(-7), 3);
+    EXPECT_EQ(e.constantValue(), 2);
+
+    e = affineFloorDiv(getAffineConstantExpr(-7), 2);
+    EXPECT_EQ(e.constantValue(), -4);
+
+    e = affineCeilDiv(getAffineConstantExpr(7), 2);
+    EXPECT_EQ(e.constantValue(), 4);
+}
+
+TEST(AffineExpr, Identities)
+{
+    AffineExpr d0 = getAffineDimExpr(0);
+    EXPECT_TRUE((d0 + 0).equals(d0));
+    EXPECT_TRUE((d0 * 1).equals(d0));
+    EXPECT_TRUE((d0 * 0).isConstantEqual(0));
+    EXPECT_TRUE(affineFloorDiv(d0, 1).equals(d0));
+    EXPECT_TRUE(affineMod(d0, 1).isConstantEqual(0));
+}
+
+TEST(AffineExpr, ConstantsCollect)
+{
+    // (d0 + 2) + 3 -> d0 + 5.
+    AffineExpr e = (getAffineDimExpr(0) + 2) + 3;
+    EXPECT_EQ(e.kind(), AffineExprKind::Add);
+    EXPECT_TRUE(e.rhs().isConstantEqual(5));
+}
+
+TEST(AffineExpr, Evaluate)
+{
+    // d0 * 2 + d1 mod 3
+    AffineExpr e =
+        getAffineDimExpr(0) * 2 + affineMod(getAffineDimExpr(1), 3);
+    EXPECT_EQ(e.evaluate({5, 7}), 11);
+    EXPECT_EQ(e.evaluate({0, 2}), 2);
+}
+
+TEST(AffineExpr, ReplaceDims)
+{
+    // d0 + d1 with d0 -> d2 * 4: composition works.
+    AffineExpr e = getAffineDimExpr(0) + getAffineDimExpr(1);
+    AffineExpr replaced = e.replaceDimsAndSymbols(
+        {getAffineDimExpr(2) * 4, getAffineDimExpr(1)});
+    EXPECT_EQ(replaced.evaluate({0, 5, 3}), 17);
+}
+
+TEST(AffineExpr, InvolvesDim)
+{
+    AffineExpr e = getAffineDimExpr(0) + getAffineDimExpr(2) * 3;
+    EXPECT_TRUE(e.involvesDim(0));
+    EXPECT_FALSE(e.involvesDim(1));
+    EXPECT_TRUE(e.involvesDim(2));
+    EXPECT_EQ(e.maxDimPosition(), 2);
+}
+
+TEST(AffineExpr, LinearCoefficients)
+{
+    AffineExpr e = getAffineDimExpr(0) * 3 + getAffineDimExpr(1) + 7;
+    auto coeffs = e.linearCoefficients(2);
+    ASSERT_TRUE(coeffs);
+    EXPECT_EQ(*coeffs, (std::vector<int64_t>{3, 1, 7}));
+
+    // Mod is not linear.
+    EXPECT_FALSE(affineMod(getAffineDimExpr(0), 2).linearCoefficients(1));
+}
+
+TEST(AffineExpr, EqualityStructural)
+{
+    AffineExpr a = getAffineDimExpr(0) + 1;
+    AffineExpr b = getAffineDimExpr(0) + 1;
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_FALSE(a.equals(getAffineDimExpr(0) + 2));
+    // Subtraction constructs x + (-1)*y; equal expressions still match.
+    AffineExpr d = getAffineDimExpr(1) - getAffineDimExpr(0);
+    EXPECT_TRUE(d.equals(getAffineDimExpr(1) - getAffineDimExpr(0)));
+}
+
+TEST(AffineMap, IdentityAndConstant)
+{
+    AffineMap id = AffineMap::identity(3);
+    EXPECT_TRUE(id.isIdentity());
+    EXPECT_EQ(id.evaluate({4, 5, 6}), (std::vector<int64_t>{4, 5, 6}));
+
+    AffineMap c = AffineMap::constant({0, 16});
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.evaluate({}), (std::vector<int64_t>{0, 16}));
+}
+
+TEST(AffineMap, PartitionStyleMap)
+{
+    // Paper Fig. 3(b): (d0, d1) -> (d0 mod 2, 0, d0 floordiv 2, d1).
+    AffineExpr d0 = getAffineDimExpr(0);
+    AffineExpr d1 = getAffineDimExpr(1);
+    AffineMap map(2, 0,
+                  {affineMod(d0, 2), getAffineConstantExpr(0),
+                   affineFloorDiv(d0, 2), d1});
+    EXPECT_EQ(map.evaluate({5, 3}), (std::vector<int64_t>{1, 0, 2, 3}));
+    EXPECT_EQ(map.evaluate({4, 7}), (std::vector<int64_t>{0, 0, 2, 7}));
+}
+
+TEST(AffineMap, ReplaceDims)
+{
+    AffineMap map = AffineMap::get(1, getAffineDimExpr(0) + 1);
+    AffineMap shifted = map.replaceDims({getAffineDimExpr(0) * 2}, 1);
+    EXPECT_EQ(shifted.evaluate({3}), (std::vector<int64_t>{7}));
+}
+
+TEST(IntegerSet, Evaluate)
+{
+    // d0 - d1 >= 0 && d0 == 3.
+    IntegerSet set(2,
+                   {getAffineDimExpr(0) - getAffineDimExpr(1),
+                    getAffineDimExpr(0) - 3},
+                   {false, true});
+    EXPECT_TRUE(set.evaluate({3, 2}));
+    EXPECT_TRUE(set.evaluate({3, 3}));
+    EXPECT_FALSE(set.evaluate({3, 4}));
+    EXPECT_FALSE(set.evaluate({4, 2}));
+}
+
+TEST(IntegerSet, Equality)
+{
+    IntegerSet a = IntegerSet::get(1, getAffineDimExpr(0), false);
+    IntegerSet b = IntegerSet::get(1, getAffineDimExpr(0), false);
+    IntegerSet c = IntegerSet::get(1, getAffineDimExpr(0), true);
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_FALSE(a.equals(c));
+}
+
+/** Property: evaluation commutes with dim replacement. */
+class AffineComposeProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>>
+{};
+
+TEST_P(AffineComposeProperty, SubstituteThenEvaluate)
+{
+    auto [x, y] = GetParam();
+    // e = 3*d0 + d1 mod 4; substitute d0 -> d0 + 2.
+    AffineExpr e =
+        getAffineDimExpr(0) * 3 + affineMod(getAffineDimExpr(1), 4);
+    AffineExpr sub = e.replaceDimsAndSymbols(
+        {getAffineDimExpr(0) + 2, getAffineDimExpr(1)});
+    EXPECT_EQ(sub.evaluate({x, y}), e.evaluate({x + 2, y}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AffineComposeProperty,
+    ::testing::Combine(::testing::Values(0, 1, 5, 13, 100),
+                       ::testing::Values(0, 3, 4, 9)));
+
+} // namespace
+} // namespace scalehls

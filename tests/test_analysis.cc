@@ -1,0 +1,218 @@
+/** @file Tests for loop and memory analyses. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/memory_analysis.h"
+#include "frontend/irgen.h"
+#include "model/polybench.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+namespace {
+
+std::unique_ptr<Operation>
+affineModule(const std::string &source)
+{
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    return module;
+}
+
+TEST(LoopAnalysis, BandExtraction)
+{
+    auto module = affineModule(polybenchSource("gemm", 16));
+    Operation *func = getTopFunc(module.get());
+    auto bands = getLoopBands(func);
+    ASSERT_EQ(bands.size(), 1u);
+    EXPECT_EQ(bands[0].size(), 3u);
+    EXPECT_FALSE(isPerfectNest(bands[0])); // C[i][j] *= beta in between.
+    EXPECT_EQ(loopDepth(bands[0][2]), 2);
+    EXPECT_TRUE(containsLoops(bands[0][0]));
+    EXPECT_FALSE(containsLoops(bands[0][2]));
+}
+
+TEST(LoopAnalysis, MultiBand)
+{
+    auto module = affineModule(polybenchSource("bicg", 16));
+    Operation *func = getTopFunc(module.get());
+    auto bands = getLoopBands(func);
+    ASSERT_EQ(bands.size(), 2u); // s-init loop + main nest.
+    EXPECT_EQ(bands[0].size(), 1u);
+    EXPECT_EQ(bands[1].size(), 2u);
+}
+
+TEST(LoopAnalysis, TripCounts)
+{
+    auto module = affineModule(polybenchSource("gemm", 32));
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    for (Operation *loop : band)
+        EXPECT_EQ(getTripCount(AffineForOp(loop)), 32);
+    EXPECT_EQ(getBandTripCount(band), 32 * 32 * 32);
+}
+
+TEST(LoopAnalysis, TriangularWorstCaseTrip)
+{
+    auto module = affineModule(polybenchSource("syrk", 16));
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    // j-loop: 0 <= j < i+1 with i in [0,15]: worst case 16.
+    EXPECT_EQ(getTripCount(AffineForOp(band[1])), 16);
+}
+
+TEST(LoopAnalysis, IVRanges)
+{
+    auto module = affineModule(polybenchSource("trmm", 8));
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    auto i_range = getIVRange(AffineForOp(band[0]).inductionVar());
+    ASSERT_TRUE(i_range);
+    EXPECT_EQ(*i_range, (std::pair<int64_t, int64_t>{0, 7}));
+    // k in [i+1, 8): min 1, max 7.
+    auto k_range = getIVRange(AffineForOp(band[2]).inductionVar());
+    ASSERT_TRUE(k_range);
+    EXPECT_EQ(k_range->first, 1);
+    EXPECT_EQ(k_range->second, 7);
+}
+
+TEST(MemoryAnalysis, CollectAndNormalize)
+{
+    auto module = affineModule(polybenchSource("gemm", 16));
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    auto accesses = collectAccesses(band[0], bandIVs(band));
+    // C: load+store (beta), load+store (accum); A, B: one load each.
+    EXPECT_EQ(accesses.size(), 6u);
+    for (const MemAccess &access : accesses)
+        EXPECT_TRUE(access.normalized);
+    auto groups = groupByMemRef(accesses);
+    EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(MemoryAnalysis, PartitionMetricCyclic)
+{
+    // Two accesses at distance 2 in dim 0 (paper SYRK example):
+    // P = 2 / 2 = 1 -> cyclic with factor 2.
+    auto module =
+        affineModule("void k(float C[16][16]) {\n"
+                     "  for (int i = 0; i < 8; i++)\n"
+                     "    for (int j = 0; j < 16; j++) {\n"
+                     "      C[2 * i][j] = 0.0;\n"
+                     "      C[2 * i + 1][j] = 1.0;\n"
+                     "    }\n"
+                     "}");
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    auto accesses = collectAccesses(band[0], bandIVs(band));
+    Value *memref = accesses[0].memref;
+    PartitionPlan plan = computePartitionPlan(memref, accesses);
+    EXPECT_EQ(plan.kinds[0], PartitionKind::Cyclic);
+    EXPECT_EQ(plan.factors[0], 2);
+    EXPECT_EQ(plan.kinds[1], PartitionKind::None);
+    EXPECT_EQ(plan.totalBanks(), 2);
+}
+
+TEST(MemoryAnalysis, PartitionMetricBlock)
+{
+    // Accesses at distance 8 with only 2 unique indices: P = 2/9 < 1 ->
+    // block partition.
+    auto module = affineModule("void k(float A[16]) {\n"
+                               "  for (int i = 0; i < 8; i++) {\n"
+                               "    A[i] = 0.0;\n"
+                               "    A[i + 8] = 1.0;\n"
+                               "  }\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    auto accesses = collectAccesses(band[0], bandIVs(band));
+    PartitionPlan plan =
+        computePartitionPlan(accesses[0].memref, accesses);
+    EXPECT_EQ(plan.kinds[0], PartitionKind::Block);
+    EXPECT_EQ(plan.factors[0], 2);
+}
+
+TEST(MemoryAnalysis, PartitionMapRoundTrip)
+{
+    PartitionPlan plan;
+    plan.kinds = {PartitionKind::Cyclic, PartitionKind::None,
+                  PartitionKind::Block};
+    plan.factors = {4, 1, 2};
+    std::vector<int64_t> shape = {16, 8, 10};
+    AffineMap map = buildPartitionMap(plan, shape);
+    EXPECT_EQ(map.numResults(), 6u);
+    PartitionPlan decoded = decodePartitionMap(map, shape);
+    EXPECT_EQ(decoded.kinds, plan.kinds);
+    EXPECT_EQ(decoded.factors, plan.factors);
+
+    // Bank of element (5, 3, 7): cyclic 5%4=1, none 0, block 7/5=1.
+    auto banks = map.evaluate({5, 3, 7});
+    EXPECT_EQ(banks[0], 1);
+    EXPECT_EQ(banks[1], 0);
+    EXPECT_EQ(banks[2], 1);
+}
+
+TEST(MemoryAnalysis, TrivialPlanHasNoLayout)
+{
+    PartitionPlan plan;
+    plan.kinds = {PartitionKind::None};
+    plan.factors = {1};
+    EXPECT_TRUE(plan.isTrivial());
+    EXPECT_TRUE(buildPartitionMap(plan, {8}).empty());
+}
+
+TEST(MemoryAnalysis, RecurrenceDetection)
+{
+    // GEMM: C[i][j] accumulation carried by k (innermost).
+    auto module = affineModule(polybenchSource("gemm", 16));
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    auto recurrences = findRecurrences(band);
+    ASSERT_FALSE(recurrences.empty());
+    bool carried_by_k = false;
+    for (const Recurrence &rec : recurrences)
+        carried_by_k |= (rec.carriedLevel == 2 && rec.flatDistance == 1);
+    EXPECT_TRUE(carried_by_k);
+}
+
+TEST(MemoryAnalysis, NoRecurrenceWhenAllDimsUsed)
+{
+    auto module = affineModule("void k(float A[8][8]) {\n"
+                               "  for (int i = 0; i < 8; i++)\n"
+                               "    for (int j = 0; j < 8; j++)\n"
+                               "      A[i][j] = A[i][j] * 2.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    EXPECT_TRUE(findRecurrences(band).empty());
+}
+
+/** Property: partition factors never exceed the dimension size. */
+class PartitionFactorProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PartitionFactorProperty, FactorBounded)
+{
+    int unroll = GetParam();
+    std::ostringstream source;
+    source << "void k(float A[8]) {\n  for (int i = 0; i < 8; i += "
+           << unroll << ") {\n";
+    for (int u = 0; u < unroll; ++u)
+        source << "    A[i + " << u << "] = 1.0;\n";
+    source << "  }\n}\n";
+    auto module = affineModule(source.str());
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    auto accesses = collectAccesses(band[0], bandIVs(band));
+    PartitionPlan plan =
+        computePartitionPlan(accesses[0].memref, accesses);
+    EXPECT_LE(plan.factors[0], 8);
+    EXPECT_EQ(plan.factors[0], std::min(unroll, 8));
+    if (unroll > 1)
+        EXPECT_EQ(plan.kinds[0], PartitionKind::Cyclic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionFactorProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace scalehls

@@ -1,0 +1,172 @@
+/** @file Tests for directive-level transforms: pipelining and array
+ * partitioning. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.h"
+#include "ir/verifier.h"
+#include "model/polybench.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+namespace {
+
+std::unique_ptr<Operation>
+affineModule(const std::string &source)
+{
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    return module;
+}
+
+TEST(Pipelining, UnrollsInnerAndFlattensOuter)
+{
+    auto module = affineModule(polybenchSource("gemm", 8));
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    auto tiled = applyLoopTiling(band, {1, 1, 2});
+    // Pipeline the innermost tile loop: the point loop is fully unrolled.
+    ASSERT_TRUE(applyLoopPipelining(tiled[2], 1));
+    EXPECT_TRUE(verifyOk(module.get()));
+
+    LoopDirective inner = getLoopDirective(tiled[2]);
+    EXPECT_TRUE(inner.pipeline);
+    EXPECT_EQ(inner.targetII, 1);
+    EXPECT_FALSE(inner.flatten);
+    EXPECT_TRUE(getLoopDirective(tiled[1]).flatten);
+    EXPECT_TRUE(getLoopDirective(tiled[0]).flatten);
+    // No loops remain under the pipelined loop.
+    EXPECT_FALSE(containsLoops(tiled[2]));
+}
+
+TEST(Pipelining, FunctionPipelineUnrollsEverything)
+{
+    auto module = affineModule("void k(float A[4][4]) {\n"
+                               "  for (int i = 0; i < 4; i++)\n"
+                               "    for (int j = 0; j < 4; j++)\n"
+                               "      A[i][j] = A[i][j] + 1.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    ASSERT_TRUE(applyFuncPipelining(func, 2));
+    EXPECT_TRUE(func->collect(ops::AffineFor).empty());
+    EXPECT_EQ(func->collect(ops::AffineStore).size(), 16u);
+    FuncDirective d = getFuncDirective(func);
+    EXPECT_TRUE(d.pipeline);
+    EXPECT_EQ(d.targetII, 2);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(Pipelining, RejectsBadII)
+{
+    auto module = affineModule(polybenchSource("gemm", 8));
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    EXPECT_FALSE(applyLoopPipelining(band.back(), 0));
+}
+
+TEST(ArrayPartition, GemmUnrolledGetsCyclicFactors)
+{
+    auto module = affineModule(polybenchSource("gemm", 8));
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    // Tile j by 4 -> unrolled accesses C[i][j..j+3], B[k][j..j+3].
+    auto tiled = applyLoopTiling(band, {1, 4, 1});
+    ASSERT_TRUE(applyLoopPipelining(tiled[2], 1));
+    applyCanonicalize(func);
+    ASSERT_TRUE(applyArrayPartition(func));
+    EXPECT_TRUE(verifyOk(module.get()));
+
+    Block *body = funcBody(func);
+    // Args: alpha, beta, C, A, B.
+    Type c_type = body->argument(2)->type();
+    Type b_type = body->argument(4)->type();
+    PartitionPlan c_plan =
+        decodePartitionMap(c_type.layout(), c_type.shape());
+    PartitionPlan b_plan =
+        decodePartitionMap(b_type.layout(), b_type.shape());
+    EXPECT_EQ(c_plan.factors[1], 4);
+    EXPECT_EQ(c_plan.kinds[1], PartitionKind::Cyclic);
+    EXPECT_EQ(b_plan.factors[1], 4);
+    // A is accessed at a single (i, k) point per iteration: no partition.
+    Type a_type = body->argument(3)->type();
+    EXPECT_TRUE(decodePartitionMap(a_type.layout(), a_type.shape())
+                    .isTrivial());
+}
+
+TEST(ArrayPartition, GuidedPlan)
+{
+    auto module = affineModule(polybenchSource("gemm", 8));
+    Operation *func = getTopFunc(module.get());
+    Value *c_arg = funcBody(func)->argument(2);
+    PartitionPlan plan;
+    plan.kinds = {PartitionKind::Block, PartitionKind::Cyclic};
+    plan.factors = {2, 4};
+    applyPartitionPlan(c_arg, plan);
+    PartitionPlan decoded = decodePartitionMap(
+        c_arg->type().layout(), c_arg->type().shape());
+    EXPECT_EQ(decoded.kinds, plan.kinds);
+    EXPECT_EQ(decoded.factors, plan.factors);
+}
+
+TEST(ArrayPartition, InterProceduralPropagation)
+{
+    // Build a module with a sub-function accessing the caller's array.
+    auto module = affineModule("void sub(float A[16]) {\n"
+                               "  for (int i = 0; i < 8; i++) {\n"
+                               "    A[2 * i] = 0.0;\n"
+                               "    A[2 * i + 1] = 0.0;\n"
+                               "  }\n"
+                               "}\n"
+                               "void top(float A[16]) {\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    A[i] = 1.0;\n"
+                               "}");
+    // Add a call top -> sub.
+    Operation *top = lookupFunc(module.get(), "top");
+    Operation *sub = lookupFunc(module.get(), "sub");
+    setTopFunc(top);
+    Block *body = funcBody(top);
+    OpBuilder b(body, body->back());
+    b.create(std::string(ops::Call), {}, {body->argument(0)},
+             {{kCallee, Attribute("sub")}});
+    ASSERT_TRUE(verifyOk(module.get()));
+
+    ASSERT_TRUE(applyArrayPartition(top));
+    Type caller_type = body->argument(0)->type();
+    Type callee_type = funcBody(sub)->argument(0)->type();
+    PartitionPlan plan =
+        decodePartitionMap(caller_type.layout(), caller_type.shape());
+    EXPECT_EQ(plan.factors[0], 2);
+    // The callee argument type matches the partitioned root.
+    EXPECT_EQ(caller_type, callee_type);
+}
+
+/** Property: across tile widths, the partition factor tracks the unroll
+ * width (paper's observation that partitioning must match parallelism). */
+class PartitionTracksUnroll : public ::testing::TestWithParam<int64_t>
+{};
+
+TEST_P(PartitionTracksUnroll, FactorEqualsTile)
+{
+    int64_t tile = GetParam();
+    auto module = affineModule(polybenchSource("gemm", 16));
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    auto tiled = applyLoopTiling(band, {1, tile, 1});
+    ASSERT_TRUE(applyLoopPipelining(tiled[2], 1));
+    applyCanonicalize(func);
+    applyArrayPartition(func);
+    Type c_type = funcBody(func)->argument(2)->type();
+    PartitionPlan plan =
+        decodePartitionMap(c_type.layout(), c_type.shape());
+    EXPECT_EQ(plan.factors[1], tile);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionTracksUnroll,
+                         ::testing::Values(2, 4, 8, 16));
+
+} // namespace
+} // namespace scalehls

@@ -1,0 +1,225 @@
+/** @file Tests for the DSE engine: Pareto utilities, design space
+ * construction, PCA and the 5-step search. */
+
+#include <gtest/gtest.h>
+
+#include "dse/dse_engine.h"
+#include "dse/pca.h"
+#include "frontend/irgen.h"
+#include "model/polybench.h"
+
+namespace scalehls {
+namespace {
+
+TEST(Pareto, Dominance)
+{
+    QoRPoint a{10, 5};
+    QoRPoint b{20, 5};
+    QoRPoint c{10, 5};
+    QoRPoint d{5, 10};
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, c)); // Equal points do not dominate.
+    EXPECT_FALSE(dominates(a, d)); // Incomparable.
+    EXPECT_FALSE(dominates(d, a));
+}
+
+TEST(Pareto, FrontierExtraction)
+{
+    std::vector<QoRPoint> points = {
+        {100, 1}, {50, 2}, {50, 3}, {10, 10}, {10, 12}, {5, 100}, {200, 1},
+    };
+    auto frontier = paretoIndices(points);
+    // Expected frontier: (5,100), (10,10), (50,2), (100,1).
+    ASSERT_EQ(frontier.size(), 4u);
+    EXPECT_EQ(points[frontier[0]].latency, 5);
+    EXPECT_EQ(points[frontier[1]].latency, 10);
+    EXPECT_EQ(points[frontier[1]].area, 10);
+    EXPECT_EQ(points[frontier[2]].latency, 50);
+    EXPECT_EQ(points[frontier[2]].area, 2);
+    EXPECT_EQ(points[frontier[3]].latency, 100);
+}
+
+TEST(Pareto, FrontierIsMutuallyNonDominated)
+{
+    std::vector<QoRPoint> points;
+    std::mt19937 rng(7);
+    for (int i = 0; i < 200; ++i)
+        points.push_back({rng() % 1000 + 1,
+                          static_cast<int64_t>(rng() % 1000 + 1)});
+    auto frontier = paretoIndices(points);
+    for (size_t a : frontier)
+        for (size_t b : frontier)
+            if (a != b)
+                EXPECT_FALSE(dominates(points[a], points[b]));
+    // Every non-frontier point is dominated by some frontier point.
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool on_frontier = std::find(frontier.begin(), frontier.end(),
+                                     i) != frontier.end();
+        if (on_frontier)
+            continue;
+        bool dominated_or_tied = false;
+        for (size_t f : frontier)
+            dominated_or_tied |= dominates(points[f], points[i]) ||
+                                 (points[f].latency == points[i].latency &&
+                                  points[f].area <= points[i].area);
+        EXPECT_TRUE(dominated_or_tied) << "point " << i;
+    }
+}
+
+TEST(DesignSpace, DimensionsFromKernel)
+{
+    auto module = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions options;
+    options.maxTileSize = 8;
+    DesignSpace space(module.get(), options);
+    // LP + RVB + perm + 3 tile dims + II.
+    EXPECT_EQ(space.numDims(), 7u);
+    EXPECT_EQ(space.bandDepth(), 3u);
+    EXPECT_EQ(space.dimSizes()[2], 6); // 3! permutations.
+    EXPECT_GT(space.spaceSize(), 1000.0);
+}
+
+TEST(DesignSpace, DecodeRoundTrip)
+{
+    auto module = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    std::mt19937 rng(3);
+    for (int i = 0; i < 20; ++i) {
+        auto point = space.randomPoint(rng);
+        auto decoded = space.decode(point);
+        EXPECT_EQ(decoded.tileSizes.size(), 3u);
+        EXPECT_GE(decoded.targetII, 1);
+        for (int64_t t : decoded.tileSizes) {
+            EXPECT_GE(t, 1);
+            EXPECT_LE(t, 16);
+            EXPECT_EQ(16 % t, 0); // Tile candidates divide the trip.
+        }
+    }
+}
+
+TEST(DesignSpace, NeighborsDifferByOne)
+{
+    auto module = parseCToModule(polybenchSource("syrk", 16));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    std::mt19937 rng(5);
+    auto point = space.randomPoint(rng);
+    for (const auto &neighbor : space.neighbors(point)) {
+        int distance = 0;
+        for (size_t i = 0; i < point.size(); ++i)
+            distance += std::abs(neighbor[i] - point[i]);
+        EXPECT_EQ(distance, 1);
+    }
+}
+
+TEST(DesignSpace, MaterializeAndEvaluate)
+{
+    auto module = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    // The all-zero point: no LP/RVB, identity perm, tiles 1, II 1.
+    DesignSpace::Point zero(space.numDims(), 0);
+    auto materialized = space.materialize(zero);
+    ASSERT_NE(materialized, nullptr);
+    const QoRResult &qor = space.evaluate(zero);
+    EXPECT_TRUE(qor.feasible);
+    EXPECT_GT(qor.latency, 0);
+    // Evaluation is memoized.
+    EXPECT_EQ(&space.evaluate(zero), &qor);
+}
+
+TEST(DSEEngine, FindsBetterThanBaseline)
+{
+    auto module = parseCToModule(polybenchSource("gemm", 32));
+    raiseScfToAffine(module.get());
+
+    QoREstimator base_estimator(module.get());
+    int64_t baseline = base_estimator.estimateModule().latency;
+
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 8;
+    space_options.maxTotalUnroll = 64;
+    DesignSpace space(module.get(), space_options);
+    DSEOptions options;
+    options.numInitialSamples = 30;
+    options.maxIterations = 60;
+    DSEEngine engine(space, options);
+    auto frontier = engine.explore();
+    ASSERT_FALSE(frontier.empty());
+
+    // Frontier sorted by latency and mutually non-dominated.
+    for (size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_LE(frontier[i - 1].qor.latency, frontier[i].qor.latency);
+        EXPECT_GE(areaOf(frontier[i - 1].qor.resources),
+                  areaOf(frontier[i].qor.resources));
+    }
+
+    auto best = DSEEngine::finalize(frontier, xc7z020());
+    ASSERT_TRUE(best);
+    EXPECT_LT(best->qor.latency, baseline / 4);
+    EXPECT_TRUE(best->qor.fits(xc7z020()));
+}
+
+TEST(DSEEngine, RunDSEProducesModule)
+{
+    auto module = parseCToModule(polybenchSource("syrk", 16));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 4;
+    space_options.maxTotalUnroll = 16;
+    DSEOptions options;
+    options.numInitialSamples = 20;
+    options.maxIterations = 30;
+    auto result = runDSE(module.get(), xc7z020(), space_options, options);
+    ASSERT_TRUE(result);
+    ASSERT_NE(result->module, nullptr);
+    EXPECT_GT(result->evaluations, 20u);
+    // The materialized design carries a pipelined loop.
+    bool has_pipeline = false;
+    result->module->walk([&](Operation *op) {
+        has_pipeline |= getLoopDirective(op).pipeline;
+    });
+    EXPECT_TRUE(has_pipeline);
+}
+
+TEST(PCA, SeparatesClusters)
+{
+    // Two well-separated clusters in 4-D must stay separated in 2-D.
+    std::vector<std::vector<double>> samples;
+    std::mt19937 rng(11);
+    std::normal_distribution<double> noise(0.0, 0.1);
+    for (int i = 0; i < 50; ++i)
+        samples.push_back({noise(rng), noise(rng) + 1, noise(rng),
+                           noise(rng)});
+    for (int i = 0; i < 50; ++i)
+        samples.push_back({noise(rng) + 5, noise(rng) - 3,
+                           noise(rng) + 2, noise(rng)});
+    auto projected = pcaProject2D(samples);
+    ASSERT_EQ(projected.size(), 100u);
+    double mean0 = 0;
+    double mean1 = 0;
+    for (int i = 0; i < 50; ++i)
+        mean0 += projected[i].first;
+    for (int i = 50; i < 100; ++i)
+        mean1 += projected[i].first;
+    mean0 /= 50;
+    mean1 /= 50;
+    EXPECT_GT(std::abs(mean0 - mean1), 1.0);
+}
+
+TEST(PCA, HandlesDegenerateInput)
+{
+    std::vector<std::vector<double>> samples(10, {1.0, 1.0, 1.0});
+    auto projected = pcaProject2D(samples);
+    ASSERT_EQ(projected.size(), 10u);
+    for (auto [x, y] : projected) {
+        EXPECT_NEAR(x, 0.0, 1e-9);
+        EXPECT_NEAR(y, 0.0, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace scalehls

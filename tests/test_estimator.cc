@@ -1,0 +1,222 @@
+/** @file Tests for the analytical QoR estimator: latency composition,
+ * recurrence-limited II, port-limited II and resource sharing. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.h"
+#include "estimate/qor_estimator.h"
+#include "model/polybench.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+namespace {
+
+std::unique_ptr<Operation>
+affineModule(const std::string &source)
+{
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    return module;
+}
+
+QoRResult
+estimateOf(Operation *module)
+{
+    QoREstimator estimator(module);
+    return estimator.estimateModule();
+}
+
+TEST(Estimator, BaselineGemmUsesFiveDSPs)
+{
+    // The unoptimized GEMM binds one fmul (3 DSP) + one fadd (2 DSP):
+    // exactly the 5 DSPs of paper Table IV's unoptimized row.
+    auto module = affineModule(polybenchSource("gemm", 32));
+    QoRResult qor = estimateOf(module.get());
+    ASSERT_TRUE(qor.feasible);
+    EXPECT_EQ(qor.resources.dsp, 5);
+}
+
+TEST(Estimator, SequentialLatencyScalesWithTripCount)
+{
+    auto m16 = affineModule(polybenchSource("gemm", 16));
+    auto m32 = affineModule(polybenchSource("gemm", 32));
+    QoRResult q16 = estimateOf(m16.get());
+    QoRResult q32 = estimateOf(m32.get());
+    ASSERT_TRUE(q16.feasible);
+    ASSERT_TRUE(q32.feasible);
+    // 8x the iterations: latency within [6x, 10x].
+    EXPECT_GT(q32.latency, 6 * q16.latency);
+    EXPECT_LT(q32.latency, 10 * q16.latency);
+}
+
+TEST(Estimator, PipeliningReducesLatency)
+{
+    auto module = affineModule(polybenchSource("gemm", 16));
+    QoRResult before = estimateOf(module.get());
+
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    applyLoopOrderOpt(band);
+    band = getLoopNest(band[0]);
+    ASSERT_TRUE(applyLoopPipelining(band.back(), 1));
+    QoRResult after = estimateOf(module.get());
+
+    ASSERT_TRUE(after.feasible);
+    EXPECT_LT(after.latency, before.latency / 2);
+}
+
+TEST(Estimator, RecurrenceBoundsII)
+{
+    // Innermost reduction: II limited by the fadd latency through C[i][j].
+    auto module = affineModule(polybenchSource("gemm", 16));
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    ASSERT_TRUE(applyLoopPipelining(band.back(), 1));
+    QoRResult reduction = estimateOf(module.get());
+
+    // Same kernel with the reduction loop moved outermost: II back to ~1.
+    auto module2 = affineModule(polybenchSource("gemm", 16));
+    Operation *func2 = getTopFunc(module2.get());
+    applyLoopPerfectization(getLoopBands(func2)[0][0]);
+    auto band2 = getLoopNest(getLoopBands(func2)[0][0]);
+    ASSERT_TRUE(applyLoopOrderOpt(band2));
+    band2 = getLoopNest(band2[0]);
+    ASSERT_TRUE(applyLoopPipelining(band2.back(), 1));
+    QoRResult reordered = estimateOf(module2.get());
+
+    EXPECT_LT(reordered.latency, reduction.latency);
+}
+
+TEST(Estimator, PortConflictsRaiseII)
+{
+    // Four parallel reads of one un-partitioned array: port-limited II.
+    auto module = affineModule("void k(float A[16], float B[16]) {\n"
+                               "  for (int i = 0; i < 4; i++) {\n"
+                               "    B[4 * i] = A[4 * i] + A[4 * i + 1]"
+                               " + A[4 * i + 2] + A[4 * i + 3];\n"
+                               "  }\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto band = getLoopBands(func)[0];
+    int64_t ii_unpartitioned = memoryPortII(band[0], bandIVs(band));
+    EXPECT_GE(ii_unpartitioned, 4);
+
+    // Cyclic partition by 4 removes the conflicts.
+    Value *a_arg = funcBody(func)->argument(0);
+    PartitionPlan plan;
+    plan.kinds = {PartitionKind::Cyclic};
+    plan.factors = {4};
+    applyPartitionPlan(a_arg, plan);
+    int64_t ii_partitioned = memoryPortII(band[0], bandIVs(band));
+    EXPECT_EQ(ii_partitioned, 1);
+}
+
+TEST(Estimator, ArrayPartitionImprovesPipeline)
+{
+    auto run = [](bool partition) {
+        auto module = parseCToModule(polybenchSource("gemm", 16));
+        raiseScfToAffine(module.get());
+        Operation *func = getTopFunc(module.get());
+        applyLoopPerfectization(getLoopBands(func)[0][0]);
+        auto band = getLoopNest(getLoopBands(func)[0][0]);
+        applyLoopOrderOpt(band);
+        band = getLoopNest(band[0]);
+        band = applyLoopTiling(band, {1, 1, 4});
+        applyLoopPipelining(band.back(), 1);
+        applyCanonicalize(func);
+        if (partition)
+            applyArrayPartition(func);
+        QoREstimator estimator(module.get());
+        return estimator.estimateModule();
+    };
+    QoRResult no_part = run(false);
+    QoRResult with_part = run(true);
+    EXPECT_LT(with_part.latency, no_part.latency);
+}
+
+TEST(Estimator, ResourceSharingUnderII)
+{
+    // II=4 shares operators 4-ways compared to II=1.
+    auto run = [](int64_t ii) {
+        auto module = parseCToModule(polybenchSource("gemm", 16));
+        raiseScfToAffine(module.get());
+        Operation *func = getTopFunc(module.get());
+        applyLoopPerfectization(getLoopBands(func)[0][0]);
+        auto band = getLoopNest(getLoopBands(func)[0][0]);
+        applyLoopOrderOpt(band);
+        band = getLoopNest(band[0]);
+        band = applyLoopTiling(band, {1, 1, 8});
+        applyLoopPipelining(band.back(), ii);
+        applyCanonicalize(func);
+        applyArrayPartition(func);
+        QoREstimator estimator(module.get());
+        return estimator.estimateModule();
+    };
+    QoRResult fast = run(1);
+    QoRResult shared = run(8);
+    EXPECT_GT(fast.resources.dsp, shared.resources.dsp);
+    EXPECT_LT(fast.latency, shared.latency);
+}
+
+TEST(Estimator, MemoryCountsLocalBuffersOnly)
+{
+    auto module = affineModule(
+        "void k(float A[64]) {\n"
+        "  float buf[64];\n"
+        "  for (int i = 0; i < 64; i++) buf[i] = A[i];\n"
+        "  for (int i = 0; i < 64; i++) A[i] = buf[i] * 2.0;\n"
+        "}");
+    QoRResult qor = estimateOf(module.get());
+    // Only buf (64 x 32b) counts; the interface array A is external.
+    EXPECT_EQ(qor.resources.memoryBits, 64 * 32);
+}
+
+TEST(Estimator, DynamicOpCount)
+{
+    auto module = affineModule(polybenchSource("gemm", 16));
+    Operation *func = getTopFunc(module.get());
+    int64_t count = dynamicOpCount(func, module.get());
+    // Per (i,j): 1 mul (beta); per (i,j,k): 2 mul + 1 add.
+    EXPECT_EQ(count, 16 * 16 * 1 + 16 * 16 * 16 * 3);
+}
+
+TEST(Estimator, InfeasibleOnScfLoops)
+{
+    auto module = parseCToModule(polybenchSource("gemm", 8));
+    // No raising: scf loops have unknown static structure.
+    QoRResult qor = estimateOf(module.get());
+    EXPECT_FALSE(qor.feasible);
+}
+
+/** Property: increasing unroll never increases estimated latency. */
+class UnrollMonotonic : public ::testing::TestWithParam<int64_t>
+{};
+
+TEST_P(UnrollMonotonic, LatencyNonIncreasing)
+{
+    int64_t tile = GetParam();
+    auto run = [&](int64_t t) {
+        auto module = parseCToModule(polybenchSource("gemm", 16));
+        raiseScfToAffine(module.get());
+        Operation *func = getTopFunc(module.get());
+        applyLoopPerfectization(getLoopBands(func)[0][0]);
+        auto band = getLoopNest(getLoopBands(func)[0][0]);
+        applyLoopOrderOpt(band);
+        band = getLoopNest(band[0]);
+        band = applyLoopTiling(band, {1, 1, t});
+        applyLoopPipelining(band.back(), 1);
+        applyCanonicalize(func);
+        applyArrayPartition(func);
+        QoREstimator estimator(module.get());
+        return estimator.estimateModule().latency;
+    };
+    EXPECT_LE(run(tile), run(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnrollMonotonic,
+                         ::testing::Values(2, 4, 8, 16));
+
+} // namespace
+} // namespace scalehls

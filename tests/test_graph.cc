@@ -1,0 +1,255 @@
+/** @file Tests for the graph dialect: model builders, dataflow
+ * legalization, function splitting and loop lowering. */
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.h"
+#include "model/graph_builder.h"
+#include "model/lower_graph.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+namespace {
+
+TEST(GraphOps, ConvShapeInference)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "net", {1, 3, 32, 32});
+    Value *y = m.conv(m.input(), 16, 3, 1, 1);
+    EXPECT_EQ(y->type().shape(), (std::vector<int64_t>{1, 16, 32, 32}));
+    Value *z = m.conv(y, 32, 3, 2, 1);
+    EXPECT_EQ(z->type().shape(), (std::vector<int64_t>{1, 32, 16, 16}));
+    Value *p = m.maxpool(z, 2, 2);
+    EXPECT_EQ(p->type().shape(), (std::vector<int64_t>{1, 32, 8, 8}));
+    Value *f = m.flatten(p);
+    EXPECT_EQ(f->type().shape(), (std::vector<int64_t>{1, 32 * 64}));
+    Value *d = m.dense(f, 10);
+    EXPECT_EQ(d->type().shape(), (std::vector<int64_t>{1, 10}));
+    m.finish(d);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(GraphOps, OpCounts)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "net", {1, 3, 8, 8});
+    Value *y = m.conv(m.input(), 4, 3, 1, 1, /*relu=*/false);
+    Operation *conv = y->definingOp();
+    // 2 * N*OC*OH*OW * IC*KH*KW = 2 * 4*8*8 * 3*3*3 = 13824.
+    EXPECT_EQ(graphOpCount(conv), 2 * 4 * 8 * 8 * 3 * 3 * 3);
+}
+
+TEST(Models, BuildAndCount)
+{
+    struct Case
+    {
+        Operation *(*build)(Operation *);
+        const char *name;
+        int64_t min_mops;
+    };
+    for (auto [build, name, min_mops] :
+         {Case{buildResNet18, "resnet18", 400},
+          Case{buildVGG16, "vgg16", 400},
+          Case{buildMobileNet, "mobilenet", 20}}) {
+        auto module = createModule();
+        Operation *func = build(module.get());
+        ASSERT_NE(func, nullptr) << name;
+        EXPECT_TRUE(verifyOk(module.get())) << name;
+        int64_t mops = modelOpCount(func) / 1000000;
+        EXPECT_GE(mops, min_mops) << name;
+    }
+}
+
+TEST(LegalizeDataflow, ChainIsAlreadyLegal)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "chain", {1, 3, 8, 8});
+    Value *x = m.conv(m.input(), 4, 3, 1, 1, false);
+    x = m.conv(x, 4, 3, 1, 1, false);
+    Operation *func = m.finish(x);
+
+    ASSERT_TRUE(applyLegalizeDataflow(func, /*insert_copy=*/false));
+    EXPECT_TRUE(getFuncDirective(func).dataflow);
+    // Two convs at stages 0 and 1; no copies inserted.
+    EXPECT_TRUE(func->collect(ops::GraphCopy).empty());
+}
+
+TEST(LegalizeDataflow, ResidualBypassMerged)
+{
+    // conv -> conv -> add, with the first conv's output bypassing into
+    // the add (paper Fig. 4a shape).
+    auto module = createModule();
+    ModelBuilder m(module.get(), "res", {1, 4, 8, 8});
+    Value *a = m.conv(m.input(), 4, 3, 1, 1, false); // stage 0
+    Value *b = m.conv(a, 4, 3, 1, 1, false);         // stage 1
+    Value *c = m.add(a, b);                          // bypass a -> add
+    Operation *func = m.finish(c);
+
+    ASSERT_TRUE(applyLegalizeDataflow(func, /*insert_copy=*/false));
+    // Conservative merge: conv2 and add now share a stage.
+    std::map<std::string, int64_t> stages;
+    for (auto &op : funcBody(func)->ops()) {
+        Attribute s = op->attr(kDataflowStage);
+        if (s.is<int64_t>())
+            stages[op->name()] = s.getInt();
+    }
+    // Conservative merge (paper Fig. 4b): conv2 and add share a stage.
+    EXPECT_EQ(stages["graph.add"], stages["graph.conv2d"]);
+
+    // Every edge now spans exactly one stage or stays within a stage.
+    for (auto &op : funcBody(func)->ops()) {
+        Attribute s = op->attr(kDataflowStage);
+        if (!s.is<int64_t>())
+            continue;
+        for (Value *operand : op->operands()) {
+            Operation *def = operand->definingOp();
+            if (!def)
+                continue;
+            Attribute ds = def->attr(kDataflowStage);
+            if (ds.is<int64_t>())
+                EXPECT_LE(s.getInt() - ds.getInt(), 1);
+        }
+    }
+}
+
+TEST(LegalizeDataflow, ReluFusesWithProducerStage)
+{
+    // conv+relu share a dataflow stage (the relu lowers in place), so a
+    // conv-relu-conv chain has two stages, not three.
+    auto module = createModule();
+    ModelBuilder m(module.get(), "chain", {1, 3, 8, 8});
+    Value *x = m.conv(m.input(), 4, 3, 1, 1, /*relu=*/true);
+    x = m.conv(x, 4, 3, 1, 1, false);
+    Operation *func = m.finish(x);
+    ASSERT_TRUE(applyLegalizeDataflow(func, false));
+    ASSERT_TRUE(applySplitFunction(module.get(), func, 1));
+    EXPECT_EQ(func->collect(ops::Call).size(), 2u);
+}
+
+TEST(LegalizeDataflow, CopyInsertionKeepsStages)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "res", {1, 4, 8, 8});
+    Value *a = m.conv(m.input(), 4, 3, 1, 1, false);
+    Value *b = m.conv(a, 4, 3, 1, 1, false);
+    Value *c = m.add(a, b);
+    Operation *func = m.finish(c);
+
+    ASSERT_TRUE(applyLegalizeDataflow(func, /*insert_copy=*/true));
+    // Aggressive mode inserts a copy on the bypass path (Fig. 4c): the
+    // add stays one stage after conv2.
+    EXPECT_EQ(func->collect(ops::GraphCopy).size(), 1u);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(SplitFunction, OutlinesStages)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "chain", {1, 3, 8, 8});
+    Value *x = m.conv(m.input(), 4, 3, 1, 1, false);
+    x = m.maxpool(x, 2, 2);
+    x = m.conv(x, 4, 3, 1, 1, false);
+    Operation *func = m.finish(x);
+
+    ASSERT_TRUE(applyLegalizeDataflow(func, false));
+    ASSERT_TRUE(applySplitFunction(module.get(), func, 1));
+    EXPECT_TRUE(verifyOk(module.get()));
+
+    // Three stages -> three sub-functions + calls in the top function.
+    auto calls = func->collect(ops::Call);
+    EXPECT_EQ(calls.size(), 3u);
+    int num_funcs = 0;
+    for (auto &op : module->region(0).front().ops())
+        num_funcs += op->is(ops::Func);
+    EXPECT_EQ(num_funcs, 4);
+    EXPECT_TRUE(getFuncDirective(func).dataflow);
+}
+
+TEST(SplitFunction, GranularityMergesStages)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "chain", {1, 3, 8, 8});
+    Value *x = m.input();
+    for (int i = 0; i < 4; ++i)
+        x = m.conv(x, 4, 3, 1, 1, false);
+    Operation *func = m.finish(x);
+
+    ASSERT_TRUE(applyLegalizeDataflow(func, false));
+    ASSERT_TRUE(applySplitFunction(module.get(), func, 2));
+    // Four stages at granularity 2 -> two sub-functions.
+    EXPECT_EQ(func->collect(ops::Call).size(), 2u);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(LowerGraph, ConvBecomesLoops)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "net", {1, 3, 8, 8});
+    Value *x = m.conv(m.input(), 4, 3, 1, 1, false);
+    Operation *func = m.finish(x);
+
+    ASSERT_TRUE(lowerGraphToAffine(module.get()));
+    EXPECT_TRUE(verifyOk(module.get()));
+    // No graph ops left; loops + allocs instead.
+    bool has_graph = false;
+    func->walk([&](Operation *op) { has_graph |= isGraphOp(op); });
+    EXPECT_FALSE(has_graph);
+    EXPECT_FALSE(func->collect(ops::AffineFor).empty());
+
+    // Function gained an output argument (rank-4 feature map out).
+    Block *body = funcBody(func);
+    EXPECT_EQ(body->numArguments(), 2u);
+    EXPECT_TRUE(body->argument(1)->type().isMemRef());
+
+    // Weights are DRAM allocs; the conv result writes straight into the
+    // appended BRAM output argument (no internal feature-map buffer for a
+    // single-layer function).
+    bool saw_dram = false;
+    for (Operation *alloc : func->collect(ops::Alloc))
+        saw_dram |= alloc->result(0)->type().memorySpace() == MemKind::DRAM;
+    EXPECT_TRUE(saw_dram);
+    EXPECT_EQ(body->argument(1)->type().memorySpace(), MemKind::BRAM_S2P);
+}
+
+TEST(LowerGraph, PaddedConvGuarded)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "net", {1, 3, 8, 8});
+    Value *x = m.conv(m.input(), 4, 3, 1, 1, false); // pad 1.
+    Operation *func = m.finish(x);
+    lowerGraphToAffine(module.get());
+    EXPECT_FALSE(func->collect(ops::AffineIf).empty());
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(LowerGraph, SplitModelLowersCalls)
+{
+    auto module = createModule();
+    ModelBuilder m(module.get(), "chain", {1, 3, 8, 8});
+    Value *x = m.conv(m.input(), 4, 3, 1, 1, false);
+    x = m.conv(x, 4, 3, 1, 1, false);
+    Operation *func = m.finish(x);
+    applyLegalizeDataflow(func, false);
+    applySplitFunction(module.get(), func, 1);
+
+    ASSERT_TRUE(lowerGraphToAffine(module.get()));
+    ASSERT_TRUE(verifyOk(module.get()));
+    // Calls now pass output buffers; no tensor types remain anywhere.
+    module->walk([&](Operation *op) {
+        for (Value *operand : op->operands())
+            EXPECT_FALSE(operand->type().isTensor());
+        for (Value *result : op->results())
+            EXPECT_FALSE(result->type().isTensor());
+    });
+}
+
+TEST(LowerGraph, MobileNetEndToEnd)
+{
+    auto module = createModule();
+    buildMobileNet(module.get());
+    ASSERT_TRUE(lowerGraphToAffine(module.get()));
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+} // namespace
+} // namespace scalehls

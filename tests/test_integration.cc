@@ -1,0 +1,150 @@
+/** @file End-to-end integration tests: the Fig. 5 SYRK flow and the DNN
+ * multi-level optimization flow. */
+
+#include <gtest/gtest.h>
+
+#include "api/scalehls.h"
+#include "model/polybench.h"
+
+namespace scalehls {
+namespace {
+
+TEST(Integration, Fig5SyrkFlow)
+{
+    // Pi->ii: parse + raise.
+    Compiler compiler = Compiler::fromC(syrkFig5Source());
+    ASSERT_TRUE(verifyOk(compiler.module()));
+    std::string loop_ir = compiler.printIR();
+    EXPECT_NE(loop_ir.find("affine.for"), std::string::npos);
+
+    // Pii->iii: loop transforms (perfectization, RVB, order, tiling).
+    Operation *func = getTopFunc(compiler.module());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    applyRemoveVariableBound(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    ASSERT_TRUE(applyLoopOrderOpt(band));
+    band = getLoopNest(band[0]);
+    // After ordering, the reduction (k, trip 8) is outermost (paper: the
+    // %k-loop is permuted to the outermost location).
+    EXPECT_EQ(getTripCount(AffineForOp(band[0])), 8);
+    // Tile %i by 2 as in Fig. 5 (band order is now k, i, j).
+    band = applyLoopTiling(band, {1, 2, 1});
+    ASSERT_FALSE(band.empty());
+    ASSERT_TRUE(verifyOk(compiler.module()));
+
+    // Piii->iv: directive transforms + simplification.
+    ASSERT_TRUE(applyLoopPipelining(band.back(), 1));
+    compiler.applySimplifications();
+    ASSERT_TRUE(applyArrayPartition(func));
+    ASSERT_TRUE(verifyOk(compiler.module()));
+    std::string directive_ir = compiler.printIR();
+    EXPECT_NE(directive_ir.find("pipeline=1"), std::string::npos);
+    EXPECT_NE(directive_ir.find("flatten=1"), std::string::npos);
+
+    // Piv->v: emission.
+    std::string cpp = compiler.emitCpp();
+    EXPECT_NE(cpp.find("#pragma HLS pipeline"), std::string::npos);
+    EXPECT_NE(cpp.find("#pragma HLS array_partition"), std::string::npos);
+
+    // The QoR improved substantially over the baseline.
+    Compiler baseline = Compiler::fromC(syrkFig5Source());
+    EXPECT_LT(compiler.estimate().latency,
+              baseline.estimate().latency / 2);
+}
+
+TEST(Integration, DseOnKernelEndToEnd)
+{
+    Compiler compiler = Compiler::fromC(polybenchSource("gemm", 32));
+    int64_t baseline = compiler.estimate().latency;
+
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 8;
+    space_options.maxTotalUnroll = 64;
+    DSEOptions options;
+    options.numInitialSamples = 25;
+    options.maxIterations = 50;
+    auto result = compiler.optimize(xc7z020(), space_options, options);
+    ASSERT_TRUE(result);
+    EXPECT_LT(compiler.estimate().latency, baseline / 8);
+
+    // The optimized design still emits synthesizable C++ and fits.
+    std::string cpp = compiler.emitCpp();
+    EXPECT_NE(cpp.find("#pragma HLS"), std::string::npos);
+    SynthesisReport report = compiler.synthesize(xc7z020());
+    EXPECT_TRUE(report.fits());
+}
+
+TEST(Integration, DnnMultiLevelFlow)
+{
+    auto module = createModule();
+    buildVGG16(module.get());
+    Compiler compiler(std::move(module));
+
+    compiler.applyGraphOpt(3)
+        .lowerToLoops()
+        .applyLoopOpt(3)
+        .applyDirectiveOpt(1);
+    ASSERT_TRUE(verifyOk(compiler.module()));
+
+    QoRResult qor = compiler.estimate();
+    ASSERT_TRUE(qor.feasible);
+    EXPECT_GT(qor.latency, 0);
+    // Dataflow: the frame interval beats single-frame latency.
+    EXPECT_LT(qor.interval, qor.latency);
+
+    // Compile time is tracked (paper Table V runtime column).
+    EXPECT_GT(compiler.optSeconds(), 0.0);
+}
+
+TEST(Integration, DnnOptimizationBeatsBaseline)
+{
+    auto baseline_module = createModule();
+    buildMobileNet(baseline_module.get());
+    Compiler baseline(std::move(baseline_module));
+    baseline.lowerToLoops();
+    QoRResult base_qor = baseline.estimate();
+
+    auto opt_module = createModule();
+    buildMobileNet(opt_module.get());
+    Compiler optimized(std::move(opt_module));
+    optimized.applyGraphOpt(4)
+        .lowerToLoops()
+        .applyLoopOpt(4)
+        .applyDirectiveOpt(1);
+    QoRResult opt_qor = optimized.estimate();
+
+    ASSERT_TRUE(base_qor.feasible);
+    ASSERT_TRUE(opt_qor.feasible);
+    // Throughput (1/interval) improves by well over an order of
+    // magnitude (paper reports three orders with larger unrolling).
+    EXPECT_LT(opt_qor.interval * 10, base_qor.interval);
+}
+
+TEST(Integration, OptimizedDesignsStayCorrectAcrossKernels)
+{
+    // Every kernel survives the full flow and verifies.
+    for (const std::string &kernel : polybenchKernelNames()) {
+        Compiler compiler = Compiler::fromC(polybenchSource(kernel, 16));
+        Operation *func = getTopFunc(compiler.module());
+        for (auto &band : getLoopBands(func)) {
+            applyLoopPerfectization(band[0]);
+            applyRemoveVariableBound(band[0]);
+            auto nest = getLoopNest(band[0]);
+            applyLoopOrderOpt(nest);
+            nest = getLoopNest(nest[0]);
+            std::vector<int64_t> tiles(nest.size(), 1);
+            tiles.back() = 2;
+            nest = applyLoopTiling(nest, tiles);
+            if (!nest.empty())
+                applyLoopPipelining(nest.back(), 1);
+        }
+        compiler.applySimplifications();
+        applyArrayPartition(func);
+        EXPECT_TRUE(verifyOk(compiler.module())) << kernel;
+        EXPECT_TRUE(compiler.estimate().feasible) << kernel;
+        EXPECT_FALSE(compiler.emitCpp().empty()) << kernel;
+    }
+}
+
+} // namespace
+} // namespace scalehls

@@ -1,0 +1,246 @@
+/** @file Unit tests for the IR core: ops, use lists, cloning, verifier. */
+
+#include <gtest/gtest.h>
+
+#include "dialect/ops.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace scalehls {
+namespace {
+
+/** Build func @f(memref<8xf32>) { %c = const 0; %v = load %arg[%c];
+ * %s = addf %v, %v; store %s, %arg[%c]; return }. */
+struct SimpleFunc
+{
+    std::unique_ptr<Operation> module = createModule();
+    Operation *func = nullptr;
+    Value *arg = nullptr;
+
+    SimpleFunc()
+    {
+        func = createFunc(module.get(), "f",
+                          {Type::memref({8}, Type::f32())});
+        arg = funcBody(func)->argument(0);
+    }
+};
+
+TEST(IR, CreateAndUseList)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    Operation *c0 = createConstantIndex(b, 0);
+    Operation *load = createMemLoad(b, f.arg, {c0->result(0)});
+    Operation *add =
+        createBinary(b, ops::AddF, load->result(0), load->result(0));
+
+    EXPECT_EQ(load->result(0)->numUses(), 2u);
+    EXPECT_EQ(c0->result(0)->numUses(), 1u);
+    EXPECT_EQ(add->operand(0), load->result(0));
+    EXPECT_EQ(load->parentBlock(), body);
+    EXPECT_EQ(load->parentOp(), f.func);
+    EXPECT_EQ(f.func->parentOp(), f.module.get());
+}
+
+TEST(IR, ReplaceAllUsesWith)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    Operation *c0 = createConstantIndex(b, 0);
+    Operation *c1 = createConstantIndex(b, 1);
+    Operation *load = createMemLoad(b, f.arg, {c0->result(0)});
+    c0->result(0)->replaceAllUsesWith(c1->result(0));
+    EXPECT_EQ(load->operand(1), c1->result(0));
+    EXPECT_TRUE(c0->result(0)->useEmpty());
+    EXPECT_EQ(c1->result(0)->numUses(), 1u);
+}
+
+TEST(IR, EraseRequiresNoUses)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    Operation *c0 = createConstantIndex(b, 0);
+    Operation *load = createMemLoad(b, f.arg, {c0->result(0)});
+    // Erase the load first, then the constant.
+    load->erase();
+    EXPECT_TRUE(c0->result(0)->useEmpty());
+    c0->erase();
+    EXPECT_EQ(body->size(), 1u); // Only func.return remains.
+}
+
+TEST(IR, MoveBeforeAfter)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    Operation *c0 = createConstantIndex(b, 0);
+    Operation *c1 = createConstantIndex(b, 1);
+    EXPECT_TRUE(c0->isBeforeInBlock(c1));
+    c0->moveAfter(c1);
+    EXPECT_TRUE(c1->isBeforeInBlock(c0));
+    c0->moveBefore(c1);
+    EXPECT_TRUE(c0->isBeforeInBlock(c1));
+    EXPECT_EQ(c0->nextOp(), c1);
+    EXPECT_EQ(c1->prevOp(), c0);
+}
+
+TEST(IR, WalkOrders)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    AffineForOp loop = createAffineFor(b, 0, 4);
+    OpBuilder inner(loop.body());
+    createConstantIndex(inner, 7);
+
+    std::vector<std::string> pre;
+    f.module->walk([&](Operation *op) { pre.push_back(op->name()); });
+    ASSERT_EQ(pre.size(), 5u);
+    EXPECT_EQ(pre[0], "builtin.module");
+    EXPECT_EQ(pre[1], "func.func");
+    EXPECT_EQ(pre[2], "affine.for");
+    EXPECT_EQ(pre[3], "arith.constant");
+
+    std::vector<std::string> post;
+    f.module->walkPostOrder(
+        [&](Operation *op) { post.push_back(op->name()); });
+    EXPECT_EQ(post.back(), "builtin.module");
+    EXPECT_EQ(post.front(), "arith.constant");
+}
+
+TEST(IR, CloneDeep)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    AffineForOp loop = createAffineFor(b, 0, 8, 2);
+    OpBuilder inner(loop.body());
+    Operation *load = createAffineLoad(
+        inner, f.arg, AffineMap::identity(1), {loop.inductionVar()});
+    createAffineStore(inner, load->result(0), f.arg,
+                      AffineMap::identity(1), {loop.inductionVar()});
+
+    auto cloned_module = f.module->clone();
+    EXPECT_TRUE(verifyOk(cloned_module.get()));
+
+    // The clone has its own values: mutating the original types must not
+    // leak into the clone.
+    Operation *orig_func = getTopFunc(f.module.get());
+    Operation *new_func = getTopFunc(cloned_module.get());
+    EXPECT_NE(orig_func, new_func);
+    EXPECT_EQ(printOp(orig_func), printOp(new_func));
+    funcBody(orig_func)->argument(0)->setType(
+        Type::memref({8}, Type::f64()));
+    EXPECT_EQ(funcBody(new_func)->argument(0)->type(),
+              Type::memref({8}, Type::f32()));
+}
+
+TEST(IR, IsAncestorOf)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    AffineForOp loop = createAffineFor(b, 0, 4);
+    OpBuilder inner(loop.body());
+    Operation *c = createConstantIndex(inner, 0);
+    EXPECT_TRUE(loop.op()->isAncestorOf(c));
+    EXPECT_TRUE(f.func->isAncestorOf(c));
+    EXPECT_FALSE(c->isAncestorOf(loop.op()));
+}
+
+TEST(Verifier, CatchesDominanceViolation)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    Operation *c0 = createConstantIndex(b, 0);
+    Operation *load = createMemLoad(b, f.arg, {c0->result(0)});
+    (void)load;
+    // Move the constant after its use.
+    c0->moveAfter(load);
+    auto errors = verify(f.module.get());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadCall)
+{
+    auto module = createModule();
+    Operation *func = createFunc(module.get(), "main", {});
+    Block *body = funcBody(func);
+    OpBuilder b(body, body->back());
+    b.create(std::string(ops::Call), {}, {},
+             {{kCallee, Attribute("missing")}});
+    auto errors = verify(module.get());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("unknown callee"), std::string::npos);
+}
+
+TEST(Verifier, CatchesDuplicateFuncNames)
+{
+    auto module = createModule();
+    createFunc(module.get(), "f", {});
+    createFunc(module.get(), "f", {});
+    auto errors = verify(module.get());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("duplicate"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedAffine)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    AffineForOp loop = createAffineFor(b, 0, 8);
+    OpBuilder inner(loop.body());
+    Operation *load = createAffineLoad(
+        inner, f.arg, AffineMap::identity(1), {loop.inductionVar()});
+    createAffineStore(inner, load->result(0), f.arg,
+                      AffineMap::identity(1), {loop.inductionVar()});
+    EXPECT_TRUE(verifyOk(f.module.get()));
+}
+
+TEST(Verifier, CatchesAccessArityMismatch)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    // Map has 2 results but the memref is rank 1: bypass the helper
+    // assert by building the op manually.
+    Operation *c0 = createConstantIndex(b, 0);
+    AffineMap bad(1, 0, {getAffineDimExpr(0), getAffineDimExpr(0)});
+    b.create(std::string(ops::AffineLoad), {Type::f32()},
+             {f.arg, c0->result(0)}, {{kMap, Attribute(bad)}});
+    auto errors = verify(f.module.get());
+    ASSERT_FALSE(errors.empty());
+}
+
+TEST(Printer, RendersStructuredOps)
+{
+    SimpleFunc f;
+    Block *body = funcBody(f.func);
+    OpBuilder b(body, body->back());
+    AffineForOp loop = createAffineFor(b, 0, 16, 2);
+    LoopDirective d;
+    d.pipeline = true;
+    d.targetII = 2;
+    loop.setDirective(d);
+    OpBuilder inner(loop.body());
+    Operation *load = createAffineLoad(
+        inner, f.arg, AffineMap::get(1, getAffineDimExpr(0) + 1),
+        {loop.inductionVar()});
+    (void)load;
+
+    std::string ir = printOp(f.module.get());
+    EXPECT_NE(ir.find("affine.for"), std::string::npos);
+    EXPECT_NE(ir.find("step 2"), std::string::npos);
+    EXPECT_NE(ir.find("affine.load"), std::string::npos);
+    EXPECT_NE(ir.find("+ 1"), std::string::npos);
+    EXPECT_NE(ir.find("loop_directive"), std::string::npos);
+}
+
+} // namespace
+} // namespace scalehls

@@ -1,0 +1,185 @@
+/** @file Structural tests for the DNN model zoo and its lowering, plus
+ * QoR properties of the multi-level flow on real models. */
+
+#include <gtest/gtest.h>
+
+#include "api/scalehls.h"
+
+namespace scalehls {
+namespace {
+
+/** Count graph ops of one kind in a function. */
+int
+countOps(Operation *func, std::string_view name)
+{
+    int count = 0;
+    func->walk([&](Operation *op) { count += op->is(name); });
+    return count;
+}
+
+TEST(Models, ResNet18Structure)
+{
+    auto module = createModule();
+    Operation *func = buildResNet18(module.get());
+    // Stem + 16 block convs + 3 projection shortcuts = 20 convolutions.
+    EXPECT_EQ(countOps(func, ops::GraphConv2D), 20);
+    EXPECT_EQ(countOps(func, ops::GraphAdd), 8);   // One per basic block.
+    EXPECT_EQ(countOps(func, ops::GraphDense), 1); // Classifier.
+    EXPECT_EQ(countOps(func, ops::GraphAvgPool), 1);
+    // Output is the 10-class logits.
+    Operation *ret = funcBody(func)->back();
+    ASSERT_EQ(ret->numOperands(), 1u);
+    EXPECT_EQ(ret->operand(0)->type().shape(),
+              (std::vector<int64_t>{1, 10}));
+}
+
+TEST(Models, VGG16Structure)
+{
+    auto module = createModule();
+    Operation *func = buildVGG16(module.get());
+    EXPECT_EQ(countOps(func, ops::GraphConv2D), 13); // The "16" = 13+3 FC.
+    EXPECT_EQ(countOps(func, ops::GraphMaxPool), 5);
+    EXPECT_EQ(countOps(func, ops::GraphDense), 2);
+    EXPECT_EQ(countOps(func, ops::GraphAdd), 0); // Pure chain.
+}
+
+TEST(Models, MobileNetStructure)
+{
+    auto module = createModule();
+    Operation *func = buildMobileNet(module.get());
+    EXPECT_EQ(countOps(func, ops::GraphDWConv2D), 13);
+    // 13 pointwise convs + stem.
+    EXPECT_EQ(countOps(func, ops::GraphConv2D), 14);
+}
+
+TEST(Models, OpCountsMatchKnownMagnitudes)
+{
+    // Sanity against hand-computed MAC counts (2 ops per MAC).
+    auto module = createModule();
+    Operation *resnet = buildResNet18(module.get());
+    int64_t resnet_mops = modelOpCount(resnet) / 1000000;
+    // CIFAR ResNet-18 is ~0.56 GMACs => ~1.1 GOPs.
+    EXPECT_GT(resnet_mops, 800);
+    EXPECT_LT(resnet_mops, 1400);
+
+    auto module2 = createModule();
+    Operation *mobilenet = buildMobileNet(module2.get());
+    int64_t mobile_mops = modelOpCount(mobilenet) / 1000000;
+    // MobileNetV1 at CIFAR scale is far cheaper than ResNet.
+    EXPECT_LT(mobile_mops, resnet_mops / 4);
+}
+
+TEST(Models, LoweredModelsVerify)
+{
+    for (auto *build : {buildResNet18, buildVGG16, buildMobileNet}) {
+        auto module = createModule();
+        build(module.get());
+        ASSERT_TRUE(lowerGraphToAffine(module.get()));
+        EXPECT_TRUE(verifyOk(module.get()));
+        // No tensors survive lowering.
+        module->walk([&](Operation *op) {
+            for (Value *result : op->results())
+                EXPECT_FALSE(result->type().isTensor());
+        });
+    }
+}
+
+TEST(Models, DataflowSplitKeepsOpCount)
+{
+    // Splitting must not change the total compute: dynamic op count of
+    // the lowered model is identical with and without graph-level split.
+    auto count = [](bool split) {
+        auto module = createModule();
+        Operation *func = buildVGG16(module.get());
+        if (split) {
+            applyLegalizeDataflow(func, false);
+            applySplitFunction(module.get(), func, 1);
+        }
+        lowerGraphToAffine(module.get());
+        return dynamicOpCount(getTopFunc(module.get()), module.get());
+    };
+    int64_t direct = count(false);
+    int64_t split = count(true);
+    EXPECT_EQ(direct, split);
+}
+
+TEST(Models, GraphLevelMonotone)
+{
+    // Finer dataflow granularity never hurts throughput (the Fig. 8 G
+    // sweep is monotone non-decreasing).
+    auto interval = [](int graph_level) {
+        auto module = createModule();
+        buildVGG16(module.get());
+        Compiler compiler(std::move(module));
+        compiler.applyGraphOpt(graph_level)
+            .lowerToLoops()
+            .applyLoopOpt(2)
+            .applyDirectiveOpt(1);
+        return compiler.estimate().interval;
+    };
+    int64_t g1 = interval(1);
+    int64_t g3 = interval(3);
+    int64_t g7 = interval(7);
+    EXPECT_GE(g1, g3);
+    EXPECT_GE(g3, g7);
+}
+
+TEST(Models, LoopLevelMonotone)
+{
+    auto interval = [](int loop_level) {
+        auto module = createModule();
+        buildMobileNet(module.get());
+        Compiler compiler(std::move(module));
+        compiler.applyGraphOpt(7)
+            .lowerToLoops()
+            .applyLoopOpt(loop_level)
+            .applyDirectiveOpt(1);
+        return compiler.estimate().interval;
+    };
+    int64_t l1 = interval(1);
+    int64_t l3 = interval(3);
+    EXPECT_GT(l1, l3);
+}
+
+TEST(Models, DnnDesignEmitsCpp)
+{
+    auto module = createModule();
+    buildMobileNet(module.get());
+    Compiler compiler(std::move(module));
+    compiler.applyGraphOpt(7)
+        .lowerToLoops()
+        .applyLoopOpt(2)
+        .applyDirectiveOpt(1);
+    std::string cpp = compiler.emitCpp();
+    EXPECT_NE(cpp.find("#pragma HLS dataflow"), std::string::npos);
+    EXPECT_NE(cpp.find("#pragma HLS pipeline"), std::string::npos);
+    EXPECT_NE(cpp.find("void mobilenet("), std::string::npos);
+    // Sub-functions are emitted before the top function.
+    EXPECT_LT(cpp.find("_dataflow0("), cpp.find("void mobilenet("));
+}
+
+/** Property: per-model DSP usage grows with the loop level until the
+ * unroll saturates the band. */
+class DnnDspScaling : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DnnDspScaling, DspGrowsWithLevel)
+{
+    int level = GetParam();
+    auto dsp = [](int l) {
+        auto module = createModule();
+        buildVGG16(module.get());
+        Compiler compiler(std::move(module));
+        compiler.applyGraphOpt(7)
+            .lowerToLoops()
+            .applyLoopOpt(l)
+            .applyDirectiveOpt(1);
+        return compiler.estimate().resources.dsp;
+    };
+    EXPECT_GE(dsp(level), dsp(level - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DnnDspScaling, ::testing::Values(2, 3, 4));
+
+} // namespace
+} // namespace scalehls

@@ -1,0 +1,148 @@
+/** @file Tests for the -raise-scf-to-affine conversion. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "model/polybench.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+namespace {
+
+std::unique_ptr<Operation>
+raised(const std::string &source)
+{
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    EXPECT_TRUE(verifyOk(module.get()));
+    return module;
+}
+
+TEST(Raise, SimpleLoopBecomesAffine)
+{
+    auto module = raised(
+        "void k(float A[16]) { for (int i = 0; i < 16; i++) A[i] = 0.0; }");
+    Operation *func = getTopFunc(module.get());
+    EXPECT_TRUE(func->collect(ops::ScfFor).empty());
+    auto loops = func->collect(ops::AffineFor);
+    ASSERT_EQ(loops.size(), 1u);
+    AffineForOp loop(loops[0]);
+    EXPECT_EQ(loop.constantLowerBound(), 0);
+    EXPECT_EQ(loop.constantUpperBound(), 16);
+    EXPECT_EQ(func->collect(ops::AffineStore).size(), 1u);
+    EXPECT_TRUE(func->collect(ops::MemStore).empty());
+}
+
+TEST(Raise, TriangularBoundStaysAffine)
+{
+    auto module = raised(polybenchSource("syrk", 16));
+    Operation *func = getTopFunc(module.get());
+    auto loops = func->collect(ops::AffineFor);
+    ASSERT_EQ(loops.size(), 3u);
+    // The j-loop has upper bound (i + 1) with one IV operand.
+    AffineForOp j_loop(loops[1]);
+    EXPECT_FALSE(j_loop.constantUpperBound().has_value());
+    EXPECT_EQ(j_loop.upperBoundOperands().size(), 1u);
+    EXPECT_EQ(j_loop.upperBoundOperands()[0],
+              AffineForOp(loops[0]).inductionVar());
+}
+
+TEST(Raise, VariableLowerBound)
+{
+    auto module = raised(polybenchSource("trmm", 8));
+    Operation *func = getTopFunc(module.get());
+    auto loops = func->collect(ops::AffineFor);
+    ASSERT_EQ(loops.size(), 3u);
+    AffineForOp k_loop(loops[2]);
+    EXPECT_FALSE(k_loop.constantLowerBound().has_value());
+    EXPECT_EQ(k_loop.constantUpperBound(), 8);
+}
+
+TEST(Raise, AffineSubscriptsComposed)
+{
+    auto module = raised("void k(float A[8][8]) {\n"
+                         "  for (int i = 0; i < 4; i++)\n"
+                         "    A[2 * i + 1][i] = 0.0;\n"
+                         "}");
+    Operation *func = getTopFunc(module.get());
+    auto stores = func->collect(ops::AffineStore);
+    ASSERT_EQ(stores.size(), 1u);
+    AffineStoreOp store(stores[0]);
+    EXPECT_EQ(store.map().numResults(), 2u);
+    // Index 0 evaluates to 2*i+1.
+    EXPECT_EQ(store.map().result(0).evaluate({3}), 7);
+    EXPECT_EQ(store.map().result(1).evaluate({3}), 3);
+}
+
+TEST(Raise, IfBecomesAffineIf)
+{
+    auto module = raised("void k(float A[8]) {\n"
+                         "  for (int i = 0; i < 8; i++)\n"
+                         "    if (i >= 2) A[i] = 1.0;\n"
+                         "}");
+    Operation *func = getTopFunc(module.get());
+    EXPECT_EQ(func->collect(ops::AffineIf).size(), 1u);
+    EXPECT_TRUE(func->collect(ops::ScfIf).empty());
+    auto ifs = func->collect(ops::AffineIf);
+    IntegerSet set = AffineIfOp(ifs[0]).condition();
+    // i - 2 >= 0.
+    EXPECT_TRUE(set.evaluate({2}));
+    EXPECT_FALSE(set.evaluate({1}));
+}
+
+TEST(Raise, EqualityCondition)
+{
+    auto module = raised("void k(float A[8]) {\n"
+                         "  for (int i = 0; i < 8; i++)\n"
+                         "    if (i == 0) A[i] = 1.0;\n"
+                         "}");
+    Operation *func = getTopFunc(module.get());
+    auto ifs = func->collect(ops::AffineIf);
+    ASSERT_EQ(ifs.size(), 1u);
+    IntegerSet set = AffineIfOp(ifs[0]).condition();
+    ASSERT_EQ(set.numConstraints(), 1u);
+    EXPECT_TRUE(set.isEq(0));
+}
+
+TEST(Raise, NonAffineStaysScf)
+{
+    // Loop bound loaded from memory is not affine.
+    auto module =
+        parseCToModule("void k(float A[8], int n) {\n"
+                       "  int m = n;\n"
+                       "  for (int i = 0; i < 8; i++) { m += 1; }\n"
+                       "}");
+    raiseScfToAffine(module.get());
+    Operation *func = getTopFunc(module.get());
+    // The loop itself raises (bounds constant), but the m updates stay
+    // as memref accesses on the scalar buffer.
+    EXPECT_EQ(func->collect(ops::AffineFor).size(), 1u);
+}
+
+TEST(Raise, DeadIndexChainsCleaned)
+{
+    auto module = raised(polybenchSource("gemm", 8));
+    Operation *func = getTopFunc(module.get());
+    // After raising + canonicalization no arith.muli/addi index chains
+    // remain (all folded into affine maps).
+    EXPECT_TRUE(func->collect(ops::MulI).empty());
+    EXPECT_TRUE(func->collect(ops::AddI).empty());
+}
+
+TEST(Raise, AllKernelsFullyAffine)
+{
+    for (const std::string &kernel : polybenchKernelNames()) {
+        auto module = parseCToModule(polybenchSource(kernel, 16));
+        raiseScfToAffine(module.get());
+        Operation *func = getTopFunc(module.get());
+        EXPECT_TRUE(func->collect(ops::ScfFor).empty()) << kernel;
+        EXPECT_TRUE(func->collect(ops::MemLoad).empty()) << kernel;
+        EXPECT_TRUE(func->collect(ops::MemStore).empty()) << kernel;
+        EXPECT_TRUE(verifyOk(module.get())) << kernel;
+    }
+}
+
+} // namespace
+} // namespace scalehls

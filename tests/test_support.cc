@@ -1,0 +1,90 @@
+/** @file Unit tests for support utilities. */
+
+#include <gtest/gtest.h>
+
+#include "support/utils.h"
+
+namespace scalehls {
+namespace {
+
+TEST(Support, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(Support, FloorDivNegative)
+{
+    EXPECT_EQ(floorDiv(7, 2), 3);
+    EXPECT_EQ(floorDiv(-7, 2), -4);
+    EXPECT_EQ(floorDiv(-6, 2), -3);
+    EXPECT_EQ(floorDiv(6, -2), -3);
+}
+
+TEST(Support, EuclidMod)
+{
+    EXPECT_EQ(euclidMod(7, 3), 1);
+    EXPECT_EQ(euclidMod(-7, 3), 2);
+    EXPECT_EQ(euclidMod(-6, 3), 0);
+}
+
+TEST(Support, Divisors)
+{
+    EXPECT_EQ(divisorsOf(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(1), (std::vector<int64_t>{1}));
+    EXPECT_EQ(divisorsOf(16),
+              (std::vector<int64_t>{1, 2, 4, 8, 16}));
+    EXPECT_TRUE(divisorsOf(0).empty());
+}
+
+TEST(Support, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1);
+    EXPECT_EQ(nextPow2(3), 4);
+    EXPECT_EQ(nextPow2(16), 16);
+    EXPECT_EQ(nextPow2(17), 32);
+}
+
+TEST(Support, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+}
+
+TEST(Support, Join)
+{
+    EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+    EXPECT_EQ(join(std::vector<int>{}, ","), "");
+}
+
+TEST(Support, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+/** Property: for any n, all divisors divide n and include 1 and n. */
+class DivisorProperty : public ::testing::TestWithParam<int64_t>
+{};
+
+TEST_P(DivisorProperty, DivisorsDivide)
+{
+    int64_t n = GetParam();
+    auto divs = divisorsOf(n);
+    ASSERT_FALSE(divs.empty());
+    EXPECT_EQ(divs.front(), 1);
+    EXPECT_EQ(divs.back(), n);
+    for (int64_t d : divs)
+        EXPECT_EQ(n % d, 0) << "divisor " << d << " of " << n;
+    EXPECT_TRUE(std::is_sorted(divs.begin(), divs.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DivisorProperty,
+                         ::testing::Values(1, 2, 7, 12, 36, 97, 128, 360,
+                                           4096));
+
+} // namespace
+} // namespace scalehls

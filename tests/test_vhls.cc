@@ -1,0 +1,121 @@
+/** @file Tests for the virtual HLS synthesizer and estimator fidelity. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.h"
+#include "model/polybench.h"
+#include "transform/pass.h"
+#include "vhls/synthesizer.h"
+
+namespace scalehls {
+namespace {
+
+std::unique_ptr<Operation>
+optimizedGemm(int64_t n, int64_t tile, int64_t ii)
+{
+    auto module = parseCToModule(polybenchSource("gemm", n));
+    raiseScfToAffine(module.get());
+    Operation *func = getTopFunc(module.get());
+    applyLoopPerfectization(getLoopBands(func)[0][0]);
+    auto band = getLoopNest(getLoopBands(func)[0][0]);
+    applyLoopOrderOpt(band);
+    band = getLoopNest(band[0]);
+    band = applyLoopTiling(band, {1, 1, tile});
+    applyLoopPipelining(band.back(), ii);
+    applyCanonicalize(func);
+    applyArrayPartition(func);
+    return module;
+}
+
+TEST(VHLS, ReportsUtilization)
+{
+    auto module = optimizedGemm(16, 4, 1);
+    VirtualSynthesizer synthesizer(module.get(), xc7z020());
+    SynthesisReport report = synthesizer.synthesize();
+    ASSERT_TRUE(report.feasible);
+    EXPECT_GT(report.latency, 0);
+    EXPECT_GT(report.interval, 0);
+    EXPECT_GT(report.usage.dsp, 0);
+    EXPECT_GE(report.dspUtil(), 0.0);
+    EXPECT_LE(report.dspUtil(), 100.0);
+    EXPECT_TRUE(report.fits());
+}
+
+TEST(VHLS, SequentialSchedulingSerializesSharedUnits)
+{
+    // Two independent fmuls in sequential code share one multiplier in the
+    // virtual synthesizer, so its latency exceeds the pure critical path.
+    auto module = parseCToModule(
+        "void k(float A[4], float B[4]) {\n"
+        "  B[0] = A[0] * A[0];\n"
+        "  B[1] = A[1] * A[1];\n"
+        "  B[2] = A[2] * A[2];\n"
+        "  B[3] = A[3] * A[3];\n"
+        "}");
+    raiseScfToAffine(module.get());
+    QoREstimator estimator(module.get());
+    QoRResult est = estimator.estimateModule();
+    VirtualSynthesizer synthesizer(module.get(), xc7z020());
+    SynthesisReport report = synthesizer.synthesize();
+    EXPECT_GE(report.latency, est.latency);
+}
+
+TEST(VHLS, PipeliningImprovesSynthesisToo)
+{
+    auto baseline = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(baseline.get());
+    auto optimized = optimizedGemm(16, 4, 1);
+
+    VirtualSynthesizer s1(baseline.get(), xc7z020());
+    VirtualSynthesizer s2(optimized.get(), xc7z020());
+    int64_t base_latency = s1.synthesize().latency;
+    int64_t opt_latency = s2.synthesize().latency;
+    EXPECT_LT(opt_latency * 4, base_latency);
+}
+
+TEST(VHLS, EstimatorTracksSynthesizer)
+{
+    // The paper's premise: the fast estimator must rank designs like the
+    // downstream tool. Check relative error and rank agreement on a small
+    // sweep of designs.
+    std::vector<std::pair<int64_t, int64_t>> configs = {
+        {1, 1}, {2, 1}, {4, 1}, {4, 4}, {8, 1}, {8, 2}};
+    std::vector<int64_t> est_latencies;
+    std::vector<int64_t> syn_latencies;
+    for (auto [tile, ii] : configs) {
+        auto module = optimizedGemm(16, tile, ii);
+        QoREstimator estimator(module.get());
+        VirtualSynthesizer synthesizer(module.get(), xc7z020());
+        int64_t est = estimator.estimateModule().latency;
+        int64_t syn = synthesizer.synthesize().latency;
+        ASSERT_GT(est, 0);
+        ASSERT_GT(syn, 0);
+        // Within 2x in absolute terms.
+        EXPECT_LT(est, 2 * syn);
+        EXPECT_LT(syn, 2 * est);
+        est_latencies.push_back(est);
+        syn_latencies.push_back(syn);
+    }
+    // Rank agreement on strict orderings.
+    for (size_t i = 0; i < configs.size(); ++i) {
+        for (size_t j = i + 1; j < configs.size(); ++j) {
+            if (2 * est_latencies[i] < est_latencies[j])
+                EXPECT_LT(syn_latencies[i], syn_latencies[j]);
+            if (2 * est_latencies[j] < est_latencies[i])
+                EXPECT_LT(syn_latencies[j], syn_latencies[i]);
+        }
+    }
+}
+
+TEST(VHLS, BudgetViolationDetected)
+{
+    // A huge unroll on a small device must blow the DSP budget.
+    auto module = optimizedGemm(64, 64, 1);
+    VirtualSynthesizer synthesizer(module.get(), xc7z020());
+    SynthesisReport report = synthesizer.synthesize();
+    EXPECT_GT(report.usage.dsp, xc7z020().dsp);
+    EXPECT_FALSE(report.fits());
+}
+
+} // namespace
+} // namespace scalehls

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * scalehls-opt: the command-line optimization driver of the paper's tool
+ * trio (scalehls-clang | scalehls-opt | scalehls-translate). Reads HLS C
+ * from a file or stdin, applies the requested passes in order and prints
+ * the resulting IR (or a QoR report).
+ *
+ * Examples (the paper's Fig. 5 pipeline):
+ *   scalehls-opt syrk.c -affine-loop-perfectization \
+ *       -remove-variable-bound -affine-loop-order-opt \
+ *       -affine-loop-tile=1,2,1 -loop-pipelining \
+ *       -canonicalize -simplify-affine-if -affine-store-forward \
+ *       -simplify-memref-access -array-partition -cse
+ *   scalehls-opt gemm.c -dse -estimate
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "api/scalehls.h"
+#include "support/utils.h"
+#include "model/polybench.h"
+
+using namespace scalehls;
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "usage: scalehls-opt [<input.c>|-] [passes...] [options]\n"
+           "passes (applied in order):\n"
+           "  -affine-loop-perfectization  -remove-variable-bound\n"
+           "  -affine-loop-order-opt       -affine-loop-tile=<t0,t1,...>\n"
+           "  -affine-loop-unroll=<f>      -affine-loop-merge\n"
+           "  -loop-pipelining[=<II>]      -func-pipelining[=<II>]\n"
+           "  -array-partition             -func-inline\n"
+           "  -simplify-affine-if          -affine-store-forward\n"
+           "  -simplify-memref-access      -canonicalize  -cse\n"
+           "  -dse                         (automated DSE, xc7z020)\n"
+           "options:\n"
+           "  -top=<name>    top function   -estimate   QoR report\n"
+           "  -pass-timing   timing report  -emit-hlscpp  emit C++\n";
+}
+
+std::vector<int64_t>
+parseIntList(const std::string &text)
+{
+    std::vector<int64_t> values;
+    std::istringstream is(text);
+    std::string token;
+    while (std::getline(is, token, ','))
+        values.push_back(std::stoll(token));
+    return values;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+
+    // Split args into input, options and the pass pipeline.
+    std::string input_path;
+    std::string top;
+    bool estimate = false;
+    bool timing = false;
+    bool emit_cpp = false;
+    bool run_dse = false;
+    PassManager pm;
+
+    auto value_of = [](const std::string &arg) {
+        auto pos = arg.find('=');
+        return pos == std::string::npos ? std::string()
+                                        : arg.substr(pos + 1);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value = value_of(arg);
+        std::string name = arg.substr(0, arg.find('='));
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (name == "-top") {
+            top = value;
+        } else if (arg == "-estimate") {
+            estimate = true;
+        } else if (arg == "-pass-timing") {
+            timing = true;
+        } else if (arg == "-emit-hlscpp") {
+            emit_cpp = true;
+        } else if (arg == "-dse") {
+            run_dse = true;
+        } else if (name == "-affine-loop-perfectization") {
+            pm.addPass(createLoopPerfectizationPass());
+        } else if (name == "-remove-variable-bound") {
+            pm.addPass(createRemoveVariableBoundPass());
+        } else if (name == "-affine-loop-order-opt") {
+            pm.addPass(createLoopOrderOptPass());
+        } else if (name == "-affine-loop-tile") {
+            pm.addPass(createLoopTilePass(parseIntList(value)));
+        } else if (name == "-affine-loop-unroll") {
+            pm.addPass(createLoopUnrollPass(
+                value.empty() ? 2 : std::stoll(value)));
+        } else if (name == "-affine-loop-merge") {
+            pm.addPass(createLoopMergePass());
+        } else if (name == "-loop-pipelining") {
+            pm.addPass(createLoopPipeliningPass(
+                value.empty() ? 1 : std::stoll(value)));
+        } else if (name == "-func-pipelining") {
+            pm.addPass(createFuncPipeliningPass(
+                value.empty() ? 1 : std::stoll(value)));
+        } else if (name == "-array-partition") {
+            pm.addPass(createArrayPartitionPass());
+        } else if (name == "-func-inline") {
+            pm.addPass(createFuncInlinePass());
+        } else if (name == "-simplify-affine-if") {
+            pm.addPass(createSimplifyAffineIfPass());
+        } else if (name == "-affine-store-forward") {
+            pm.addPass(createAffineStoreForwardPass());
+        } else if (name == "-simplify-memref-access") {
+            pm.addPass(createSimplifyMemrefAccessPass());
+        } else if (name == "-canonicalize") {
+            pm.addPass(createCanonicalizePass());
+        } else if (name == "-cse") {
+            pm.addPass(createCSEPass());
+        } else if (arg == "-" || (!arg.empty() && arg[0] != '-')) {
+            input_path = arg;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage();
+            return 1;
+        }
+    }
+
+    try {
+        std::string source;
+        if (input_path.empty() || input_path == "-") {
+            std::ostringstream buffer;
+            buffer << std::cin.rdbuf();
+            source = buffer.str();
+        } else {
+            std::ifstream file(input_path);
+            if (!file) {
+                std::cerr << "cannot open " << input_path << "\n";
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << file.rdbuf();
+            source = buffer.str();
+        }
+
+        Compiler compiler = Compiler::fromC(source, top);
+        pm.run(compiler.module());
+        if (run_dse && !compiler.optimize(xc7z020())) {
+            std::cerr << "DSE found no feasible design\n";
+            return 1;
+        }
+
+        auto errors = verify(compiler.module());
+        for (const auto &error : errors)
+            std::cerr << "verifier: " << error << "\n";
+        if (!errors.empty())
+            return 1;
+
+        if (timing)
+            std::cerr << pm.timingReport();
+        if (estimate) {
+            QoRResult qor = compiler.estimate();
+            std::cerr << "QoR: latency=" << qor.latency
+                      << " interval=" << qor.interval
+                      << " DSP=" << qor.resources.dsp
+                      << " LUT=" << qor.resources.lut
+                      << " BRAM18K=" << qor.resources.bram18k << "\n";
+        }
+        std::cout << (emit_cpp ? compiler.emitCpp() : compiler.printIR());
+    } catch (const FatalError &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
