@@ -35,6 +35,7 @@ main()
 
     // Random sampling of the space.
     std::mt19937 rng(6);
+    CachingEvaluator evaluator(space);
     std::vector<DesignSpace::Point> points;
     std::vector<QoRPoint> qor_points;
     std::set<DesignSpace::Point> seen;
@@ -42,7 +43,7 @@ main()
         auto point = space.randomPoint(rng);
         if (!seen.insert(point).second)
             continue;
-        const QoRResult &qor = space.evaluate(point);
+        QoRResult qor = evaluator.evaluate(point);
         if (!qor.feasible)
             continue;
         points.push_back(point);

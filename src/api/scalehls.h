@@ -62,10 +62,35 @@ class Compiler
     Compiler &applySimplifications();
 
     /** Automated DSE under a resource budget (paper Section V-E). On
-     * success the module is replaced by the optimized design. */
+     * success the module is replaced by the optimized design.
+     * `options.numThreads` workers evaluate design points in parallel;
+     * results are deterministic for a fixed `options.seed` regardless of
+     * the thread count. */
     std::optional<DSEResult> optimize(const ResourceBudget &budget,
                                       DesignSpaceOptions space_options = {},
                                       DSEOptions options = {});
+
+    /** Per-function outcome of optimizeFunctions. `qor.feasible` tells
+     * whether a design fitting the kernel's budget share was found (an
+     * infeasible result carries the kInfeasibleQoR sentinel). */
+    struct FuncDSEResult
+    {
+        std::string func;          ///< Function symbol name.
+        DesignSpace::Point point;  ///< Chosen design point.
+        QoRResult qor;
+        size_t evaluations = 0;
+    };
+
+    /** Multi-kernel DSE: run an independent design-space exploration for
+     * EVERY function carrying a loop band, concurrently (each kernel's
+     * exploration is its own sequential trajectory; the module budget is
+     * split evenly across kernels). Functions with a feasible design are
+     * replaced in place by their optimized form; the rest are left
+     * untouched. Results come back in module function order and are
+     * deterministic for a fixed seed at any thread count. */
+    std::vector<FuncDSEResult> optimizeFunctions(
+        const ResourceBudget &budget,
+        DesignSpaceOptions space_options = {}, DSEOptions options = {});
 
     /** Fast analytical QoR estimate of the current module. */
     QoRResult estimate();

@@ -182,24 +182,24 @@ DesignSpace::materialize(const Point &point) const
     return module;
 }
 
-const QoRResult &
-DesignSpace::evaluate(const Point &point)
+std::vector<DesignSpace::Point>
+DesignSpace::canonicalSeedPoints() const
 {
-    auto it = cache_.find(point);
-    if (it != cache_.end())
-        return it->second;
-
-    QoRResult result;
-    auto module = materialize(point);
-    if (!module) {
-        result.latency = std::numeric_limits<int64_t>::max() / 4;
-        result.interval = result.latency;
-        result.feasible = false;
-    } else {
-        QoREstimator estimator(module.get());
-        result = estimator.estimateModule();
+    std::vector<Point> seeds;
+    size_t lp = dimLoopPerfectization();
+    size_t rvb = dimRemoveVariableBound();
+    for (int lp_on = 0; lp_on <= 1; ++lp_on) {
+        for (int rvb_on = 0; rvb_on <= 1; ++rvb_on) {
+            Point seed(numDims(), 0);
+            if (lp < numDims())
+                seed[lp] = lp_on;
+            if (rvb < numDims())
+                seed[rvb] = rvb_on;
+            if (std::find(seeds.begin(), seeds.end(), seed) == seeds.end())
+                seeds.push_back(std::move(seed));
+        }
     }
-    return cache_.emplace(point, std::move(result)).first->second;
+    return seeds;
 }
 
 std::string

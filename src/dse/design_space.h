@@ -26,12 +26,30 @@ struct DesignSpaceOptions
     int64_t maxII = 64;            ///< Largest candidate target II.
 };
 
-/** The tunable design space of a single-band kernel function. */
+/** The tunable design space of a single-band kernel function.
+ *
+ * Thread-safety: every const method (decode, materialize, neighbors,
+ * randomPoint, canonicalSeedPoints, ...) is re-entrant — materialization
+ * clones the pristine module per call and mutates only the clone — so
+ * concurrent evaluation of distinct points through a shared DesignSpace
+ * is safe. QoR evaluation/memoization lives in dse/evaluator.h. */
 class DesignSpace
 {
   public:
     /** A point: one ordinal per dimension. */
     using Point = std::vector<int>;
+
+    /** @name Dimension layout
+     * The first dimensions are the two legalization switches, then the
+     * loop-order permutation, then one tile dimension per loop, then the
+     * pipeline II. Use these accessors instead of magic indices. */
+    ///@{
+    size_t dimLoopPerfectization() const { return 0; }
+    size_t dimRemoveVariableBound() const { return 1; }
+    size_t dimPermutation() const { return 2; }
+    size_t dimFirstTile() const { return 3; }
+    size_t dimTargetII() const { return 3 + trip_counts_.size(); }
+    ///@}
 
     /** @p module is the unoptimized affine-level module; its top function
      * must contain at least one loop band (the primary compute band is the
@@ -51,6 +69,13 @@ class DesignSpace
     /** All ±1 single-dimension neighbors of @p point. */
     std::vector<Point> neighbors(const Point &point) const;
 
+    /** The canonical seed points: the baseline schedule under each
+     * combination of the legalization switches. These guarantee the
+     * neighbor traversal a feasible frontier even when random tiles are
+     * mostly illegal. Degenerate spaces (fewer dims than switches) fall
+     * back to the switch settings that exist. */
+    std::vector<Point> canonicalSeedPoints() const;
+
     /** The decoded parameters of a point (for reporting, Table III). */
     struct Decoded
     {
@@ -68,10 +93,6 @@ class DesignSpace
      * product too large). */
     std::unique_ptr<Operation> materialize(const Point &point) const;
 
-    /** Materialize + estimate (memoized). Non-materializable points return
-     * an infeasible result with huge latency. */
-    const QoRResult &evaluate(const Point &point);
-
     /** Per-memref partition factors of a materialized design, formatted
      * like Table III ("A:[8, 16]"). */
     static std::string partitionSummary(Operation *module);
@@ -84,7 +105,6 @@ class DesignSpace
     std::vector<std::vector<int64_t>> tile_candidates_;
     std::vector<int64_t> trip_counts_;
     std::vector<int64_t> ii_candidates_;
-    std::map<Point, QoRResult> cache_;
 };
 
 } // namespace scalehls

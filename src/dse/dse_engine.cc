@@ -1,161 +1,45 @@
 #include "dse/dse_engine.h"
 
+#include <algorithm>
 #include <chrono>
-#include <cmath>
 
 namespace scalehls {
-
-void
-DSEEngine::probe(const DesignSpace::Point &point)
-{
-    if (!seen_.insert(point).second)
-        return;
-    const QoRResult &qor = space_.evaluate(point);
-    evaluated_.push_back({point, qor});
-}
-
-std::vector<size_t>
-DSEEngine::frontierIndices() const
-{
-    std::vector<QoRPoint> points;
-    points.reserve(evaluated_.size());
-    for (const EvaluatedPoint &e : evaluated_) {
-        QoRPoint p;
-        if (e.qor.feasible) {
-            p.latency = e.qor.latency;
-            p.area = areaOf(e.qor.resources);
-        } else {
-            p.latency = std::numeric_limits<int64_t>::max() / 4;
-            p.area = std::numeric_limits<int64_t>::max() / 4;
-        }
-        points.push_back(p);
-    }
-    return paretoIndices(points);
-}
 
 std::vector<EvaluatedPoint>
 DSEEngine::explore()
 {
+    evaluated_.clear();
     std::mt19937 rng(options_.seed);
 
-    // Step 1: initial sampling. Canonical seeds (the baseline schedule
-    // with each legalization switch) guarantee a feasible frontier for
-    // the neighbor traversal even when random tiles are mostly illegal.
-    for (int lp = 0; lp <= 1; ++lp) {
-        for (int rvb = 0; rvb <= 1; ++rvb) {
-            DesignSpace::Point seed(space_.numDims(), 0);
-            seed[0] = lp;
-            seed[1] = rvb;
-            probe(seed);
-        }
-    }
-    for (unsigned i = 0; i < options_.numInitialSamples; ++i)
-        probe(space_.randomPoint(rng));
+    ThreadPool pool(options_.numThreads);
+    CachingEvaluator evaluator(space_, &pool);
+    SearchContext ctx(space_, evaluator, evaluated_, options_.batchSize);
 
-    switch (options_.strategy) {
-      case DSEStrategy::NeighborTraversal:
-        exploreNeighborTraversal(rng);
-        break;
-      case DSEStrategy::RandomSampling:
-        exploreRandom(rng);
-        break;
-      case DSEStrategy::SimulatedAnnealing:
-        exploreAnnealing(rng);
-        break;
-    }
+    // Step 1: initial sampling, evaluated as one parallel batch. The
+    // canonical seeds (the baseline schedule under each legalization
+    // switch) guarantee a feasible frontier for the neighbor traversal
+    // even when random tiles are mostly illegal.
+    for (const DesignSpace::Point &seed : space_.canonicalSeedPoints())
+        ctx.propose(seed);
+    for (unsigned i = 0; i < options_.numInitialSamples; ++i)
+        ctx.propose(space_.randomPoint(rng));
+    ctx.flush();
+
+    SearchStrategy::create(options_.strategy)
+        ->run(ctx, rng, options_.maxIterations);
+
+    materializations_ = evaluator.numMaterializations();
+    cache_hits_ = evaluator.numCacheHits();
 
     // Return the frontier sorted by latency.
     std::vector<EvaluatedPoint> result;
-    for (size_t idx : frontierIndices())
+    for (size_t idx : ctx.frontierIndices())
         result.push_back(evaluated_[idx]);
     std::sort(result.begin(), result.end(),
               [](const EvaluatedPoint &a, const EvaluatedPoint &b) {
                   return a.qor.latency < b.qor.latency;
               });
     return result;
-}
-
-void
-DSEEngine::exploreNeighborTraversal(std::mt19937 &rng)
-{
-    // Steps 2-4: frontier evolution by nearest-neighbor proposal.
-    unsigned stall = 0;
-    for (unsigned iter = 0; iter < options_.maxIterations; ++iter) {
-        auto frontier = frontierIndices();
-        if (frontier.empty())
-            break;
-        size_t pick = frontier[std::uniform_int_distribution<size_t>(
-            0, frontier.size() - 1)(rng)];
-        const DesignSpace::Point &center = evaluated_[pick].point;
-
-        // Step 2: propose the closest unevaluated neighbor.
-        bool proposed = false;
-        for (const auto &neighbor : space_.neighbors(center)) {
-            if (seen_.count(neighbor))
-                continue;
-            probe(neighbor); // Step 3: evaluation (frontier auto-updates).
-            proposed = true;
-            break;
-        }
-        if (!proposed) {
-            // This frontier point's neighborhood is exhausted; if the
-            // whole frontier is exhausted, terminate early.
-            if (++stall > 2 * frontier.size())
-                break;
-        } else {
-            stall = 0;
-        }
-    }
-}
-
-void
-DSEEngine::exploreRandom(std::mt19937 &rng)
-{
-    for (unsigned iter = 0; iter < options_.maxIterations; ++iter)
-        probe(space_.randomPoint(rng));
-}
-
-void
-DSEEngine::exploreAnnealing(std::mt19937 &rng)
-{
-    // Scalarized objective (latency; infeasible points already carry the
-    // sentinel), classic exponential cooling.
-    auto cost = [&](const EvaluatedPoint &e) {
-        return static_cast<double>(e.qor.latency);
-    };
-    // Start from the best evaluated point so far.
-    size_t best = 0;
-    for (size_t i = 1; i < evaluated_.size(); ++i)
-        if (cost(evaluated_[i]) < cost(evaluated_[best]))
-            best = i;
-    DesignSpace::Point current = evaluated_[best].point;
-    double current_cost = cost(evaluated_[best]);
-    double t0 = current_cost > 0 ? current_cost : 1.0;
-
-    for (unsigned iter = 0; iter < options_.maxIterations; ++iter) {
-        double temperature =
-            t0 * std::pow(0.01, static_cast<double>(iter + 1) /
-                                    options_.maxIterations);
-        auto neighbors = space_.neighbors(current);
-        if (neighbors.empty())
-            break;
-        const auto &candidate =
-            neighbors[std::uniform_int_distribution<size_t>(
-                0, neighbors.size() - 1)(rng)];
-        probe(candidate);
-        double candidate_cost =
-            static_cast<double>(space_.evaluate(candidate).latency);
-        double delta = candidate_cost - current_cost;
-        bool accept = delta <= 0;
-        if (!accept && temperature > 0) {
-            double p = std::exp(-delta / temperature);
-            accept = std::uniform_real_distribution<double>(0, 1)(rng) < p;
-        }
-        if (accept) {
-            current = candidate;
-            current_cost = candidate_cost;
-        }
-    }
 }
 
 std::optional<EvaluatedPoint>

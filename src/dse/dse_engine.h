@@ -4,43 +4,38 @@
  * neighbor-traversing search for the Pareto frontier of the latency-area
  * space, exploiting the observation that Pareto points cluster in the
  * design-parameter space (paper Fig. 6).
+ *
+ * Exploration proposes batches of unevaluated points per round and
+ * evaluates each batch in parallel over a thread pool (the QoR of
+ * distinct points is independent — materialization clones the module per
+ * point). The search trajectory is a function of the seed and the batch
+ * size only, so for a fixed seed the resulting frontier is bit-identical
+ * at any thread count.
  */
 
 #ifndef SCALEHLS_DSE_DSE_ENGINE_H
 #define SCALEHLS_DSE_DSE_ENGINE_H
 
 #include <optional>
-#include <set>
 
-#include "dse/design_space.h"
-#include "dse/pareto.h"
+#include "dse/search_strategy.h"
 
 namespace scalehls {
-
-/** Search strategies. The paper's engine is the neighbor-traversing
- * Pareto search; the alternatives exist for the extensibility the paper
- * calls out (Section VIII) and for the ablation benches. */
-enum class DSEStrategy
-{
-    NeighborTraversal, ///< Paper Section V-E2 (default).
-    RandomSampling,    ///< Pure random search at the same budget.
-    SimulatedAnnealing ///< Classic annealer over the same space.
-};
 
 /** Engine tuning knobs. */
 struct DSEOptions
 {
     unsigned numInitialSamples = 120; ///< Step 1 random samples.
-    unsigned maxIterations = 400;     ///< Step 4 early-termination bound.
+    unsigned maxIterations = 400;     ///< Step 4 proposal budget.
     unsigned seed = 20220402;         ///< RNG seed (deterministic runs).
     DSEStrategy strategy = DSEStrategy::NeighborTraversal;
-};
-
-/** An evaluated design point. */
-struct EvaluatedPoint
-{
-    DesignSpace::Point point;
-    QoRResult qor;
+    /** QoR evaluation worker threads; 0 = hardware_concurrency. Does NOT
+     * affect results, only wall-clock. */
+    unsigned numThreads = 0;
+    /** Points proposed per exploration round. Part of the deterministic
+     * trajectory — keep it fixed when comparing runs (it intentionally
+     * does not default to numThreads). */
+    unsigned batchSize = 8;
 };
 
 /** The 5-step DSE algorithm over one kernel's design space. */
@@ -51,9 +46,9 @@ class DSEEngine
         : space_(space), options_(options)
     {}
 
-    /** Steps 1-4: sample, then evolve the frontier by proposing nearest
-     * unevaluated neighbors of random Pareto points. Returns the frontier
-     * in ascending latency order. */
+    /** Steps 1-4: sample, then evolve the frontier by proposing batches
+     * of nearest unevaluated neighbors of random Pareto points. Returns
+     * the frontier in ascending latency order. */
     std::vector<EvaluatedPoint> explore();
 
     /** Step 5 (design finalization): the fastest Pareto point that meets
@@ -69,21 +64,17 @@ class DSEEngine
     }
     /** Number of estimator invocations. */
     size_t numEvaluations() const { return evaluated_.size(); }
+    /** Cache misses (points actually materialized) of the last explore. */
+    size_t numMaterializations() const { return materializations_; }
+    /** Evaluations served from the memo cache in the last explore. */
+    size_t numCacheHits() const { return cache_hits_; }
 
   private:
-    /** Evaluate and record a point (deduplicated). */
-    void probe(const DesignSpace::Point &point);
-    /** Recompute frontier indices over evaluated_. */
-    std::vector<size_t> frontierIndices() const;
-    /** Strategy bodies (step 1 seeding is shared). */
-    void exploreNeighborTraversal(std::mt19937 &rng);
-    void exploreRandom(std::mt19937 &rng);
-    void exploreAnnealing(std::mt19937 &rng);
-
     DesignSpace &space_;
     DSEOptions options_;
     std::vector<EvaluatedPoint> evaluated_;
-    std::set<DesignSpace::Point> seen_;
+    size_t materializations_ = 0;
+    size_t cache_hits_ = 0;
 };
 
 /** Convenience: run the full flow on a C-level module — returns the

@@ -1,0 +1,71 @@
+#include "dse/evaluator.h"
+
+#include "dse/pareto.h"
+
+namespace scalehls {
+
+QoRResult
+CachingEvaluator::evaluateFresh(const DesignSpace::Point &point)
+{
+    materializations_.fetch_add(1, std::memory_order_relaxed);
+    QoRResult result;
+    auto module = space_.materialize(point);
+    if (!module) {
+        result.latency = kInfeasibleQoR;
+        result.interval = kInfeasibleQoR;
+        result.feasible = false;
+    } else {
+        QoREstimator estimator(module.get());
+        result = estimator.estimateModule();
+    }
+    return result;
+}
+
+QoRResult
+CachingEvaluator::evaluate(const DesignSpace::Point &point)
+{
+    if (auto cached = cache_.lookup(point)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return *cached;
+    }
+    QoRResult result = evaluateFresh(point);
+    cache_.insert(point, result);
+    return result;
+}
+
+std::vector<QoRResult>
+CachingEvaluator::evaluateBatch(const std::vector<DesignSpace::Point> &points)
+{
+    std::vector<QoRResult> results(points.size());
+
+    // Resolve cache hits up front; only misses go to the pool. Duplicate
+    // points within one batch each materialize at most once: the first
+    // occurrence computes, later ones are either distinct batch slots
+    // (evaluated independently — callers dedup batches; see
+    // SearchContext::propose) or already-cached lookups.
+    std::vector<size_t> misses;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (auto cached = cache_.lookup(points[i])) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            results[i] = *cached;
+        } else {
+            misses.push_back(i);
+        }
+    }
+
+    auto evaluate_miss = [&](size_t mi) {
+        size_t i = misses[mi];
+        results[i] = evaluateFresh(points[i]);
+    };
+    if (pool_ && pool_->size() > 1 && misses.size() > 1)
+        pool_->parallelFor(misses.size(), evaluate_miss);
+    else
+        for (size_t mi = 0; mi < misses.size(); ++mi)
+            evaluate_miss(mi);
+
+    for (size_t i : misses)
+        cache_.insert(points[i], results[i]);
+    return results;
+}
+
+} // namespace scalehls

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The QoR evaluation layer of the DSE stack: an Evaluator interface with
+ * single-point and batched entry points, plus the default caching
+ * implementation that materializes each point on its own clone of the
+ * pristine module (so evaluations of distinct points are independent) and
+ * fans a batch out over a ThreadPool.
+ *
+ * Results are returned BY VALUE: the memo cache is sharded and grows
+ * concurrently, so a `const QoRResult&` into it could not survive a
+ * neighboring insert. Batch results come back in input order regardless
+ * of completion order, which is what keeps N-thread runs bit-identical
+ * to 1-thread runs.
+ */
+
+#ifndef SCALEHLS_DSE_EVALUATOR_H
+#define SCALEHLS_DSE_EVALUATOR_H
+
+#include <atomic>
+
+#include "dse/design_space.h"
+#include "support/concurrent_cache.h"
+#include "support/thread_pool.h"
+
+namespace scalehls {
+
+/** An evaluated design point. */
+struct EvaluatedPoint
+{
+    DesignSpace::Point point;
+    QoRResult qor;
+};
+
+/** QoR evaluation of design points. Implementations must be safe to call
+ * from one thread while evaluateBatch internally uses many. */
+class Evaluator
+{
+  public:
+    virtual ~Evaluator() = default;
+
+    /** Evaluate one point. */
+    virtual QoRResult evaluate(const DesignSpace::Point &point) = 0;
+
+    /** Evaluate a batch; result[i] corresponds to points[i]. */
+    virtual std::vector<QoRResult>
+    evaluateBatch(const std::vector<DesignSpace::Point> &points) = 0;
+};
+
+/** The default evaluator: materialize + estimate behind a sharded memo
+ * cache, batches spread over @p pool (nullptr or a 1-wide pool runs
+ * inline). The cache is keyed on the full point vector, so re-probing an
+ * already-evaluated point is a lookup, not a re-materialization. */
+class CachingEvaluator : public Evaluator
+{
+  public:
+    explicit CachingEvaluator(const DesignSpace &space,
+                              ThreadPool *pool = nullptr)
+        : space_(space), pool_(pool)
+    {}
+
+    QoRResult evaluate(const DesignSpace::Point &point) override;
+    std::vector<QoRResult>
+    evaluateBatch(const std::vector<DesignSpace::Point> &points) override;
+
+    /** Number of materialize+estimate runs (cache misses). */
+    size_t numMaterializations() const { return materializations_.load(); }
+    /** Number of evaluations served from the cache. */
+    size_t numCacheHits() const { return cache_hits_.load(); }
+
+  private:
+    /** Uncached materialize + estimate of one point. */
+    QoRResult evaluateFresh(const DesignSpace::Point &point);
+
+    const DesignSpace &space_;
+    ThreadPool *pool_;
+    ConcurrentCache<DesignSpace::Point, QoRResult, OrdinalVectorHash>
+        cache_;
+    std::atomic<size_t> materializations_{0};
+    std::atomic<size_t> cache_hits_{0};
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DSE_EVALUATOR_H

@@ -8,11 +8,20 @@
 #ifndef SCALEHLS_DSE_PARETO_H
 #define SCALEHLS_DSE_PARETO_H
 
+#include <limits>
 #include <vector>
 
 #include "estimate/qor_estimator.h"
 
 namespace scalehls {
+
+/** The latency/area sentinel carried by infeasible (non-materializable or
+ * non-analyzable) design points. Large enough to lose every dominance
+ * comparison, small enough that sums of a few sentinels cannot overflow
+ * int64_t. Shared by every strategy and the evaluator — do not re-derive
+ * it locally. */
+inline constexpr int64_t kInfeasibleQoR =
+    std::numeric_limits<int64_t>::max() / 4;
 
 /** A point in the latency-area space. */
 struct QoRPoint

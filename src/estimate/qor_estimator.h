@@ -33,11 +33,21 @@ struct QoRResult
     }
 };
 
-/** Analytical QoR estimator over the directive-level IR. */
+/** Analytical QoR estimator over the directive-level IR.
+ *
+ * Thread-safety: estimation only READS the IR — it never writes
+ * attributes or touches global state — so distinct QoREstimator
+ * instances over distinct modules (the parallel DSE gives each worker
+ * its own materialized clone) may run concurrently. One instance is not
+ * re-entrant (the per-function memo below is unsynchronized); do not
+ * share an instance across threads. */
 class QoREstimator
 {
   public:
     explicit QoREstimator(Operation *module) : module_(module) {}
+
+    QoREstimator(const QoREstimator &) = delete;
+    QoREstimator &operator=(const QoREstimator &) = delete;
 
     /** Estimate a function (memoized; call invalidate() after rewrites). */
     QoRResult estimateFunc(Operation *func);

@@ -10,6 +10,87 @@ namespace scalehls {
 
 namespace {
 
+/** Merge two sparse (dim, coeff) lists sorted by dim, dropping zero
+ * coefficients. */
+std::vector<std::pair<unsigned, int64_t>>
+mergeCoeffs(const std::vector<std::pair<unsigned, int64_t>> &a,
+            const std::vector<std::pair<unsigned, int64_t>> &b)
+{
+    std::vector<std::pair<unsigned, int64_t>> out;
+    size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+            out.push_back(a[i++]);
+        } else if (i == a.size() || b[j].first < a[i].first) {
+            out.push_back(b[j++]);
+        } else {
+            int64_t sum = a[i].second + b[j].second;
+            if (sum != 0)
+                out.emplace_back(a[i].first, sum);
+            ++i;
+            ++j;
+        }
+    }
+    return out;
+}
+
+/** Compute the node's linear form from its children's already-computed
+ * forms. Runs once at construction so shared nodes never mutate. */
+void
+computeLinearForm(AffineExprNode &n)
+{
+    switch (n.kind) {
+      case AffineExprKind::Constant:
+        n.linValid = true;
+        n.linConst = n.value;
+        return;
+      case AffineExprKind::DimId:
+        n.linValid = true;
+        n.linCoeffs.emplace_back(static_cast<unsigned>(n.value), 1);
+        return;
+      case AffineExprKind::SymbolId:
+        return;
+      case AffineExprKind::Add: {
+        const AffineExprNode &l = n.lhs.node();
+        const AffineExprNode &r = n.rhs.node();
+        if (!l.linValid || !r.linValid)
+            return;
+        n.linValid = true;
+        n.linCoeffs = mergeCoeffs(l.linCoeffs, r.linCoeffs);
+        n.linConst = l.linConst + r.linConst;
+        return;
+      }
+      case AffineExprKind::Mul: {
+        const AffineExprNode &l = n.lhs.node();
+        const AffineExprNode &r = n.rhs.node();
+        if (!l.linValid || !r.linValid)
+            return;
+        // Linear only when one side is a constant form.
+        const AffineExprNode *var = nullptr;
+        int64_t scale = 0;
+        if (r.linCoeffs.empty()) {
+            var = &l;
+            scale = r.linConst;
+        } else if (l.linCoeffs.empty()) {
+            var = &r;
+            scale = l.linConst;
+        } else {
+            return;
+        }
+        n.linValid = true;
+        n.linConst = var->linConst * scale;
+        if (scale != 0)
+            for (const auto &[pos, coeff] : var->linCoeffs)
+                n.linCoeffs.emplace_back(pos, coeff * scale);
+        return;
+      }
+      case AffineExprKind::Mod:
+      case AffineExprKind::FloorDiv:
+      case AffineExprKind::CeilDiv:
+        return;
+    }
+}
+
 AffineExpr
 makeNode(AffineExprKind kind, int64_t value, AffineExpr lhs, AffineExpr rhs)
 {
@@ -18,6 +99,7 @@ makeNode(AffineExprKind kind, int64_t value, AffineExpr lhs, AffineExpr rhs)
     node->value = value;
     node->lhs = std::move(lhs);
     node->rhs = std::move(rhs);
+    computeLinearForm(*node);
     return AffineExpr(std::move(node));
 }
 
@@ -180,57 +262,11 @@ AffineExpr::maxDimPosition() const
     }
 }
 
-namespace {
-
-/** Accumulate scale * e into a dense coefficient map. */
-bool
-accumulateLinear(const AffineExpr &e, int64_t scale,
-                 std::map<unsigned, int64_t> &coeffs, int64_t &constant)
-{
-    switch (e.kind()) {
-      case AffineExprKind::Constant:
-        constant += scale * e.constantValue();
-        return true;
-      case AffineExprKind::DimId:
-        coeffs[e.position()] += scale;
-        return true;
-      case AffineExprKind::SymbolId:
-        return false;
-      case AffineExprKind::Add:
-        return accumulateLinear(e.lhs(), scale, coeffs, constant) &&
-               accumulateLinear(e.rhs(), scale, coeffs, constant);
-      case AffineExprKind::Mul:
-        if (e.rhs().isConstant())
-            return accumulateLinear(
-                e.lhs(), scale * e.rhs().constantValue(), coeffs, constant);
-        if (e.lhs().isConstant())
-            return accumulateLinear(
-                e.rhs(), scale * e.lhs().constantValue(), coeffs, constant);
-        return false;
-      default:
-        return false;
-    }
-}
-
-} // namespace
-
 bool
 AffineExpr::linearForm(std::vector<std::pair<unsigned, int64_t>> &coeffs,
                        int64_t &constant) const
 {
     const AffineExprNode &n = node();
-    if (!n.linComputed) {
-        n.linComputed = true;
-        std::map<unsigned, int64_t> dense;
-        int64_t c = 0;
-        if (accumulateLinear(*this, 1, dense, c)) {
-            n.linValid = true;
-            n.linConst = c;
-            for (const auto &[pos, coeff] : dense)
-                if (coeff != 0)
-                    n.linCoeffs.emplace_back(pos, coeff);
-        }
-    }
     if (!n.linValid)
         return false;
     coeffs = n.linCoeffs;

@@ -108,9 +108,12 @@ class AffineExpr
 };
 
 /** Immutable affine expression tree node. Use the factory functions below.
- * The linear form (coefficient per dim + constant) is memoized lazily; the
- * analyses compare subscripts pairwise, so this cache turns O(n^2) tree
- * walks into O(n). */
+ * The linear form (coefficient per dim + constant) is computed eagerly at
+ * construction from the children's already-computed forms; the analyses
+ * compare subscripts pairwise, so this cache turns O(n^2) tree walks into
+ * O(n). Eager computation (rather than a lazy mutable memo) keeps nodes
+ * truly immutable: expression handles are shared across concurrently
+ * evaluated module clones by the parallel DSE. */
 class AffineExprNode
 {
   public:
@@ -118,10 +121,9 @@ class AffineExprNode
     int64_t value = 0;    ///< Constant value or dim/symbol position.
     AffineExpr lhs, rhs;  ///< Children for binary kinds.
 
-    mutable bool linComputed = false;
-    mutable bool linValid = false;
-    mutable std::vector<std::pair<unsigned, int64_t>> linCoeffs;
-    mutable int64_t linConst = 0;
+    bool linValid = false;
+    std::vector<std::pair<unsigned, int64_t>> linCoeffs;
+    int64_t linConst = 0;
 };
 
 /** @name Factories (with local simplification) */

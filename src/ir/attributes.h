@@ -27,7 +27,12 @@ struct FuncDirective
     bool pipeline = false;
     int64_t targetII = 1;
 
-    bool operator==(const FuncDirective &o) const = default;
+    bool
+    operator==(const FuncDirective &o) const
+    {
+        return dataflow == o.dataflow && pipeline == o.pipeline &&
+               targetII == o.targetII;
+    }
 };
 
 /** The hlscpp LoopDirective struct attribute attached to affine.for / scf.for
@@ -40,7 +45,12 @@ struct LoopDirective
     bool dataflow = false;
     bool flatten = false;
 
-    bool operator==(const LoopDirective &o) const = default;
+    bool
+    operator==(const LoopDirective &o) const
+    {
+        return pipeline == o.pipeline && targetII == o.targetII &&
+               dataflow == o.dataflow && flatten == o.flatten;
+    }
 };
 
 /** A value-semantic attribute. */

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A sharded concurrent memo cache: a fixed array of mutex-protected
+ * hash-map shards indexed by key hash. Lookups and inserts from different
+ * shards never contend; the value type is returned by copy so no
+ * reference ever escapes a shard lock (a `const V&` into a concurrently
+ * growing map is a use-after-rehash bug waiting to happen).
+ */
+
+#ifndef SCALEHLS_SUPPORT_CONCURRENT_CACHE_H
+#define SCALEHLS_SUPPORT_CONCURRENT_CACHE_H
+
+#include <array>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace scalehls {
+
+/** Hash for ordinal vectors (e.g. DesignSpace::Point): FNV-1a over the
+ * elements. */
+struct OrdinalVectorHash
+{
+    template <typename Vec>
+    size_t
+    operator()(const Vec &v) const
+    {
+        size_t h = 1469598103934665603ull;
+        for (const auto &e : v) {
+            h ^= static_cast<size_t>(e);
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          unsigned NumShards = 16>
+class ConcurrentCache
+{
+    static_assert(NumShards > 0, "at least one shard");
+
+  public:
+    /** The cached value for @p key, by copy; nullopt on a miss. */
+    std::optional<Value>
+    lookup(const Key &key) const
+    {
+        const Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Insert unless present. Returns true when this call inserted; the
+     * first writer wins, so concurrent duplicate computations converge on
+     * one canonical value. */
+    bool
+    insert(const Key &key, Value value)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        return shard.map.emplace(key, std::move(value)).second;
+    }
+
+    size_t
+    size() const
+    {
+        size_t total = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            total += shard.map.size();
+        }
+        return total;
+    }
+
+    void
+    clear()
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.map.clear();
+        }
+    }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<Key, Value, Hash> map;
+    };
+
+    const Shard &
+    shardFor(const Key &key) const
+    {
+        return shards_[Hash()(key) % NumShards];
+    }
+    Shard &
+    shardFor(const Key &key)
+    {
+        return shards_[Hash()(key) % NumShards];
+    }
+
+    std::array<Shard, NumShards> shards_;
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_SUPPORT_CONCURRENT_CACHE_H

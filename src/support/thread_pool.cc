@@ -1,0 +1,165 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <system_error>
+
+namespace scalehls {
+
+unsigned
+defaultThreadCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    size_ = num_threads == 0 ? defaultThreadCount() : num_threads;
+    // Workers beyond a few hundred never help this workload; clamping
+    // also keeps absurd requests from exhausting OS thread limits.
+    constexpr unsigned kMaxThreads = 256;
+    size_ = std::min(size_, kMaxThreads);
+    // size_ == 1: inline execution, no workers.
+    for (unsigned i = 1; i < size_; ++i) {
+        try {
+            workers_.emplace_back([this] { workerLoop(); });
+        } catch (const std::system_error &) {
+            // Thread limit hit: run with what we managed to spawn.
+            break;
+        }
+    }
+    size_ = static_cast<unsigned>(workers_.size()) + 1;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock,
+                             [this] { return shutdown_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // Shutdown with a drained queue.
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        std::exception_ptr caught;
+        try {
+            task();
+        } catch (...) {
+            caught = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (caught && !pending_error_)
+                pending_error_ = caught;
+            if (--in_flight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    if (pending_error_) {
+        std::exception_ptr error = pending_error_;
+        pending_error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Shared iteration counter; caller + workers race to grab indices. A
+    // per-call latch (not pool idleness) gates completion, so a nested
+    // parallelFor from inside a pool task cannot deadlock: the caller's
+    // own drain() completes every iteration even if no helper ever runs.
+    struct State
+    {
+        std::atomic<size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t remaining;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<State>();
+    state->remaining = n;
+
+    auto drain = [state, n, &fn] {
+        for (;;) {
+            size_t i = state->next.fetch_add(1);
+            if (i >= n)
+                return;
+            std::exception_ptr caught;
+            try {
+                fn(i);
+            } catch (...) {
+                caught = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (caught && !state->error)
+                state->error = caught;
+            if (--state->remaining == 0)
+                state->done.notify_all();
+        }
+    };
+
+    // One helper task per worker is enough: each drains the counter.
+    // Helpers capture `state` by value but `fn` by reference; the latch
+    // wait below keeps both alive until every iteration has finished.
+    size_t helpers = std::min<size_t>(workers_.size(), n - 1);
+    for (size_t i = 0; i < helpers; ++i)
+        submit(drain);
+    drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->remaining == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace scalehls

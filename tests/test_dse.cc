@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "api/scalehls.h"
 #include "dse/dse_engine.h"
 #include "dse/pca.h"
 #include "frontend/irgen.h"
@@ -124,11 +127,16 @@ TEST(DesignSpace, MaterializeAndEvaluate)
     DesignSpace::Point zero(space.numDims(), 0);
     auto materialized = space.materialize(zero);
     ASSERT_NE(materialized, nullptr);
-    const QoRResult &qor = space.evaluate(zero);
+    CachingEvaluator evaluator(space);
+    QoRResult qor = evaluator.evaluate(zero);
     EXPECT_TRUE(qor.feasible);
     EXPECT_GT(qor.latency, 0);
-    // Evaluation is memoized.
-    EXPECT_EQ(&space.evaluate(zero), &qor);
+    // Evaluation is memoized: the second call is a cache hit, not a
+    // re-materialization, and returns the identical result.
+    QoRResult again = evaluator.evaluate(zero);
+    EXPECT_EQ(evaluator.numMaterializations(), 1u);
+    EXPECT_EQ(evaluator.numCacheHits(), 1u);
+    EXPECT_EQ(again.latency, qor.latency);
 }
 
 TEST(DSEEngine, FindsBetterThanBaseline)
@@ -183,6 +191,127 @@ TEST(DSEEngine, RunDSEProducesModule)
         has_pipeline |= getLoopDirective(op).pipeline;
     });
     EXPECT_TRUE(has_pipeline);
+}
+
+TEST(DSEEngine, DeterministicAcrossThreadCounts)
+{
+    // The Pareto frontier (and the full evaluated trajectory) of a
+    // 4-thread run must be bit-identical to the 1-thread run at the same
+    // seed: batches are proposed single-threaded and merged in proposal
+    // order, so the thread count only changes wall-clock.
+    auto module = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 8;
+    space_options.maxTotalUnroll = 64;
+
+    auto run = [&](unsigned threads) {
+        DesignSpace space(module.get(), space_options);
+        DSEOptions options;
+        options.numInitialSamples = 25;
+        options.maxIterations = 50;
+        options.numThreads = threads;
+        DSEEngine engine(space, options);
+        auto frontier = engine.explore();
+        return std::make_pair(frontier, engine.evaluated());
+    };
+
+    auto [frontier1, evaluated1] = run(1);
+    auto [frontier4, evaluated4] = run(4);
+
+    ASSERT_EQ(frontier1.size(), frontier4.size());
+    for (size_t i = 0; i < frontier1.size(); ++i) {
+        EXPECT_EQ(frontier1[i].point, frontier4[i].point);
+        EXPECT_EQ(frontier1[i].qor.latency, frontier4[i].qor.latency);
+        EXPECT_EQ(frontier1[i].qor.interval, frontier4[i].qor.interval);
+        EXPECT_EQ(frontier1[i].qor.resources.dsp,
+                  frontier4[i].qor.resources.dsp);
+        EXPECT_EQ(frontier1[i].qor.resources.lut,
+                  frontier4[i].qor.resources.lut);
+    }
+    ASSERT_EQ(evaluated1.size(), evaluated4.size());
+    for (size_t i = 0; i < evaluated1.size(); ++i) {
+        EXPECT_EQ(evaluated1[i].point, evaluated4[i].point);
+        EXPECT_EQ(evaluated1[i].qor.latency, evaluated4[i].qor.latency);
+    }
+}
+
+TEST(Evaluator, BatchCacheHitsAreNotRematerialized)
+{
+    auto module = parseCToModule(polybenchSource("syrk", 16));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    ThreadPool pool(2);
+    CachingEvaluator evaluator(space, &pool);
+
+    std::mt19937 rng(9);
+    std::vector<DesignSpace::Point> batch;
+    for (int i = 0; i < 6; ++i)
+        batch.push_back(space.randomPoint(rng));
+
+    auto first = evaluator.evaluateBatch(batch);
+    size_t materialized = evaluator.numMaterializations();
+    EXPECT_LE(materialized, batch.size());
+    EXPECT_GE(materialized, 1u);
+
+    // Re-evaluating the same batch must be pure cache traffic...
+    auto second = evaluator.evaluateBatch(batch);
+    EXPECT_EQ(evaluator.numMaterializations(), materialized);
+    EXPECT_GE(evaluator.numCacheHits(), batch.size());
+    // ...and return identical results in input order.
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].latency, second[i].latency);
+        EXPECT_EQ(first[i].feasible, second[i].feasible);
+    }
+}
+
+TEST(MultiKernelDSE, ConcurrentPerFunctionFlow)
+{
+    // Two independent kernels in one module: the per-function flow must
+    // explore both concurrently and splice an optimized (pipelined)
+    // version of each back into the module.
+    std::string source = polybenchSource("gemm", 16);
+    std::string second = polybenchSource("syrk", 16);
+    Compiler compiler = Compiler::fromC(source + "\n" + second);
+
+    int64_t baseline = compiler.estimate().latency;
+
+    DSEOptions options;
+    options.numInitialSamples = 20;
+    options.maxIterations = 30;
+    options.numThreads = 4;
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 4;
+    space_options.maxTotalUnroll = 16;
+    auto results =
+        compiler.optimizeFunctions(xc7z020(), space_options, options);
+
+    ASSERT_EQ(results.size(), 2u);
+    std::set<std::string> names;
+    for (const auto &r : results) {
+        names.insert(r.func);
+        EXPECT_TRUE(r.qor.feasible) << r.func;
+        EXPECT_GT(r.evaluations, 20u);
+        EXPECT_GT(r.qor.latency, 0);
+    }
+    EXPECT_EQ(names.size(), 2u);
+
+    // Both kernels in the updated module carry a pipeline directive.
+    size_t pipelined_funcs = 0;
+    for (auto &op : compiler.module()->region(0).front().ops()) {
+        if (!op->is(ops::Func))
+            continue;
+        bool has_pipeline = false;
+        op->walk([&](Operation *inner) {
+            has_pipeline |= getLoopDirective(inner).pipeline;
+        });
+        pipelined_funcs += has_pipeline;
+    }
+    EXPECT_EQ(pipelined_funcs, 2u);
+
+    // The top function's QoR improved over the unoptimized baseline.
+    EXPECT_LT(compiler.estimate().latency, baseline);
 }
 
 TEST(PCA, SeparatesClusters)

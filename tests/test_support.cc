@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+
+#include "support/concurrent_cache.h"
+#include "support/thread_pool.h"
 #include "support/utils.h"
 
 namespace scalehls {
@@ -85,6 +90,79 @@ TEST_P(DivisorProperty, DivisorsDivide)
 INSTANTIATE_TEST_SUITE_P(Sweep, DivisorProperty,
                          ::testing::Values(1, 2, 7, 12, 36, 97, 128, 360,
                                            4096));
+
+TEST(ThreadPool, ParallelForCoversEveryIndex)
+{
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.size(), threads);
+        std::vector<std::atomic<int>> hits(257);
+        pool.parallelFor(hits.size(),
+                         [&](size_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> completed{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error("boom");
+                                      completed.fetch_add(1);
+                                  }),
+                 std::runtime_error);
+    // Every non-throwing iteration still ran (no early abandonment).
+    EXPECT_EQ(completed.load(), 63u);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle)
+{
+    ThreadPool pool(3);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    pool.waitIdle();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SubmitExceptionRethrownAtWaitIdle)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+    // The pool stays usable and the error does not resurface.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ConcurrentCache, FirstWriterWinsUnderContention)
+{
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
+    ThreadPool pool(4);
+    std::atomic<int> inserted{0};
+    pool.parallelFor(64, [&](size_t i) {
+        std::vector<int> key{static_cast<int>(i % 8)};
+        if (cache.insert(key, static_cast<int>(i)))
+            inserted.fetch_add(1);
+    });
+    EXPECT_EQ(inserted.load(), 8);
+    EXPECT_EQ(cache.size(), 8u);
+    for (int k = 0; k < 8; ++k) {
+        auto hit = cache.lookup({k});
+        ASSERT_TRUE(hit.has_value());
+        // The stored value is one of the candidates for that key.
+        EXPECT_EQ(*hit % 8, k);
+    }
+    EXPECT_FALSE(cache.lookup({99}).has_value());
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
 
 } // namespace
 } // namespace scalehls

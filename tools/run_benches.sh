@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Run the experiment/bench binaries and dump a JSON index of the results.
+#
+# Usage: tools/run_benches.sh [build-dir] [output-dir]
+#   build-dir   where the bench binaries live (default: build)
+#   output-dir  where per-bench logs + results.json land
+#               (default: bench-results)
+#
+# Every bench's stdout+stderr goes to <output-dir>/<bench>.txt; the JSON
+# index records exit codes and wall-clock seconds, plus any machine
+# readable "JSON {...}" lines the bench itself emitted (currently
+# bench_parallel_dse's per-thread-count scaling records).
+
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+mkdir -p "$OUT_DIR"
+
+BENCHES=(bench_parallel_dse bench_fig6 bench_fig7 bench_fig8
+         bench_table3 bench_table4 bench_table5)
+
+json="$OUT_DIR/results.json"
+printf '{\n  "benches": [\n' > "$json"
+first=1
+
+for bench in "${BENCHES[@]}"; do
+    bin="$BUILD_DIR/$bench"
+    log="$OUT_DIR/$bench.txt"
+    if [ ! -x "$bin" ]; then
+        echo "skip: $bench (not built)"
+        continue
+    fi
+    echo "running $bench ..."
+    start=$(date +%s.%N)
+    "$bin" > "$log" 2>&1
+    code=$?
+    end=$(date +%s.%N)
+    secs=$(echo "$end $start" | awk '{printf "%.2f", $1 - $2}')
+
+    [ $first -eq 0 ] && printf ',\n' >> "$json"
+    first=0
+    printf '    {"name": "%s", "exit_code": %d, "seconds": %s, "log": "%s"' \
+        "$bench" "$code" "$secs" "$bench.txt" >> "$json"
+    # Inline any JSON records the bench emitted.
+    records=$(grep '^JSON ' "$log" | sed 's/^JSON //' | paste -sd, -)
+    if [ -n "$records" ]; then
+        printf ', "records": [%s]' "$records" >> "$json"
+    fi
+    printf '}' >> "$json"
+done
+
+printf '\n  ]\n}\n' >> "$json"
+echo "wrote $json"

@@ -16,6 +16,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "api/scalehls.h"
@@ -40,9 +41,36 @@ usage()
            "  -simplify-affine-if          -affine-store-forward\n"
            "  -simplify-memref-access      -canonicalize  -cse\n"
            "  -dse                         (automated DSE, xc7z020)\n"
+           "  -dse-funcs                   (DSE every kernel function,\n"
+           "                                explored concurrently)\n"
            "options:\n"
            "  -top=<name>    top function   -estimate   QoR report\n"
-           "  -pass-timing   timing report  -emit-hlscpp  emit C++\n";
+           "  -pass-timing   timing report  -emit-hlscpp  emit C++\n"
+           "  -dse-threads=<n>  QoR evaluation workers (default: all\n"
+           "                    cores; results independent of <n>)\n"
+           "  -dse-batch=<n>    points proposed per DSE round (part of\n"
+           "                    the deterministic trajectory; default 8)\n"
+           "  -dse-seed=<n>     DSE random seed\n";
+}
+
+unsigned
+parseUnsignedArg(const std::string &name, const std::string &value)
+{
+    // std::stoul alone would wrap "-1" to ULONG_MAX; require digits only.
+    bool all_digits = !value.empty();
+    for (char c : value)
+        all_digits &= c >= '0' && c <= '9';
+    if (all_digits) {
+        try {
+            unsigned long parsed = std::stoul(value);
+            if (parsed <= std::numeric_limits<unsigned>::max())
+                return static_cast<unsigned>(parsed);
+        } catch (const std::exception &) {
+        }
+    }
+    std::cerr << name << " expects an unsigned integer, got '" << value
+              << "'\n";
+    std::exit(1);
 }
 
 std::vector<int64_t>
@@ -73,6 +101,8 @@ main(int argc, char **argv)
     bool timing = false;
     bool emit_cpp = false;
     bool run_dse = false;
+    bool run_dse_funcs = false;
+    DSEOptions dse_options;
     PassManager pm;
 
     auto value_of = [](const std::string &arg) {
@@ -98,6 +128,14 @@ main(int argc, char **argv)
             emit_cpp = true;
         } else if (arg == "-dse") {
             run_dse = true;
+        } else if (arg == "-dse-funcs") {
+            run_dse_funcs = true;
+        } else if (name == "-dse-threads") {
+            dse_options.numThreads = parseUnsignedArg(name, value);
+        } else if (name == "-dse-batch") {
+            dse_options.batchSize = parseUnsignedArg(name, value);
+        } else if (name == "-dse-seed") {
+            dse_options.seed = parseUnsignedArg(name, value);
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -157,11 +195,37 @@ main(int argc, char **argv)
             source = buffer.str();
         }
 
+        if (run_dse && run_dse_funcs) {
+            std::cerr << "-dse and -dse-funcs are mutually exclusive\n";
+            return 1;
+        }
+
         Compiler compiler = Compiler::fromC(source, top);
         pm.run(compiler.module());
-        if (run_dse && !compiler.optimize(xc7z020())) {
+        if (run_dse && !compiler.optimize(xc7z020(), {}, dse_options)) {
             std::cerr << "DSE found no feasible design\n";
             return 1;
+        }
+        if (run_dse_funcs) {
+            auto results =
+                compiler.optimizeFunctions(xc7z020(), {}, dse_options);
+            bool any_feasible = false;
+            for (const auto &r : results) {
+                std::cerr << "DSE " << r.func << ": ";
+                if (r.qor.feasible) {
+                    std::cerr << "latency=" << r.qor.latency
+                              << " DSP=" << r.qor.resources.dsp << " ("
+                              << r.evaluations << " evaluations)\n";
+                    any_feasible = true;
+                } else {
+                    std::cerr << "no feasible design\n";
+                }
+            }
+            if (!any_feasible) {
+                std::cerr << "DSE found no feasible design for any "
+                             "kernel function\n";
+                return 1;
+            }
         }
 
         auto errors = verify(compiler.module());
