@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Intra-point estimator scaling: QoR estimations per second at 1, 2, 4
+ * and hardware_concurrency estimation threads over flat and
+ * multi-function dataflow designs, plus the cross-point estimate cache's
+ * hit rate. Self-check (the repo's determinism guarantee extended to the
+ * estimator): parallel and cached estimation must produce bit-identical
+ * QoR to the sequential, uncached path for every bench design. Emits a
+ * human-readable table and one JSON line per configuration for
+ * tools/run_benches.sh.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "estimate/estimate_cache.h"
+#include "model/graph_builder.h"
+#include "model/lower_graph.h"
+
+using namespace scalehls;
+
+namespace {
+
+struct BenchDesign
+{
+    std::string name;
+    std::unique_ptr<Operation> module;
+};
+
+std::vector<BenchDesign>
+buildDesigns()
+{
+    std::vector<BenchDesign> designs;
+
+    // Flat single-kernel design: no callees, so it pins the sequential
+    // path and the cache behavior without intra-point parallelism.
+    {
+        auto module = parseCToModule(polybenchSource("gemm", 32));
+        raiseScfToAffine(module.get());
+        designs.push_back({"gemm-32", std::move(module)});
+    }
+
+    // Multi-function dataflow designs (paper Section VII-B flow): the
+    // top function calls one sub-function per dataflow stage, which is
+    // exactly where per-callee estimation fans out.
+    auto dnn = [](Operation *(*build)(Operation *), int graph_level) {
+        auto module = createModule();
+        build(module.get());
+        Compiler compiler(std::move(module));
+        compiler.applyGraphOpt(graph_level)
+            .lowerToLoops()
+            .applyLoopOpt(2)
+            .applyDirectiveOpt(1);
+        return compiler.takeModule();
+    };
+    designs.push_back({"resnet18-g4", dnn(buildResNet18, 4)});
+    designs.push_back({"vgg16-g7", dnn(buildVGG16, 7)});
+    return designs;
+}
+
+bool
+identical(const QoRResult &a, const QoRResult &b)
+{
+    return a.latency == b.latency && a.interval == b.interval &&
+           a.feasible == b.feasible &&
+           a.resources.dsp == b.resources.dsp &&
+           a.resources.lut == b.resources.lut &&
+           a.resources.bram18k == b.resources.bram18k &&
+           a.resources.memoryBits == b.resources.memoryBits;
+}
+
+} // namespace
+
+int
+main()
+{
+    unsigned hw = defaultThreadCount();
+    std::printf("=== Estimator scaling (intra-point parallel estimation "
+                "+ cross-point cache, %u hardware threads) ===\n\n",
+                hw);
+
+    std::vector<unsigned> configs = {1, 2, 4};
+    if (hw > 4)
+        configs.push_back(hw);
+
+    auto designs = buildDesigns();
+    constexpr int kReps = 12;
+    bool all_identical = true;
+
+    for (const BenchDesign &design : designs) {
+        // Sequential, uncached reference.
+        QoRResult reference =
+            QoREstimator(design.module.get()).estimateModule();
+        std::printf("--- %s (reference: latency=%lld interval=%lld "
+                    "DSP=%lld) ---\n",
+                    design.name.c_str(),
+                    static_cast<long long>(reference.latency),
+                    static_cast<long long>(reference.interval),
+                    static_cast<long long>(reference.resources.dsp));
+        std::printf("%-10s %-12s %-12s %-12s %s\n", "Threads",
+                    "Seconds", "Points/s", "CacheHit%", "Identical");
+
+        double base_rate = 0;
+        for (unsigned threads : configs) {
+            ThreadPool pool(threads);
+            EstimateCache cache;
+            bool matches = true;
+            auto start = std::chrono::steady_clock::now();
+            // Each rep is one design-point estimation: a fresh estimator
+            // instance (per-point memos do not carry over) over the
+            // shared cross-point cache, exactly like the DSE evaluator.
+            for (int rep = 0; rep < kReps; ++rep) {
+                QoREstimator estimator(design.module.get(), &pool,
+                                       &cache);
+                QoRResult qor = estimator.estimateModule();
+                matches &= identical(qor, reference);
+            }
+            double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            double rate = kReps / seconds;
+            if (threads == 1)
+                base_rate = rate;
+            all_identical &= matches;
+            std::printf("%-10u %-12.4f %-12.1f %-12.1f %s\n", threads,
+                        seconds, rate, cache.hitRate() * 100,
+                        matches ? "yes" : "NO (BUG)");
+            std::printf(
+                "JSON {\"bench\":\"estimator\",\"design\":\"%s\","
+                "\"threads\":%u,\"reps\":%d,\"seconds\":%.4f,"
+                "\"points_per_second\":%.1f,\"speedup\":%.2f,"
+                "\"cache_hit_rate\":%.3f,\"identical\":%s}\n",
+                design.name.c_str(), threads, kReps, seconds, rate,
+                base_rate > 0 ? rate / base_rate : 1.0, cache.hitRate(),
+                matches ? "true" : "false");
+        }
+        std::printf("\n");
+    }
+
+    if (!all_identical) {
+        std::printf("SELF-CHECK FAILED: parallel/cached estimation "
+                    "diverged from the sequential path\n");
+        return 1;
+    }
+    return 0;
+}

@@ -206,6 +206,14 @@ Compiler::optimizeFunctions(const ResourceBudget &budget,
     DSEOptions inner_options = options;
     inner_options.numThreads = std::max(1u, total_threads / outer);
 
+    // One estimate cache spans every kernel's exploration: the per-point
+    // module clones share all non-target functions verbatim (and often
+    // the callee subtrees of the targets), so their content-keyed
+    // estimates transfer across kernels and workers alike.
+    EstimateCache shared_estimates;
+    if (!inner_options.sharedEstimates && inner_options.crossPointCache)
+        inner_options.sharedEstimates = &shared_estimates;
+
     std::vector<FuncDSEResult> results(kernels.size());
     std::vector<std::unique_ptr<Operation>> optimized(kernels.size());
     auto start = std::chrono::steady_clock::now();

@@ -12,7 +12,17 @@ DSEEngine::explore()
     std::mt19937 rng(options_.seed);
 
     ThreadPool pool(options_.numThreads);
-    CachingEvaluator evaluator(space_, &pool);
+    // Cross-point estimate cache: external if supplied, per-exploration
+    // otherwise (unless disabled). Content-keyed, so it never changes
+    // results — only how often the estimator re-walks identical IR.
+    EstimateCache local_estimates;
+    EstimateCache *estimates = options_.sharedEstimates;
+    if (!estimates && options_.crossPointCache)
+        estimates = &local_estimates;
+    size_t hits_before = estimates ? estimates->hits() : 0;
+    size_t lookups_before = estimates ? estimates->lookups() : 0;
+
+    CachingEvaluator evaluator(space_, &pool, estimates);
     SearchContext ctx(space_, evaluator, evaluated_, options_.batchSize);
 
     // Step 1: initial sampling, evaluated as one parallel batch. The
@@ -30,15 +40,22 @@ DSEEngine::explore()
 
     materializations_ = evaluator.numMaterializations();
     cache_hits_ = evaluator.numCacheHits();
+    estimate_hits_ = estimates ? estimates->hits() - hits_before : 0;
+    estimate_lookups_ =
+        estimates ? estimates->lookups() - lookups_before : 0;
 
-    // Return the frontier sorted by latency.
+    // Return the frontier sorted by latency. frontierIndices is already
+    // ascending (latency, area, index); stable_sort keeps tie groups in
+    // that deterministic order on every stdlib (an unstable sort could
+    // scramble equal-latency members and change which one finalize()
+    // picks first).
     std::vector<EvaluatedPoint> result;
     for (size_t idx : ctx.frontierIndices())
         result.push_back(evaluated_[idx]);
-    std::sort(result.begin(), result.end(),
-              [](const EvaluatedPoint &a, const EvaluatedPoint &b) {
-                  return a.qor.latency < b.qor.latency;
-              });
+    std::stable_sort(result.begin(), result.end(),
+                     [](const EvaluatedPoint &a, const EvaluatedPoint &b) {
+                         return a.qor.latency < b.qor.latency;
+                     });
     return result;
 }
 
@@ -70,6 +87,8 @@ runDSE(Operation *module, const ResourceBudget &budget,
     result.qor = chosen->qor;
     result.module = space.materialize(chosen->point);
     result.evaluations = engine.numEvaluations();
+    result.estimateHits = engine.numEstimateHits();
+    result.estimateLookups = engine.numEstimateLookups();
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();

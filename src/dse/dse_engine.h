@@ -36,6 +36,16 @@ struct DSEOptions
      * trajectory — keep it fixed when comparing runs (it intentionally
      * does not default to numThreads). */
     unsigned batchSize = 8;
+    /** Cross-point estimate cache: reuse per-function estimates between
+     * design points whose function content is identical (keyed by
+     * function name + directive/structure digest). Purely a wall-clock
+     * optimization — keys are content-derived, so hits return exactly
+     * what recomputation would. */
+    bool crossPointCache = true;
+    /** External estimate cache spanning multiple explorations (e.g. all
+     * kernels of optimizeFunctions), NOT owned; nullptr = the engine
+     * creates a per-exploration cache when crossPointCache is set. */
+    EstimateCache *sharedEstimates = nullptr;
 };
 
 /** The 5-step DSE algorithm over one kernel's design space. */
@@ -68,6 +78,15 @@ class DSEEngine
     size_t numMaterializations() const { return materializations_; }
     /** Evaluations served from the memo cache in the last explore. */
     size_t numCacheHits() const { return cache_hits_; }
+    /** Function-estimate lookups resolved by the cross-point estimate
+     * cache during the last explore (delta over the cache used, so a
+     * sharedEstimates cache concurrently fed by other engines counts
+     * their traffic too — per-engine exact only for engine-local
+     * caches). */
+    size_t numEstimateHits() const { return estimate_hits_; }
+    /** Total function-estimate lookups of the last explore (same sharing
+     * caveat as numEstimateHits). */
+    size_t numEstimateLookups() const { return estimate_lookups_; }
 
   private:
     DesignSpace &space_;
@@ -75,6 +94,8 @@ class DSEEngine
     std::vector<EvaluatedPoint> evaluated_;
     size_t materializations_ = 0;
     size_t cache_hits_ = 0;
+    size_t estimate_hits_ = 0;
+    size_t estimate_lookups_ = 0;
 };
 
 /** Convenience: run the full flow on a C-level module — returns the
@@ -86,6 +107,10 @@ struct DSEResult
     QoRResult qor;
     std::unique_ptr<Operation> module;
     size_t evaluations = 0;
+    /** Cross-point estimate-cache traffic of the exploration (see
+     * DSEEngine::numEstimateHits for the shared-cache caveat). */
+    size_t estimateHits = 0;
+    size_t estimateLookups = 0;
     double seconds = 0;
 };
 std::optional<DSEResult> runDSE(Operation *module,

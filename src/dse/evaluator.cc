@@ -15,8 +15,17 @@ CachingEvaluator::evaluateFresh(const DesignSpace::Point &point)
         result.interval = kInfeasibleQoR;
         result.feasible = false;
     } else {
-        QoREstimator estimator(module.get());
+        QoREstimator estimator(module.get(), pool_, estimates_);
         result = estimator.estimateModule();
+        if (!result.feasible) {
+            // An infeasible estimate (unknown trip counts, recursive
+            // call cycles) carries internal placeholder latencies — e.g.
+            // the recursion guard's latency-1 stub — that must not leak
+            // into frontier ranking or annealing costs as if they were
+            // excellent designs. Force the sentinel.
+            result.latency = kInfeasibleQoR;
+            result.interval = kInfeasibleQoR;
+        }
     }
     return result;
 }

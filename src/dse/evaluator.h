@@ -19,6 +19,7 @@
 #include <atomic>
 
 #include "dse/design_space.h"
+#include "estimate/estimate_cache.h"
 #include "support/concurrent_cache.h"
 #include "support/thread_pool.h"
 
@@ -49,13 +50,26 @@ class Evaluator
 /** The default evaluator: materialize + estimate behind a sharded memo
  * cache, batches spread over @p pool (nullptr or a 1-wide pool runs
  * inline). The cache is keyed on the full point vector, so re-probing an
- * already-evaluated point is a lookup, not a re-materialization. */
+ * already-evaluated point is a lookup, not a re-materialization.
+ *
+ * An infeasible estimate (unknown trips, call cycles, failed analysis)
+ * is returned carrying the kInfeasibleQoR latency/interval sentinel —
+ * the estimator's internal placeholder numbers never escape here, so
+ * every consumer (Pareto ranking, annealing cost, reporting) sees an
+ * infeasible point as maximally bad instead of accidentally optimal.
+ *
+ * @p estimates (optional, not owned) is the cross-point estimate cache:
+ * per-function results keyed by content digest, shared across every
+ * worker (and potentially across evaluators). The pool is also handed
+ * to each QoREstimator so multi-function points estimate their callees
+ * concurrently (intra-point parallelism). */
 class CachingEvaluator : public Evaluator
 {
   public:
     explicit CachingEvaluator(const DesignSpace &space,
-                              ThreadPool *pool = nullptr)
-        : space_(space), pool_(pool)
+                              ThreadPool *pool = nullptr,
+                              EstimateCache *estimates = nullptr)
+        : space_(space), pool_(pool), estimates_(estimates)
     {}
 
     QoRResult evaluate(const DesignSpace::Point &point) override;
@@ -73,6 +87,7 @@ class CachingEvaluator : public Evaluator
 
     const DesignSpace &space_;
     ThreadPool *pool_;
+    EstimateCache *estimates_ = nullptr;
     ConcurrentCache<DesignSpace::Point, QoRResult, OrdinalVectorHash>
         cache_;
     std::atomic<size_t> materializations_{0};

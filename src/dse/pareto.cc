@@ -24,26 +24,46 @@ dominates(const QoRPoint &a, const QoRPoint &b)
 std::vector<size_t>
 paretoIndices(const std::vector<QoRPoint> &points)
 {
+    // The frontier is exactly the set of points no other point
+    // dominates() — including EVERY member of a group of identical
+    // (equal-latency, equal-area) points, since equal points do not
+    // dominate each other. Membership is a property of a point's value
+    // against the set, so the selected points are invariant under input
+    // permutation (the returned indices permute with the input).
     std::vector<size_t> order(points.size());
     for (size_t i = 0; i < points.size(); ++i)
         order[i] = i;
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         if (points[a].latency != points[b].latency)
             return points[a].latency < points[b].latency;
-        return points[a].area < points[b].area;
+        if (points[a].area != points[b].area)
+            return points[a].area < points[b].area;
+        return a < b; // Deterministic output order within a tie group.
     });
 
+    // Sweep latency groups in ascending order. Within a group only the
+    // minimum-area points can survive (anything else is dominated inside
+    // the group); they survive iff strictly below every lower-latency
+    // point's area (equal area there means the lower-latency point
+    // dominates).
     std::vector<size_t> frontier;
     int64_t best_area = std::numeric_limits<int64_t>::max();
-    int64_t last_latency = -1;
-    for (size_t idx : order) {
-        if (points[idx].latency == last_latency)
-            continue; // Same latency, larger-or-equal area.
-        if (points[idx].area < best_area) {
-            frontier.push_back(idx);
-            best_area = points[idx].area;
+    size_t i = 0;
+    while (i < order.size()) {
+        size_t group_end = i;
+        while (group_end < order.size() &&
+               points[order[group_end]].latency ==
+                   points[order[i]].latency)
+            ++group_end;
+        int64_t group_area = points[order[i]].area; // Sorted: group min.
+        if (group_area < best_area) {
+            for (size_t j = i; j < group_end &&
+                               points[order[j]].area == group_area;
+                 ++j)
+                frontier.push_back(order[j]);
+            best_area = group_area;
         }
-        last_latency = points[idx].latency;
+        i = group_end;
     }
     return frontier;
 }

@@ -33,10 +33,16 @@ struct QoRPoint
 /** Scalar area of a resource usage (DSP-dominated, as in paper Fig. 6). */
 int64_t areaOf(const ResourceUsage &usage);
 
-/** a dominates b: no worse in both objectives, strictly better in one. */
+/** a dominates b: no worse in both objectives, strictly better in one.
+ * Equal points (same latency AND same area) do not dominate each other —
+ * paretoIndices mirrors exactly this definition, keeping every member of
+ * an identical-QoR tie group on the frontier. */
 bool dominates(const QoRPoint &a, const QoRPoint &b);
 
-/** Indices of the Pareto-optimal entries, sorted by ascending latency. */
+/** Indices of all points not dominated by any other point, in ascending
+ * (latency, area) order; index order breaks exact ties. Identical points
+ * all appear (none dominates its duplicates), so the selected set is
+ * invariant under permutation of the input. */
 std::vector<size_t> paretoIndices(const std::vector<QoRPoint> &points);
 
 } // namespace scalehls

@@ -33,20 +33,29 @@ SearchContext::flush()
 std::vector<size_t>
 SearchContext::frontierIndices() const
 {
+    // Only feasible points compete for the frontier. paretoIndices keeps
+    // every member of an identical-QoR tie group, and ALL infeasible
+    // points share the one sentinel QoR — ranking them would turn an
+    // all-infeasible evaluated set into an O(n) "frontier". Instead,
+    // when nothing is feasible yet, a single representative keeps the
+    // neighbor traversal seeded (deterministically: the earliest point).
     std::vector<QoRPoint> points;
+    std::vector<size_t> feasible;
     points.reserve(evaluated_.size());
-    for (const EvaluatedPoint &e : evaluated_) {
-        QoRPoint p;
-        if (e.qor.feasible) {
-            p.latency = e.qor.latency;
-            p.area = areaOf(e.qor.resources);
-        } else {
-            p.latency = kInfeasibleQoR;
-            p.area = kInfeasibleQoR;
-        }
-        points.push_back(p);
+    for (size_t i = 0; i < evaluated_.size(); ++i) {
+        const EvaluatedPoint &e = evaluated_[i];
+        if (!e.qor.feasible)
+            continue;
+        points.push_back({e.qor.latency, areaOf(e.qor.resources)});
+        feasible.push_back(i);
     }
-    return paretoIndices(points);
+    if (feasible.empty())
+        return evaluated_.empty() ? std::vector<size_t>{}
+                                  : std::vector<size_t>{0};
+    std::vector<size_t> frontier;
+    for (size_t idx : paretoIndices(points))
+        frontier.push_back(feasible[idx]);
+    return frontier;
 }
 
 //

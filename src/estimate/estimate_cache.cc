@@ -1,0 +1,167 @@
+#include "estimate/estimate_cache.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "dialect/ops.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Double-lane hash over the canonical serialization: FNV-1a in lane A,
+ * an FNV-style mix with a genuinely different odd multiplier (the
+ * murmur3 finalizer constant) in lane B. Two decorrelated 64-bit lanes
+ * give a 128-bit digest; a collision would need both lanes to collide on
+ * the same pair of serializations, which is negligible against the
+ * cache's lifetime. */
+struct Digest128
+{
+    static constexpr uint64_t kMulA = 0x100000001b3ull;
+    static constexpr uint64_t kMulB = 0xff51afd7ed558ccdull;
+
+    uint64_t lane_a = 0xcbf29ce484222325ull;
+    uint64_t lane_b = 0x9e3779b97f4a7c15ull;
+
+    void
+    feed(std::string_view text)
+    {
+        for (unsigned char c : text) {
+            lane_a = (lane_a ^ c) * kMulA;
+            lane_b = (lane_b ^ c) * kMulB + 0x2545f4914f6cdd1dull;
+        }
+        // Length separator: "ab" + "c" must not digest like "a" + "bc".
+        lane_a = (lane_a ^ text.size()) * kMulA;
+        lane_b = (lane_b ^ text.size()) * kMulB;
+    }
+
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(32, '0');
+        uint64_t lanes[2] = {lane_a, lane_b};
+        for (int lane = 0; lane < 2; ++lane)
+            for (int i = 0; i < 16; ++i)
+                out[lane * 16 + i] =
+                    digits[(lanes[lane] >> (60 - 4 * i)) & 0xf];
+        return out;
+    }
+};
+
+/** Serialize the op tree of @p op into @p digest: op names, attributes
+ * (AttrMap is ordered, so iteration is deterministic), operand wiring via
+ * function-local value numbering, and result / block-argument types. */
+class FuncSerializer
+{
+  public:
+    explicit FuncSerializer(Digest128 &digest) : digest_(digest) {}
+
+    void
+    serialize(Operation *op)
+    {
+        digest_.feed("op");
+        digest_.feed(op->name());
+        for (const auto &[name, attr] : op->attrs()) {
+            if (name == kTopFunc)
+                continue; // Estimation-irrelevant; see header comment.
+            digest_.feed(name);
+            digest_.feed(attr.toString());
+        }
+        for (Value *operand : op->operands())
+            digest_.feed(operand ? refOf(operand) : std::string("null"));
+        for (Value *result : op->results()) {
+            define(result);
+            digest_.feed(result->type().toString());
+        }
+        for (unsigned r = 0; r < op->numRegions(); ++r) {
+            digest_.feed("region");
+            for (const auto &block : op->region(r).blocks()) {
+                digest_.feed("block");
+                for (Value *arg : block->arguments()) {
+                    define(arg);
+                    digest_.feed(arg->type().toString());
+                }
+                for (const auto &nested : block->ops())
+                    serialize(nested.get());
+            }
+        }
+        digest_.feed("end");
+    }
+
+  private:
+    void define(const Value *value) { ids_.emplace(value, ids_.size()); }
+
+    std::string
+    refOf(const Value *value)
+    {
+        auto it = ids_.find(value);
+        // Values defined outside the function (there are none in this
+        // IR's top-level-function structure) degrade to a fixed marker.
+        return it == ids_.end() ? std::string("ext")
+                                : "%" + std::to_string(it->second);
+    }
+
+    Digest128 &digest_;
+    std::map<const Value *, unsigned> ids_;
+};
+
+/** Digest @p func, recursing into callees through @p out. @p on_path
+ * guards call cycles: a back edge folds into a marker instead of
+ * recursing forever, and every function the marker reaches (directly or
+ * through a callee) is recorded in out.cyclic — its digest depends on
+ * the traversal entry, not on content alone. */
+const std::string &
+digestFunc(Operation *func, Operation *module, EstimateDigests &out,
+           std::set<Operation *> &on_path)
+{
+    auto it = out.digest.find(func);
+    if (it != out.digest.end())
+        return it->second;
+
+    Digest128 digest;
+    FuncSerializer(digest).serialize(func);
+
+    // Fold in direct callees (ordered by call-site appearance; duplicates
+    // deduplicated) so a callee-body change invalidates the caller too.
+    // The same collection feeds the estimator's callee prefetch, so the
+    // digested and the estimated callee sets cannot diverge.
+    on_path.insert(func);
+    for (Operation *callee : collectDistinctCallees(func, module)) {
+        digest.feed(funcName(callee));
+        if (on_path.count(callee)) {
+            digest.feed("cycle");
+            out.cyclic.insert(func);
+        } else {
+            digest.feed(digestFunc(callee, module, out, on_path));
+            if (out.cyclic.count(callee))
+                out.cyclic.insert(func);
+        }
+    }
+    on_path.erase(func);
+
+    return out.digest.emplace(func, digest.hex()).first->second;
+}
+
+} // namespace
+
+void
+addFuncEstimateDigests(Operation *func, Operation *module,
+                       EstimateDigests &out)
+{
+    std::set<Operation *> on_path;
+    digestFunc(func, module, out, on_path);
+}
+
+EstimateDigests
+moduleEstimateDigests(Operation *module)
+{
+    EstimateDigests out;
+    for (const auto &op : module->region(0).front().ops())
+        if (op->is(ops::Func))
+            addFuncEstimateDigests(op.get(), module, out);
+    return out;
+}
+
+} // namespace scalehls

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The cross-point estimate cache: per-function QoR results keyed by
+ * (function name, canonical directive/structure digest). Design points
+ * that differ only in OTHER functions' directives leave a function's
+ * content — and therefore its digest — unchanged, so its estimate is
+ * reused instead of re-walking the IR. The key is content-derived, which
+ * makes cache hits value-identical to recomputation: sharing one cache
+ * across every DSE worker (and across the per-kernel explorations of
+ * optimizeFunctions) changes wall-clock only, never results.
+ */
+
+#ifndef SCALEHLS_ESTIMATE_ESTIMATE_CACHE_H
+#define SCALEHLS_ESTIMATE_ESTIMATE_CACHE_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "estimate/qor_estimator.h"
+#include "support/concurrent_cache.h"
+
+namespace scalehls {
+
+/** Thread-safe map from (function name, digest) keys to function-level
+ * QoR estimates, shared across concurrently evaluating design points. */
+class EstimateCache
+{
+  public:
+    /** The cache key of @p func given its precomputed @p digest. */
+    static std::string
+    keyFor(const std::string &func_name, const std::string &digest)
+    {
+        return func_name + '#' + digest;
+    }
+
+    std::optional<QoRResult>
+    lookup(const std::string &key) const
+    {
+        return cache_.lookup(key);
+    }
+
+    void
+    insert(const std::string &key, const QoRResult &result)
+    {
+        cache_.insert(key, result);
+    }
+
+    /** @name Statistics (delegated to the sharded cache). */
+    ///@{
+    size_t hits() const { return cache_.hits(); }
+    size_t misses() const { return cache_.misses(); }
+    size_t lookups() const { return cache_.lookups(); }
+    double hitRate() const { return cache_.hitRate(); }
+    size_t size() const { return cache_.size(); }
+    ///@}
+
+    void clear() { cache_.clear(); }
+
+  private:
+    ConcurrentCache<std::string, QoRResult> cache_;
+};
+
+} // namespace scalehls
+
+#endif // SCALEHLS_ESTIMATE_ESTIMATE_CACHE_H

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "analysis/loop_analysis.h"
+#include "estimate/estimate_cache.h"
+#include "support/thread_pool.h"
 #include "support/utils.h"
 
 namespace scalehls {
@@ -181,7 +183,7 @@ recurrencePathLatency(Operation *read, Operation *store)
 }
 
 QoREstimator::BlockEstimate
-QoREstimator::estimateBlock(Block *block)
+QoREstimator::estimateBlock(Block *block, EstimateContext &ctx)
 {
     BlockEstimate result;
     std::map<Operation *, int64_t> finish;
@@ -221,7 +223,7 @@ QoREstimator::estimateBlock(Block *block)
                     start = std::max(start, finish[prior]);
         }
 
-        int64_t latency = opLatency(op);
+        int64_t latency = opLatency(op, ctx);
         if (latency < 0) {
             result.feasible = false;
             latency = 1;
@@ -239,10 +241,10 @@ QoREstimator::estimateBlock(Block *block)
 }
 
 int64_t
-QoREstimator::opLatency(Operation *op)
+QoREstimator::opLatency(Operation *op, EstimateContext &ctx)
 {
     if (op->is(ops::AffineFor) || op->is(ops::ScfFor)) {
-        LoopEstimate est = estimateLoop(op);
+        LoopEstimate est = estimateLoop(op, ctx);
         return est.feasible ? est.latency : -1;
     }
     if (op->is(ops::AffineIf) || op->is(ops::ScfIf)) {
@@ -251,7 +253,7 @@ QoREstimator::opLatency(Operation *op)
         for (unsigned i = 0; i < op->numRegions(); ++i) {
             if (op->region(i).empty())
                 continue;
-            BlockEstimate est = estimateBlock(&op->region(i).front());
+            BlockEstimate est = estimateBlock(&op->region(i).front(), ctx);
             latency = std::max(latency, est.latency);
             feasible &= est.feasible;
         }
@@ -262,7 +264,7 @@ QoREstimator::opLatency(Operation *op)
                                                     .getString());
         if (!callee)
             return 1;
-        QoRResult est = estimateFunc(callee);
+        QoRResult est = calleeEstimate(callee, ctx);
         return est.feasible ? est.latency + 1 : -1;
     }
     if (op->is(ops::MemCopy)) {
@@ -289,7 +291,7 @@ QoREstimator::minLoopII(const std::vector<Operation *> &band,
 }
 
 QoREstimator::LoopEstimate
-QoREstimator::estimateLoop(Operation *loop)
+QoREstimator::estimateLoop(Operation *loop, EstimateContext &ctx)
 {
     LoopEstimate result;
     if (loop->is(ops::ScfFor)) {
@@ -323,7 +325,7 @@ QoREstimator::estimateLoop(Operation *loop)
             }
             flat_trip *= *trip;
         }
-        BlockEstimate body = estimateBlock(AffineForOp(leaf).body());
+        BlockEstimate body = estimateBlock(AffineForOp(leaf).body(), ctx);
         result.feasible &= body.feasible;
         int64_t ii =
             std::max(leaf_directive.targetII, minLoopII(chain, leaf));
@@ -340,7 +342,7 @@ QoREstimator::estimateLoop(Operation *loop)
         result.feasible = false;
         trip = 1;
     }
-    BlockEstimate body = estimateBlock(for_op.body());
+    BlockEstimate body = estimateBlock(for_op.body(), ctx);
     result.feasible &= body.feasible;
     result.latency = *trip * (body.latency + 1) + 2;
     result.interval = result.latency;
@@ -348,7 +350,7 @@ QoREstimator::estimateLoop(Operation *loop)
 }
 
 ResourceUsage
-QoREstimator::funcResources(Operation *func)
+QoREstimator::funcResources(Operation *func, EstimateContext &ctx)
 {
     ResourceUsage usage;
     FuncDirective fd = getFuncDirective(func);
@@ -364,10 +366,11 @@ QoREstimator::funcResources(Operation *func)
     for (const Type &t : memory_types) {
         ResourceUsage mem = memrefResource(t);
         if (fd.dataflow) {
-            // Dataflow channels are double buffered (paper Fig. 4).
+            // Dataflow channels are double buffered (paper Fig. 4):
+            // ping-pong buffering duplicates the storage (BRAM banks,
+            // memory bits), not the LUT fabric around it.
             mem.bram18k *= 2;
             mem.memoryBits *= 2;
-            mem.lut *= 2;
         }
         usage += mem;
     }
@@ -449,21 +452,122 @@ QoREstimator::funcResources(Operation *func)
         Operation *callee =
             lookupFunc(module_, op->attr(kCallee).getString());
         if (callee)
-            usage += estimateFunc(callee).resources;
+            usage += calleeEstimate(callee, ctx).resources;
     });
     return usage;
 }
 
-QoRResult
-QoREstimator::estimateFunc(Operation *func)
+std::vector<Operation *>
+collectDistinctCallees(Operation *func, Operation *module)
 {
-    auto it = cache_.find(func);
-    if (it != cache_.end())
-        return it->second;
-    // Guard against recursion.
-    cache_[func] = QoRResult{1, 1, {}, false};
+    std::vector<Operation *> callees;
+    std::set<Operation *> seen;
+    func->walk([&](Operation *op) {
+        if (!op->is(ops::Call))
+            return;
+        Operation *callee =
+            lookupFunc(module, op->attr(kCallee).getString());
+        if (callee && seen.insert(callee).second)
+            callees.push_back(callee);
+    });
+    return callees;
+}
 
+void
+QoREstimator::ensureDigests(Operation *func)
+{
+    if (!shared_ || digests_.digest.count(func))
+        return;
+    // Digest only func's reachable set: a multi-kernel module clone
+    // should not pay for serializing unrelated kernels on every
+    // evaluated point.
+    addFuncEstimateDigests(func, module_, digests_);
+}
+
+std::string
+QoREstimator::sharedKeyOf(Operation *func) const
+{
+    if (!shared_ || digests_.cyclic.count(func))
+        return {};
+    auto it = digests_.digest.find(func);
+    if (it == digests_.digest.end())
+        return {}; // Function added after digesting: skip the cache.
+    return EstimateCache::keyFor(funcName(func), it->second);
+}
+
+QoRResult
+QoREstimator::calleeEstimate(Operation *callee, EstimateContext &ctx)
+{
+    auto it = ctx.memo.find(callee);
+    if (it != ctx.memo.end())
+        return it->second;
+    if (ctx.active.count(callee)) {
+        // Call cycle: not analyzable. The placeholder's latency is a
+        // dummy — callers key off feasible=false and must propagate
+        // infeasibility (the evaluator maps it to kInfeasibleQoR), never
+        // trust the placeholder numbers.
+        return QoRResult{1, 1, {}, false};
+    }
+    ctx.active.insert(callee);
+    QoRResult result = estimateFuncImpl(callee, ctx);
+    ctx.active.erase(callee);
+    ctx.memo.emplace(callee, result);
+    return result;
+}
+
+void
+QoREstimator::prefetchCallees(Operation *func, EstimateContext &ctx)
+{
+    if (!pool_ || pool_->size() <= 1)
+        return;
+    std::vector<Operation *> callees;
+    for (Operation *callee : collectDistinctCallees(func, module_))
+        if (!ctx.memo.count(callee) && !ctx.active.count(callee))
+            callees.push_back(callee);
+    if (callees.size() < 2)
+        return; // Nothing to overlap.
+
+    // Estimate the callees concurrently, each on its own context seeded
+    // with the parent call path (so a cycle through the parent is still
+    // caught) and the parent's completed results (so shared transitive
+    // sub-callees are not re-walked per sibling). The IR is read-only
+    // during estimation and the shared cache is thread-safe;
+    // per-function estimation is pure, so the joined results — merged in
+    // callee order, first writer wins — are bit-identical to the
+    // sequential path.
+    std::vector<EstimateContext> children(callees.size());
+    std::vector<QoRResult> results(callees.size());
+    for (size_t i = 0; i < callees.size(); ++i) {
+        children[i].active = ctx.active;
+        children[i].active.insert(callees[i]);
+        children[i].memo = ctx.memo;
+    }
+    pool_->parallelFor(callees.size(), [&](size_t i) {
+        results[i] = estimateFuncImpl(callees[i], children[i]);
+    });
+    for (size_t i = 0; i < callees.size(); ++i) {
+        ctx.memo.emplace(callees[i], results[i]);
+        for (const auto &[func_done, result_done] : children[i].memo)
+            ctx.memo.emplace(func_done, result_done);
+    }
+}
+
+QoRResult
+QoREstimator::estimateFuncImpl(Operation *func, EstimateContext &ctx)
+{
     assert(isa(func, ops::Func));
+
+    std::string key = sharedKeyOf(func);
+    if (!key.empty()) {
+        if (auto cached = shared_->lookup(key))
+            return *cached;
+    }
+
+    // Fan the not-yet-known callees out before the sequential
+    // latency/interval composition walks the body (the walk then joins
+    // on memoized results).
+    prefetchCallees(func, ctx);
+
     Block *body = funcBody(func);
     FuncDirective fd = getFuncDirective(func);
     QoRResult result;
@@ -475,7 +579,7 @@ QoREstimator::estimateFunc(Operation *func)
         int64_t max_stage = 1;
         bool feasible = true;
         for (auto &op : body->ops()) {
-            int64_t latency = opLatency(op.get());
+            int64_t latency = opLatency(op.get(), ctx);
             if (latency < 0) {
                 feasible = false;
                 latency = 1;
@@ -488,20 +592,40 @@ QoREstimator::estimateFunc(Operation *func)
         result.interval = max_stage;
         result.feasible = feasible;
     } else if (fd.pipeline) {
-        BlockEstimate est = estimateBlock(body);
+        BlockEstimate est = estimateBlock(body, ctx);
         result.latency = est.latency + 2;
         result.interval =
             std::max(fd.targetII, memoryPortII(func, {}));
         result.feasible = est.feasible;
     } else {
-        BlockEstimate est = estimateBlock(body);
+        BlockEstimate est = estimateBlock(body, ctx);
         result.latency = est.latency + 2;
         result.interval = result.latency;
         result.feasible = est.feasible;
     }
 
-    result.resources = funcResources(func);
-    cache_[func] = result;
+    result.resources = funcResources(func, ctx);
+    if (!key.empty())
+        shared_->insert(key, result);
+    return result;
+}
+
+QoRResult
+QoREstimator::estimateFunc(Operation *func)
+{
+    auto it = cache_.find(func);
+    if (it != cache_.end())
+        return it->second;
+
+    ensureDigests(func);
+    EstimateContext ctx;
+    ctx.active.insert(func);
+    QoRResult result = estimateFuncImpl(func, ctx);
+
+    cache_.emplace(func, result);
+    // Adopt the callee results completed along the way.
+    for (const auto &[callee, callee_result] : ctx.memo)
+        cache_.emplace(callee, callee_result);
     return result;
 }
 

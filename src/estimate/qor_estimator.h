@@ -11,11 +11,56 @@
 #define SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H
 
 #include <map>
+#include <set>
+#include <string>
 
 #include "analysis/memory_analysis.h"
 #include "estimate/resource_model.h"
 
 namespace scalehls {
+
+class EstimateCache;
+class ThreadPool;
+
+/** Canonical estimate digests of a set of functions (implemented in
+ * estimate_cache.cc; EstimateCache itself lives in estimate_cache.h).
+ *
+ * A function's digest covers exactly what the QoR estimator reads: the
+ * op tree (names, attributes including the hlscpp directives, operand
+ * wiring, result/argument types with partition layouts) plus the digests
+ * of its transitive callees. The hlscpp.top_func marker is excluded — it
+ * selects which function a module-level estimate starts from but does
+ * not change any function's own estimate, and the per-kernel DSE flow
+ * marks different functions top in otherwise identical clones.
+ *
+ * Call cycles are folded into a fixed marker, which makes the digests of
+ * the functions involved depend on the traversal entry point rather than
+ * on content alone; such functions land in `cyclic` and must not be
+ * shared through the cache (they are infeasible to estimate anyway). */
+struct EstimateDigests
+{
+    std::map<Operation *, std::string> digest;
+    /** Functions whose digest folded a cycle marker (directly or through
+     * a callee): content does not fully determine their digest. */
+    std::set<Operation *> cyclic;
+};
+
+/** Digest @p func and its transitive callees into @p out (functions
+ * already present are kept). Digesting only the reachable set keeps the
+ * DSE hot path from serializing unrelated functions of a multi-kernel
+ * module on every evaluated point. */
+void addFuncEstimateDigests(Operation *func, Operation *module,
+                            EstimateDigests &out);
+
+/** Digests of every function in @p module. */
+EstimateDigests moduleEstimateDigests(Operation *module);
+
+/** The distinct functions called (directly, at any nesting depth) from
+ * @p func, in call-site appearance order. Shared by digesting, callee
+ * prefetching, and any other pass that must see the same callee set —
+ * keep call resolution in one place so they cannot diverge. */
+std::vector<Operation *> collectDistinctCallees(Operation *func,
+                                                Operation *module);
 
 /** Latency / throughput / resource estimate of a design. */
 struct QoRResult
@@ -36,15 +81,34 @@ struct QoRResult
 /** Analytical QoR estimator over the directive-level IR.
  *
  * Thread-safety: estimation only READS the IR — it never writes
- * attributes or touches global state — so distinct QoREstimator
- * instances over distinct modules (the parallel DSE gives each worker
- * its own materialized clone) may run concurrently. One instance is not
- * re-entrant (the per-function memo below is unsynchronized); do not
- * share an instance across threads. */
+ * attributes or touches global state. The per-function core
+ * (estimateFuncImpl) is pure and re-entrant: every piece of mutable
+ * recursion state (call-path guard, completed callee results) lives in
+ * an explicit EstimateContext, never in the instance. That purity is
+ * what enables the two levels of sharing:
+ *
+ *  - Intra-point parallelism: pass a ThreadPool and the distinct callees
+ *    of a multi-function (e.g. dataflow) design estimate concurrently,
+ *    each on its own context; the sequential latency/interval
+ *    composition joins them. Results are bit-identical at any thread
+ *    count because per-function estimation is a pure function of the IR.
+ *  - Cross-point reuse: pass a shared EstimateCache and per-function
+ *    results are published under content-derived (name, digest) keys, so
+ *    other DSE workers evaluating points with identical function content
+ *    reuse them instead of re-walking the IR.
+ *
+ * The instance-level memo (estimateFunc results across public calls) is
+ * still unsynchronized: share the EstimateCache across threads, not one
+ * QOREstimator instance. */
 class QoREstimator
 {
   public:
-    explicit QoREstimator(Operation *module) : module_(module) {}
+    /** @p pool (optional, not owned) fans callee estimation out;
+     * @p shared (optional, not owned) is the cross-point cache. */
+    explicit QoREstimator(Operation *module, ThreadPool *pool = nullptr,
+                          EstimateCache *shared = nullptr)
+        : module_(module), pool_(pool), shared_(shared)
+    {}
 
     QoREstimator(const QoREstimator &) = delete;
     QoREstimator &operator=(const QoREstimator &) = delete;
@@ -55,10 +119,30 @@ class QoREstimator
     /** Estimate the module's top function. */
     QoRResult estimateModule();
 
-    /** Drop memoized function estimates. */
-    void invalidate() { cache_.clear(); }
+    /** Drop memoized function estimates and digests (the shared
+     * EstimateCache itself is content-keyed and never needs
+     * invalidation, but digests must be recomputed so rewritten
+     * functions are keyed by their new content). */
+    void
+    invalidate()
+    {
+        cache_.clear();
+        digests_.digest.clear();
+        digests_.cyclic.clear();
+    }
 
   private:
+    /** Explicit recursion state of one estimation run. Each concurrent
+     * callee estimation gets its own context (seeded with the parent call
+     * path), so the core never races on hidden members. */
+    struct EstimateContext
+    {
+        /** Functions on the current call path (recursion guard). */
+        std::set<const Operation *> active;
+        /** Completed per-function results of this run. */
+        std::map<Operation *, QoRResult> memo;
+    };
+
     struct LoopEstimate
     {
         int64_t latency = 0;
@@ -71,9 +155,23 @@ class QoREstimator
         bool feasible = true;
     };
 
-    BlockEstimate estimateBlock(Block *block);
-    LoopEstimate estimateLoop(Operation *loop);
-    int64_t opLatency(Operation *op);
+    /** The pure per-function core. Assumes @p func is already marked
+     * active in @p ctx; callees go through calleeEstimate(). */
+    QoRResult estimateFuncImpl(Operation *func, EstimateContext &ctx);
+
+    /** Estimate a callee: context memo, then shared cache, then a fresh
+     * estimateFuncImpl run. A call cycle yields the infeasible
+     * placeholder (latency 1, feasible=false); callers must propagate
+     * infeasibility, not the placeholder latency. */
+    QoRResult calleeEstimate(Operation *callee, EstimateContext &ctx);
+
+    /** Estimate the not-yet-memoized distinct callees of @p func
+     * concurrently over pool_ (no-op without a multi-thread pool). */
+    void prefetchCallees(Operation *func, EstimateContext &ctx);
+
+    BlockEstimate estimateBlock(Block *block, EstimateContext &ctx);
+    LoopEstimate estimateLoop(Operation *loop, EstimateContext &ctx);
+    int64_t opLatency(Operation *op, EstimateContext &ctx);
 
     /** Minimum legal II of a pipelined loop body given recurrences and
      * memory port pressure (paper's achievable-II analysis). */
@@ -82,9 +180,22 @@ class QoREstimator
 
     /** Resource usage of a function (compute sharing under II, memories,
      * sub-function instances). */
-    ResourceUsage funcResources(Operation *func);
+    ResourceUsage funcResources(Operation *func, EstimateContext &ctx);
+
+    /** Digest @p func's reachable set if not yet digested. Called only
+     * from the single-threaded public entry, BEFORE any fan-out; workers
+     * then read digests_ concurrently but never write it. Only needed
+     * with a shared cache. */
+    void ensureDigests(Operation *func);
+    /** The shared-cache key of @p func ("" when caching is off, the
+     * function was not digested, or its digest folded a call cycle and
+     * is therefore not content-determined). */
+    std::string sharedKeyOf(Operation *func) const;
 
     Operation *module_;
+    ThreadPool *pool_ = nullptr;
+    EstimateCache *shared_ = nullptr;
+    EstimateDigests digests_;
     std::map<Operation *, QoRResult> cache_;
 };
 

@@ -11,6 +11,7 @@
 #define SCALEHLS_SUPPORT_CONCURRENT_CACHE_H
 
 #include <array>
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -41,15 +42,19 @@ class ConcurrentCache
     static_assert(NumShards > 0, "at least one shard");
 
   public:
-    /** The cached value for @p key, by copy; nullopt on a miss. */
+    /** The cached value for @p key, by copy; nullopt on a miss. Every
+     * call is counted toward the hit/miss statistics. */
     std::optional<Value>
     lookup(const Key &key) const
     {
         const Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.map.find(key);
-        if (it == shard.map.end())
+        if (it == shard.map.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
             return std::nullopt;
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second;
     }
 
@@ -82,7 +87,30 @@ class ConcurrentCache
             std::lock_guard<std::mutex> lock(shard.mutex);
             shard.map.clear();
         }
+        hits_.store(0, std::memory_order_relaxed);
+        misses_.store(0, std::memory_order_relaxed);
     }
+
+    /** @name Statistics
+     * Lookups resolved from / missing in the cache since construction (or
+     * the last clear()). Relaxed counters: exact totals once the cache is
+     * quiescent, approximate while threads are still inserting. */
+    ///@{
+    size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    size_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    size_t lookups() const { return hits() + misses(); }
+    double
+    hitRate() const
+    {
+        size_t total = lookups();
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits()) /
+                                static_cast<double>(total);
+    }
+    ///@}
 
   private:
     struct Shard
@@ -103,6 +131,8 @@ class ConcurrentCache
     }
 
     std::array<Shard, NumShards> shards_;
+    mutable std::atomic<size_t> hits_{0};
+    mutable std::atomic<size_t> misses_{0};
 };
 
 } // namespace scalehls

@@ -8,6 +8,7 @@
  */
 
 #include <map>
+#include <set>
 
 #include "analysis/memory_analysis.h"
 #include "transform/pass.h"
@@ -72,23 +73,29 @@ class PartitionAnalysis
         for (auto &[memref, group] : groupByMemRef(flat))
             scopeGroups_[memref].push_back(std::move(group));
 
-        // Recurse into callees with argument mapping.
+        // Recurse into callees with argument mapping. on_path_ guards
+        // against call cycles (recursive designs would otherwise recurse
+        // until stack overflow; the estimator rejects them as infeasible,
+        // but the partition analysis must survive walking them).
+        on_path_.insert(func);
         func->walk([&](Operation *op) {
             if (!op->is(ops::Call))
                 return;
             Operation *callee =
                 lookupFunc(module_, op->attr(kCallee).getString());
-            if (!callee)
+            if (!callee || on_path_.count(callee))
                 return;
             std::map<Value *, Value *> callee_map;
             Block *callee_body = funcBody(callee);
             for (unsigned i = 0; i < op->numOperands(); ++i) {
-                if (op->operand(i)->type().isMemRef())
+                if (i < callee_body->numArguments() &&
+                    op->operand(i)->type().isMemRef())
                     callee_map[callee_body->argument(i)] =
                         resolveRoot(op->operand(i));
             }
             analyzeFunc(callee, callee_map);
         });
+        on_path_.erase(func);
     }
 
     /** Compute per-scope plans and merge (max factor wins per dim). */
@@ -129,6 +136,7 @@ class PartitionAnalysis
     Operation *module_;
     std::map<Value *, std::vector<std::vector<MemAccess>>> scopeGroups_;
     std::map<Value *, std::vector<Value *>> aliases_;
+    std::set<Operation *> on_path_;
 };
 
 } // namespace

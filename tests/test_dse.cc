@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <set>
 
 #include "api/scalehls.h"
+#include "ir/builder.h"
 #include "dse/dse_engine.h"
 #include "dse/pca.h"
 #include "frontend/irgen.h"
@@ -48,7 +51,7 @@ TEST(Pareto, FrontierIsMutuallyNonDominated)
     std::vector<QoRPoint> points;
     std::mt19937 rng(7);
     for (int i = 0; i < 200; ++i)
-        points.push_back({rng() % 1000 + 1,
+        points.push_back({static_cast<int64_t>(rng() % 1000 + 1),
                           static_cast<int64_t>(rng() % 1000 + 1)});
     auto frontier = paretoIndices(points);
     for (size_t a : frontier)
@@ -67,6 +70,69 @@ TEST(Pareto, FrontierIsMutuallyNonDominated)
                                  (points[f].latency == points[i].latency &&
                                   points[f].area <= points[i].area);
         EXPECT_TRUE(dominated_or_tied) << "point " << i;
+    }
+}
+
+TEST(Pareto, IdenticalPointsAllOnFrontier)
+{
+    // Equal points do not dominate() each other, so every member of an
+    // identical-QoR tie group belongs to the frontier — dominates() and
+    // paretoIndices() must agree on that.
+    std::vector<QoRPoint> points = {
+        {5, 5}, {5, 5}, {10, 1}, {5, 5}, {10, 1}, {20, 20}, {10, 3},
+    };
+    auto frontier = paretoIndices(points);
+    std::set<size_t> selected(frontier.begin(), frontier.end());
+    EXPECT_EQ(selected, (std::set<size_t>{0, 1, 2, 3, 4}));
+    // Ascending (latency, area); ties in index order.
+    ASSERT_EQ(frontier.size(), 5u);
+    EXPECT_EQ(frontier[0], 0u);
+    EXPECT_EQ(frontier[1], 1u);
+    EXPECT_EQ(frontier[2], 3u);
+    EXPECT_EQ(frontier[3], 2u);
+    EXPECT_EQ(frontier[4], 4u);
+}
+
+TEST(Pareto, FrontierPropertyAndPermutationInvariance)
+{
+    // Property test over a tie-heavy random cloud: (a) no frontier point
+    // is dominated by ANY input point, (b) every non-frontier point is
+    // dominated by some frontier point, (c) the selected set of points
+    // is invariant under permutation of the input.
+    std::mt19937 rng(13);
+    std::vector<QoRPoint> points;
+    for (int i = 0; i < 150; ++i)
+        points.push_back({static_cast<int64_t>(rng() % 20 + 1),
+                          static_cast<int64_t>(rng() % 20 + 1)});
+
+    auto frontier = paretoIndices(points);
+    ASSERT_FALSE(frontier.empty());
+    std::set<size_t> on_frontier(frontier.begin(), frontier.end());
+    for (size_t f : frontier)
+        for (size_t i = 0; i < points.size(); ++i)
+            EXPECT_FALSE(dominates(points[i], points[f]))
+                << i << " dominates frontier member " << f;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (on_frontier.count(i))
+            continue;
+        bool dominated = false;
+        for (size_t f : frontier)
+            dominated |= dominates(points[f], points[i]);
+        EXPECT_TRUE(dominated) << "non-frontier point " << i;
+    }
+
+    for (unsigned trial = 0; trial < 4; ++trial) {
+        std::vector<size_t> perm(points.size());
+        std::iota(perm.begin(), perm.end(), size_t{0});
+        std::shuffle(perm.begin(), perm.end(), rng);
+        std::vector<QoRPoint> shuffled(points.size());
+        for (size_t k = 0; k < perm.size(); ++k)
+            shuffled[k] = points[perm[k]];
+        auto frontier2 = paretoIndices(shuffled);
+        std::set<size_t> mapped_back;
+        for (size_t idx : frontier2)
+            mapped_back.insert(perm[idx]);
+        EXPECT_EQ(on_frontier, mapped_back) << "trial " << trial;
     }
 }
 
@@ -263,6 +329,87 @@ TEST(Evaluator, BatchCacheHitsAreNotRematerialized)
     for (size_t i = 0; i < first.size(); ++i) {
         EXPECT_EQ(first[i].latency, second[i].latency);
         EXPECT_EQ(first[i].feasible, second[i].feasible);
+    }
+}
+
+TEST(Evaluator, InfeasibleEstimateCarriesSentinel)
+{
+    // A materializable point whose ESTIMATE is infeasible (here: the top
+    // function reaches a recursive call cycle) must come back with the
+    // kInfeasibleQoR sentinel, not with the estimator's internal
+    // latency-1 placeholder — otherwise it would rank as the best design
+    // in every latency comparison.
+    auto module = parseCToModule(polybenchSource("gemm", 8));
+    raiseScfToAffine(module.get());
+    Operation *top = getTopFunc(module.get());
+
+    Operation *spin_a = createFunc(module.get(), "spin_a", {});
+    Operation *spin_b = createFunc(module.get(), "spin_b", {});
+    auto append_call = [](Operation *func, const std::string &callee) {
+        Block *body = funcBody(func);
+        OpBuilder builder(body, body->back());
+        builder.create(std::string(ops::Call), {}, {},
+                       {{kCallee, Attribute(callee)}});
+    };
+    append_call(spin_a, "spin_b");
+    append_call(spin_b, "spin_a");
+    append_call(top, "spin_a");
+
+    DesignSpace space(module.get());
+    DesignSpace::Point zero(space.numDims(), 0);
+    ASSERT_NE(space.materialize(zero), nullptr);
+
+    CachingEvaluator evaluator(space);
+    QoRResult qor = evaluator.evaluate(zero);
+    EXPECT_FALSE(qor.feasible);
+    EXPECT_EQ(qor.latency, kInfeasibleQoR);
+    EXPECT_EQ(qor.interval, kInfeasibleQoR);
+}
+
+TEST(DSEEngine, EstimateCacheDoesNotChangeResults)
+{
+    // The cross-point estimate cache is content-keyed: running the same
+    // exploration with and without it must give bit-identical frontiers
+    // and trajectories.
+    auto module = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 8;
+    space_options.maxTotalUnroll = 64;
+
+    auto run = [&](bool cache) {
+        DesignSpace space(module.get(), space_options);
+        DSEOptions options;
+        options.numInitialSamples = 25;
+        options.maxIterations = 50;
+        options.numThreads = 2;
+        options.crossPointCache = cache;
+        DSEEngine engine(space, options);
+        auto frontier = engine.explore();
+        if (cache) {
+            EXPECT_GT(engine.numEstimateLookups(), 0u);
+        } else {
+            EXPECT_EQ(engine.numEstimateLookups(), 0u);
+        }
+        return std::make_pair(frontier, engine.evaluated());
+    };
+
+    auto [frontier_on, evaluated_on] = run(true);
+    auto [frontier_off, evaluated_off] = run(false);
+
+    ASSERT_EQ(frontier_on.size(), frontier_off.size());
+    for (size_t i = 0; i < frontier_on.size(); ++i) {
+        EXPECT_EQ(frontier_on[i].point, frontier_off[i].point);
+        EXPECT_EQ(frontier_on[i].qor.latency,
+                  frontier_off[i].qor.latency);
+        EXPECT_EQ(frontier_on[i].qor.resources.lut,
+                  frontier_off[i].qor.resources.lut);
+    }
+    ASSERT_EQ(evaluated_on.size(), evaluated_off.size());
+    for (size_t i = 0; i < evaluated_on.size(); ++i) {
+        EXPECT_EQ(evaluated_on[i].point, evaluated_off[i].point);
+        EXPECT_EQ(evaluated_on[i].qor.latency,
+                  evaluated_off[i].qor.latency);
     }
 }
 

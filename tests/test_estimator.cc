@@ -1,15 +1,31 @@
 /** @file Tests for the analytical QoR estimator: latency composition,
- * recurrence-limited II, port-limited II and resource sharing. */
+ * recurrence-limited II, port-limited II, resource sharing, dataflow
+ * interval edge cases, call-cycle handling, and the parallel/cached
+ * estimation paths (which must be bit-identical to sequential). */
 
 #include <gtest/gtest.h>
 
 #include "frontend/irgen.h"
+#include "estimate/estimate_cache.h"
 #include "estimate/qor_estimator.h"
+#include "ir/builder.h"
 #include "model/polybench.h"
+#include "support/thread_pool.h"
 #include "transform/pass.h"
 
 namespace scalehls {
 namespace {
+
+/** Append a zero-operand func.call to @p callee_name before @p func's
+ * terminator (the estimator resolves calls by name only). */
+void
+appendCall(Operation *func, const std::string &callee_name)
+{
+    Block *body = funcBody(func);
+    OpBuilder builder(body, body->back());
+    builder.create(std::string(ops::Call), {}, {},
+                   {{kCallee, Attribute(callee_name)}});
+}
 
 std::unique_ptr<Operation>
 affineModule(const std::string &source)
@@ -217,6 +233,222 @@ TEST_P(UnrollMonotonic, LatencyNonIncreasing)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, UnrollMonotonic,
                          ::testing::Values(2, 4, 8, 16));
+
+TEST(Estimator, DataflowDoublesStorageNotLut)
+{
+    // Ping-pong (double) buffering of dataflow channels duplicates the
+    // storage — BRAM banks and memory bits — but not LUT fabric.
+    auto source = "void k(float A[64]) {\n"
+                  "  float buf[64];\n"  // 2048 bits/bank -> BRAM.
+                  "  float small[8];\n" // 256 bits/bank -> LUTRAM.
+                  "  for (int i = 0; i < 8; i++) small[i] = A[i];\n"
+                  "  for (int i = 0; i < 64; i++) buf[i] = A[i] * 2.0;\n"
+                  "  for (int i = 0; i < 64; i++) A[i] = buf[i];\n"
+                  "  for (int i = 0; i < 8; i++) A[i] = A[i] + small[i];\n"
+                  "}";
+    auto plain_module = affineModule(source);
+    QoRResult plain = estimateOf(plain_module.get());
+    ASSERT_GT(plain.resources.bram18k, 0);
+    ASSERT_GT(plain.resources.lut, 0);
+
+    auto df_module = affineModule(source);
+    Operation *top = getTopFunc(df_module.get());
+    FuncDirective fd = getFuncDirective(top);
+    fd.dataflow = true;
+    setFuncDirective(top, fd);
+    QoRResult df = estimateOf(df_module.get());
+
+    EXPECT_EQ(df.resources.bram18k, 2 * plain.resources.bram18k);
+    EXPECT_EQ(df.resources.memoryBits, 2 * plain.resources.memoryBits);
+    EXPECT_EQ(df.resources.lut, plain.resources.lut);
+    EXPECT_EQ(df.resources.dsp, plain.resources.dsp);
+}
+
+TEST(Estimator, CallCycleIsInfeasible)
+{
+    // a -> b -> a: the recursion guard must surface as an infeasible
+    // result for every function on the cycle and for any caller.
+    auto module = createModule();
+    Operation *a = createFunc(module.get(), "a", {});
+    Operation *b = createFunc(module.get(), "b", {});
+    Operation *caller = createFunc(module.get(), "caller", {});
+    appendCall(a, "b");
+    appendCall(b, "a");
+    appendCall(caller, "a");
+
+    QoREstimator estimator(module.get());
+    EXPECT_FALSE(estimator.estimateFunc(a).feasible);
+    EXPECT_FALSE(estimator.estimateFunc(b).feasible);
+    EXPECT_FALSE(estimator.estimateFunc(caller).feasible);
+}
+
+TEST(Estimator, SelfRecursionIsInfeasible)
+{
+    auto module = createModule();
+    Operation *f = createFunc(module.get(), "f", {});
+    appendCall(f, "f");
+    QoREstimator estimator(module.get());
+    EXPECT_FALSE(estimator.estimateFunc(f).feasible);
+}
+
+TEST(Estimator, DataflowEmptyBody)
+{
+    // A dataflow function with no stages: one-cycle interval, control
+    // overhead only — and, crucially, no crash or zero interval.
+    auto module = createModule();
+    Operation *f = createFunc(module.get(), "empty", {});
+    setFuncDirective(f, FuncDirective{true, false, 1});
+    QoRResult qor = QoREstimator(module.get()).estimateFunc(f);
+    EXPECT_TRUE(qor.feasible);
+    EXPECT_EQ(qor.interval, 1);
+    EXPECT_GE(qor.latency, 1);
+    EXPECT_LE(qor.latency, 4);
+}
+
+TEST(Estimator, DataflowSingleStage)
+{
+    // One loop stage: the interval is the stage itself, strictly below
+    // the total latency (which adds the dataflow entry/exit overhead);
+    // without the directive, interval == latency.
+    auto plain_module = affineModule(polybenchSource("gemm", 16));
+    QoRResult plain = estimateOf(plain_module.get());
+    ASSERT_TRUE(plain.feasible);
+    EXPECT_EQ(plain.interval, plain.latency);
+
+    auto df_module = affineModule(polybenchSource("gemm", 16));
+    Operation *top = getTopFunc(df_module.get());
+    FuncDirective fd = getFuncDirective(top);
+    fd.dataflow = true;
+    setFuncDirective(top, fd);
+    QoRResult df = estimateOf(df_module.get());
+    ASSERT_TRUE(df.feasible);
+    EXPECT_GT(df.interval, 1);
+    EXPECT_LT(df.interval, df.latency);
+    EXPECT_LE(df.interval, plain.latency);
+}
+
+TEST(Estimator, DataflowInfeasibleStage)
+{
+    // An unraised (scf) stage has unknown trips: the stage - and the
+    // whole dataflow function - must come back infeasible, not with a
+    // placeholder interval that looks excellent.
+    auto module = parseCToModule(polybenchSource("gemm", 8));
+    Operation *top = getTopFunc(module.get());
+    FuncDirective fd = getFuncDirective(top);
+    fd.dataflow = true;
+    setFuncDirective(top, fd);
+    QoRResult qor = estimateOf(module.get());
+    EXPECT_FALSE(qor.feasible);
+}
+
+TEST(Estimator, DataflowInsidePipeline)
+{
+    // A dataflow sub-function called from a pipelined loop body: the
+    // callee's latency must compose into the caller's critical path.
+    auto module = affineModule(polybenchSource("gemm", 16) + "\n" +
+                               polybenchSource("syrk", 16));
+    Operation *gemm = lookupFunc(module.get(), "gemm");
+    Operation *syrk = lookupFunc(module.get(), "syrk");
+    ASSERT_NE(gemm, nullptr);
+    ASSERT_NE(syrk, nullptr);
+
+    FuncDirective fd = getFuncDirective(syrk);
+    fd.dataflow = true;
+    setFuncDirective(syrk, fd);
+    int64_t syrk_latency =
+        QoREstimator(module.get()).estimateFunc(syrk).latency;
+
+    auto band = getLoopNest(getLoopBands(gemm)[0][0]);
+    ASSERT_TRUE(applyLoopPipelining(band.back(), 1));
+    Block *leaf_body = AffineForOp(band.back()).body();
+    OpBuilder builder(leaf_body, leaf_body->front());
+    builder.create(std::string(ops::Call), {}, {},
+                   {{kCallee, Attribute(std::string("syrk"))}});
+
+    QoRResult qor = QoREstimator(module.get()).estimateFunc(gemm);
+    ASSERT_TRUE(qor.feasible);
+    EXPECT_GT(qor.latency, syrk_latency);
+}
+
+TEST(Estimator, ParallelAndCachedEstimationBitIdentical)
+{
+    // A multi-function dataflow design estimated sequentially, in
+    // parallel, and through a warm cross-point cache must produce the
+    // same QoR bit for bit.
+    auto module = affineModule(polybenchSource("gemm", 16) + "\n" +
+                               polybenchSource("syrk", 16) + "\n" +
+                               polybenchSource("bicg", 16));
+    Operation *top = createFunc(module.get(), "top_df", {});
+    setFuncDirective(top, FuncDirective{true, false, 1});
+    appendCall(top, "gemm");
+    appendCall(top, "syrk");
+    appendCall(top, "bicg");
+
+    QoRResult sequential = QoREstimator(module.get()).estimateFunc(top);
+    ASSERT_TRUE(sequential.feasible);
+
+    ThreadPool pool(4);
+    EstimateCache cache;
+    QoRResult parallel =
+        QoREstimator(module.get(), &pool, &cache).estimateFunc(top);
+    EXPECT_GT(cache.lookups(), 0u);
+
+    // A second estimator instance over the warm cache: served from it.
+    QoRResult cached =
+        QoREstimator(module.get(), &pool, &cache).estimateFunc(top);
+    EXPECT_GT(cache.hits(), 0u);
+
+    for (const QoRResult *other : {&parallel, &cached}) {
+        EXPECT_EQ(other->latency, sequential.latency);
+        EXPECT_EQ(other->interval, sequential.interval);
+        EXPECT_EQ(other->feasible, sequential.feasible);
+        EXPECT_EQ(other->resources.dsp, sequential.resources.dsp);
+        EXPECT_EQ(other->resources.lut, sequential.resources.lut);
+        EXPECT_EQ(other->resources.bram18k,
+                  sequential.resources.bram18k);
+        EXPECT_EQ(other->resources.memoryBits,
+                  sequential.resources.memoryBits);
+    }
+}
+
+TEST(Estimator, DigestDistinguishesDirectives)
+{
+    // Same structure, different pipeline II: different digests. Same
+    // content in a cloned module: same digest (that equality is what
+    // makes cross-point sharing sound).
+    auto module = affineModule(polybenchSource("gemm", 16));
+    auto clone = module->clone();
+    auto digests = moduleEstimateDigests(module.get());
+    auto clone_digests = moduleEstimateDigests(clone.get());
+    Operation *top = getTopFunc(module.get());
+    Operation *clone_top = getTopFunc(clone.get());
+    EXPECT_EQ(digests.digest.at(top), clone_digests.digest.at(clone_top));
+    EXPECT_TRUE(digests.cyclic.empty());
+
+    auto band = getLoopNest(getLoopBands(clone_top)[0][0]);
+    ASSERT_TRUE(applyLoopPipelining(band.back(), 2));
+    auto directed = moduleEstimateDigests(clone.get());
+    EXPECT_NE(digests.digest.at(top), directed.digest.at(clone_top));
+}
+
+TEST(Estimator, CyclicFunctionsExcludedFromDigestSharing)
+{
+    // Functions on (or reaching) a call cycle have entry-point-dependent
+    // digests; they must be flagged so the shared cache skips them.
+    auto module = createModule();
+    Operation *a = createFunc(module.get(), "a", {});
+    Operation *b = createFunc(module.get(), "b", {});
+    Operation *caller = createFunc(module.get(), "caller", {});
+    Operation *clean = createFunc(module.get(), "clean", {});
+    appendCall(a, "b");
+    appendCall(b, "a");
+    appendCall(caller, "a");
+    auto digests = moduleEstimateDigests(module.get());
+    EXPECT_TRUE(digests.cyclic.count(a));
+    EXPECT_TRUE(digests.cyclic.count(b));
+    EXPECT_TRUE(digests.cyclic.count(caller));
+    EXPECT_FALSE(digests.cyclic.count(clean));
+}
 
 } // namespace
 } // namespace scalehls

@@ -164,5 +164,43 @@ TEST(ConcurrentCache, FirstWriterWinsUnderContention)
     EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ConcurrentCache, StatsCountHitsAndMisses)
+{
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
+    EXPECT_EQ(cache.lookups(), 0u);
+    EXPECT_EQ(cache.hitRate(), 0.0);
+
+    EXPECT_FALSE(cache.lookup({1}).has_value()); // Miss.
+    cache.insert({1}, 7);
+    EXPECT_TRUE(cache.lookup({1}).has_value());  // Hit.
+    EXPECT_FALSE(cache.lookup({2}).has_value()); // Miss.
+
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.lookups(), 3u);
+    EXPECT_NEAR(cache.hitRate(), 1.0 / 3.0, 1e-12);
+
+    // clear() resets the counters with the contents.
+    cache.clear();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.lookups(), 0u);
+}
+
+TEST(ConcurrentCache, StatsConsistentUnderContention)
+{
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
+    for (int k = 0; k < 4; ++k)
+        cache.insert({k}, k);
+    ThreadPool pool(4);
+    pool.parallelFor(64, [&](size_t i) {
+        cache.lookup({static_cast<int>(i % 8)});
+    });
+    // Keys 0..3 hit (32 lookups), 4..7 miss (32 lookups).
+    EXPECT_EQ(cache.hits(), 32u);
+    EXPECT_EQ(cache.misses(), 32u);
+    EXPECT_EQ(cache.lookups(), 64u);
+}
+
 } // namespace
 } // namespace scalehls

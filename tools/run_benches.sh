@@ -17,7 +17,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 mkdir -p "$OUT_DIR"
 
-BENCHES=(bench_parallel_dse bench_fig6 bench_fig7 bench_fig8
+BENCHES=(bench_parallel_dse bench_estimator bench_fig6 bench_fig7 bench_fig8
          bench_table3 bench_table4 bench_table5)
 
 json="$OUT_DIR/results.json"

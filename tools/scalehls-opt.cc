@@ -50,7 +50,10 @@ usage()
            "                    cores; results independent of <n>)\n"
            "  -dse-batch=<n>    points proposed per DSE round (part of\n"
            "                    the deterministic trajectory; default 8)\n"
-           "  -dse-seed=<n>     DSE random seed\n";
+           "  -dse-seed=<n>     DSE random seed\n"
+           "  -dse-cache=<0|1>  cross-point estimate cache (default 1;\n"
+           "                    content-keyed, never changes results);\n"
+           "                    hit-rate stats are printed to stderr\n";
 }
 
 unsigned
@@ -136,6 +139,9 @@ main(int argc, char **argv)
             dse_options.batchSize = parseUnsignedArg(name, value);
         } else if (name == "-dse-seed") {
             dse_options.seed = parseUnsignedArg(name, value);
+        } else if (name == "-dse-cache") {
+            dse_options.crossPointCache =
+                parseUnsignedArg(name, value) != 0;
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -202,10 +208,30 @@ main(int argc, char **argv)
 
         Compiler compiler = Compiler::fromC(source, top);
         pm.run(compiler.module());
+
+        // Own the estimate cache here so its hit rate is reportable for
+        // both DSE modes (optimizeFunctions would otherwise create an
+        // internal one).
+        EstimateCache estimate_cache;
+        if (dse_options.crossPointCache && (run_dse || run_dse_funcs))
+            dse_options.sharedEstimates = &estimate_cache;
+        auto report_cache = [&] {
+            if (!dse_options.sharedEstimates)
+                return;
+            std::cerr << "estimate cache: " << estimate_cache.hits()
+                      << " hits / " << estimate_cache.lookups()
+                      << " lookups ("
+                      << static_cast<int>(estimate_cache.hitRate() * 100)
+                      << "%), " << estimate_cache.size()
+                      << " entries\n";
+        };
+
         if (run_dse && !compiler.optimize(xc7z020(), {}, dse_options)) {
             std::cerr << "DSE found no feasible design\n";
             return 1;
         }
+        if (run_dse)
+            report_cache();
         if (run_dse_funcs) {
             auto results =
                 compiler.optimizeFunctions(xc7z020(), {}, dse_options);
@@ -221,6 +247,7 @@ main(int argc, char **argv)
                     std::cerr << "no feasible design\n";
                 }
             }
+            report_cache();
             if (!any_feasible) {
                 std::cerr << "DSE found no feasible design for any "
                              "kernel function\n";
