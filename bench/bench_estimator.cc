@@ -1,19 +1,27 @@
 /**
  * @file
- * Intra-point estimator scaling: QoR estimations per second at 1, 2, 4
- * and hardware_concurrency estimation threads over flat and
- * multi-function dataflow designs, plus the cross-point estimate cache's
- * hit rate. Self-check (the repo's determinism guarantee extended to the
- * estimator): parallel and cached estimation must produce bit-identical
- * QoR to the sequential, uncached path for every bench design. Emits a
+ * Estimator scaling and cache benchmarks: QoR estimations per second at
+ * 1, 2, 4 and hardware_concurrency estimation threads over flat and
+ * multi-function dataflow designs (cross-point FUNCTION-tier cache), plus
+ * a DSE-like sweep over a multi-band kernel (2mm) comparing the
+ * function-tier-only configuration against the band-level cache tier.
+ * Self-check (the repo's determinism guarantee extended to the
+ * estimator): parallel and cached estimation — either tier — must
+ * produce bit-identical QoR to the sequential, uncached path for every
+ * bench design at every thread count, and the band tier must score
+ * strictly more hits than the function-only configuration (whose band
+ * hit count is zero by construction) on the multi-band sweep. Emits a
  * human-readable table and one JSON line per configuration for
- * tools/run_benches.sh.
+ * tools/run_benches.sh. `--smoke` runs a reduced matrix for the
+ * sanitizer CI jobs.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common.h"
+#include "dse/design_space.h"
 #include "estimate/estimate_cache.h"
 #include "model/graph_builder.h"
 #include "model/lower_graph.h"
@@ -29,7 +37,7 @@ struct BenchDesign
 };
 
 std::vector<BenchDesign>
-buildDesigns()
+buildDesigns(bool smoke)
 {
     std::vector<BenchDesign> designs;
 
@@ -40,6 +48,8 @@ buildDesigns()
         raiseScfToAffine(module.get());
         designs.push_back({"gemm-32", std::move(module)});
     }
+    if (smoke)
+        return designs;
 
     // Multi-function dataflow designs (paper Section VII-B flow): the
     // top function calls one sub-function per dataflow stage, which is
@@ -70,22 +80,12 @@ identical(const QoRResult &a, const QoRResult &b)
            a.resources.memoryBits == b.resources.memoryBits;
 }
 
-} // namespace
-
-int
-main()
+/** Per-design scaling + function-tier cache benchmark (PR 2 behavior). */
+bool
+runScalingSection(const std::vector<unsigned> &configs, bool smoke)
 {
-    unsigned hw = defaultThreadCount();
-    std::printf("=== Estimator scaling (intra-point parallel estimation "
-                "+ cross-point cache, %u hardware threads) ===\n\n",
-                hw);
-
-    std::vector<unsigned> configs = {1, 2, 4};
-    if (hw > 4)
-        configs.push_back(hw);
-
-    auto designs = buildDesigns();
-    constexpr int kReps = 12;
+    auto designs = buildDesigns(smoke);
+    const int reps = smoke ? 3 : 12;
     bool all_identical = true;
 
     for (const BenchDesign &design : designs) {
@@ -110,7 +110,7 @@ main()
             // Each rep is one design-point estimation: a fresh estimator
             // instance (per-point memos do not carry over) over the
             // shared cross-point cache, exactly like the DSE evaluator.
-            for (int rep = 0; rep < kReps; ++rep) {
+            for (int rep = 0; rep < reps; ++rep) {
                 QoREstimator estimator(design.module.get(), &pool,
                                        &cache);
                 QoRResult qor = estimator.estimateModule();
@@ -120,7 +120,7 @@ main()
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            double rate = kReps / seconds;
+            double rate = reps / seconds;
             if (threads == 1)
                 base_rate = rate;
             all_identical &= matches;
@@ -132,16 +132,131 @@ main()
                 "\"threads\":%u,\"reps\":%d,\"seconds\":%.4f,"
                 "\"points_per_second\":%.1f,\"speedup\":%.2f,"
                 "\"cache_hit_rate\":%.3f,\"identical\":%s}\n",
-                design.name.c_str(), threads, kReps, seconds, rate,
+                design.name.c_str(), threads, reps, seconds, rate,
                 base_rate > 0 ? rate / base_rate : 1.0, cache.hitRate(),
                 matches ? "true" : "false");
         }
         std::printf("\n");
     }
+    return all_identical;
+}
 
-    if (!all_identical) {
+/** Band-level cache on a multi-band workload: a DSE-like sweep over 2mm
+ * design points that differ only in ONE band's pipeline II. The function
+ * digest changes on every point (so the function tier misses), but the
+ * untouched band's digest is stable — the band tier turns those into
+ * hits. Self-checks bit-identity of every configuration against the
+ * sequential uncached reference, and that the band configuration scores
+ * strictly more band hits than function-tier-only (which scores zero). */
+bool
+runBandCacheSection(const std::vector<unsigned> &configs)
+{
+    std::printf("=== Band-level estimate cache (multi-band 2mm sweep) "
+                "===\n\n");
+
+    auto module = parseCToModule(polybenchSource("2mm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+
+    // The sweep: per band, the canonical seed with that band's II dial
+    // turned through its first few candidates. Every point differs from
+    // the seed in exactly one band.
+    std::vector<DesignSpace::Point> points;
+    DesignSpace::Point zero(space.numDims(), 0);
+    points.push_back(zero);
+    for (size_t b = 0; b < space.numBands(); ++b) {
+        for (int v = 1; v <= 3; ++v) {
+            DesignSpace::Point p = zero;
+            p[space.dimTargetII(b)] = v;
+            points.push_back(std::move(p));
+        }
+    }
+
+    std::vector<std::unique_ptr<Operation>> modules;
+    std::vector<QoRResult> reference;
+    for (const auto &p : points) {
+        auto m = space.materialize(p);
+        if (!m) {
+            std::printf("UNEXPECTED: sweep point not materializable\n");
+            return false;
+        }
+        reference.push_back(QoREstimator(m.get()).estimateModule());
+        modules.push_back(std::move(m));
+    }
+    std::printf("sweep: %zu points over %zu bands\n\n", points.size(),
+                space.numBands());
+    std::printf("%-10s %-12s %-14s %-14s %-14s %s\n", "Threads",
+                "BandTier", "FuncHit%", "BandHit%", "BandHits",
+                "Identical");
+
+    bool ok = true;
+    for (unsigned threads : configs) {
+        size_t func_only_band_hits = 0;
+        size_t band_tier_hits = 0;
+        for (bool band_tier : {false, true}) {
+            ThreadPool pool(threads);
+            EstimateCache cache;
+            bool matches = true;
+            for (size_t i = 0; i < modules.size(); ++i) {
+                QoREstimator estimator(modules[i].get(), &pool, &cache,
+                                       band_tier);
+                matches &= identical(estimator.estimateModule(),
+                                     reference[i]);
+            }
+            if (band_tier)
+                band_tier_hits = cache.bandHits();
+            else
+                func_only_band_hits = cache.bandHits();
+            ok &= matches;
+            std::printf("%-10u %-12s %-14.1f %-14.1f %-14zu %s\n",
+                        threads, band_tier ? "on" : "off",
+                        cache.hitRate() * 100, cache.bandHitRate() * 100,
+                        cache.bandHits(), matches ? "yes" : "NO (BUG)");
+            std::printf(
+                "JSON {\"bench\":\"estimator_band_cache\","
+                "\"design\":\"2mm-16\",\"threads\":%u,\"band_tier\":%s,"
+                "\"func_hit_rate\":%.3f,\"band_hit_rate\":%.3f,"
+                "\"band_hits\":%zu,\"identical\":%s}\n",
+                threads, band_tier ? "true" : "false", cache.hitRate(),
+                cache.bandHitRate(), cache.bandHits(),
+                matches ? "true" : "false");
+        }
+        if (band_tier_hits <= func_only_band_hits) {
+            std::printf("BAND CACHE CHECK FAILED: %zu hits with the band "
+                        "tier vs %zu without\n",
+                        band_tier_hits, func_only_band_hits);
+            ok = false;
+        }
+    }
+    std::printf("\n");
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke |= std::strcmp(argv[i], "--smoke") == 0;
+
+    unsigned hw = defaultThreadCount();
+    std::printf("=== Estimator scaling (intra-point parallel estimation "
+                "+ cross-point cache, %u hardware threads%s) ===\n\n",
+                hw, smoke ? ", smoke" : "");
+
+    std::vector<unsigned> configs = {1, 2, 4};
+    if (hw > 4 && !smoke)
+        configs.push_back(hw);
+
+    bool ok = runScalingSection(configs, smoke);
+    ok &= runBandCacheSection(configs);
+
+    if (!ok) {
         std::printf("SELF-CHECK FAILED: parallel/cached estimation "
-                    "diverged from the sequential path\n");
+                    "diverged from the sequential path or the band tier "
+                    "underperformed the function-only configuration\n");
         return 1;
     }
     return 0;

@@ -11,17 +11,6 @@ namespace scalehls {
 
 namespace {
 
-/** The primary compute band: the deepest band of the function. */
-std::vector<Operation *>
-primaryBand(Operation *func)
-{
-    std::vector<Operation *> best;
-    for (auto &band : getLoopBands(func))
-        if (band.size() > best.size())
-            best = band;
-    return best;
-}
-
 std::vector<std::vector<unsigned>>
 allPermutations(unsigned n)
 {
@@ -39,40 +28,60 @@ allPermutations(unsigned n)
 DesignSpace::DesignSpace(Operation *module, DesignSpaceOptions options)
     : pristine_(module->clone()), options_(options)
 {
-    // Probe the post-LP/RVB band structure for trip counts.
+    // Probe the post-LP/RVB structure of every top-level band for trip
+    // counts. Bands are disjoint subtrees, so per-band legalization in
+    // the probe clone cannot interfere across bands.
     auto probe = pristine_->clone();
     Operation *func = getTopFunc(probe.get());
     assert(func && "design space requires a top function");
-    auto band = primaryBand(func);
-    assert(!band.empty() && "design space requires a loop band");
-    applyLoopPerfectization(band.front());
-    applyRemoveVariableBound(band.front());
-    applyLoopPerfectization(band.front());
-    band = getLoopNest(band.front());
+    auto probe_bands = getLoopBands(func);
+    assert(!probe_bands.empty() && "design space requires a loop band");
 
-    for (Operation *loop : band)
-        trip_counts_.push_back(
-            getTripCount(AffineForOp(loop)).value_or(1));
-
-    permutations_ = allPermutations(band.size());
-    for (int64_t trip : trip_counts_) {
-        std::vector<int64_t> tiles;
-        for (int64_t d : divisorsOf(trip))
-            if (d <= options_.maxTileSize)
-                tiles.push_back(d);
-        if (tiles.empty())
-            tiles.push_back(1);
-        tile_candidates_.push_back(std::move(tiles));
-    }
     for (int64_t ii : {1,  2,  3,  4,  5,  6,  7,  8,  10, 12,
                        14, 16, 20, 24, 28, 32, 40, 48, 56, 64})
         if (ii <= options_.maxII)
             ii_candidates_.push_back(ii);
 
-    dim_sizes_ = {2, 2, static_cast<int>(permutations_.size())};
-    for (const auto &tiles : tile_candidates_)
-        dim_sizes_.push_back(static_cast<int>(tiles.size()));
-    dim_sizes_.push_back(static_cast<int>(ii_candidates_.size()));
+    dim_sizes_ = {2, 2};
+    for (auto &band_loops : probe_bands) {
+        applyLoopPerfectization(band_loops.front());
+        applyRemoveVariableBound(band_loops.front());
+        applyLoopPerfectization(band_loops.front());
+        auto band = getLoopNest(band_loops.front());
+
+        BandSpace space;
+        space.firstDim = dim_sizes_.size();
+        for (Operation *loop : band)
+            space.tripCounts.push_back(
+                getTripCount(AffineForOp(loop)).value_or(1));
+        space.permutations = allPermutations(band.size());
+        for (int64_t trip : space.tripCounts) {
+            std::vector<int64_t> tiles;
+            for (int64_t d : divisorsOf(trip))
+                if (d <= options_.maxTileSize)
+                    tiles.push_back(d);
+            if (tiles.empty())
+                tiles.push_back(1);
+            space.tileCandidates.push_back(std::move(tiles));
+        }
+
+        dim_sizes_.push_back(static_cast<int>(space.permutations.size()));
+        for (const auto &tiles : space.tileCandidates)
+            dim_sizes_.push_back(static_cast<int>(tiles.size()));
+        dim_sizes_.push_back(static_cast<int>(ii_candidates_.size()));
+        bands_.push_back(std::move(space));
+    }
+}
+
+size_t
+DesignSpace::primaryBandIndex() const
+{
+    size_t best = 0;
+    for (size_t b = 1; b < bands_.size(); ++b)
+        if (bands_[b].tripCounts.size() >
+            bands_[best].tripCounts.size())
+            best = b;
+    return best;
 }
 
 double
@@ -118,10 +127,21 @@ DesignSpace::decode(const Point &point) const
     Decoded d;
     d.loopPerfectization = point[0] != 0;
     d.removeVariableBound = point[1] != 0;
-    d.permMap = permutations_[point[2]];
-    for (size_t i = 0; i < tile_candidates_.size(); ++i)
-        d.tileSizes.push_back(tile_candidates_[i][point[3 + i]]);
-    d.targetII = ii_candidates_[point[3 + tile_candidates_.size()]];
+    for (const BandSpace &space : bands_) {
+        BandChoice choice;
+        choice.permMap = space.permutations[point[space.firstDim]];
+        for (size_t i = 0; i < space.tileCandidates.size(); ++i)
+            choice.tileSizes.push_back(
+                space.tileCandidates[i][point[space.firstDim + 1 + i]]);
+        choice.targetII = ii_candidates_[point[space.firstDim + 1 +
+                                               space.tileCandidates
+                                                   .size()]];
+        d.bands.push_back(std::move(choice));
+    }
+    const BandChoice &primary = d.bands[primaryBandIndex()];
+    d.permMap = primary.permMap;
+    d.tileSizes = primary.tileSizes;
+    d.targetII = primary.targetII;
     return d;
 }
 
@@ -130,46 +150,42 @@ DesignSpace::materialize(const Point &point) const
 {
     Decoded d = decode(point);
 
-    // Reject unroll products beyond the configured cap early.
-    int64_t product = 1;
-    for (int64_t t : d.tileSizes)
-        product *= t;
-    if (product > options_.maxTotalUnroll)
-        return nullptr;
+    // Reject per-band unroll products beyond the configured cap early.
+    for (const BandChoice &choice : d.bands) {
+        int64_t product = 1;
+        for (int64_t t : choice.tileSizes)
+            product *= t;
+        if (product > options_.maxTotalUnroll)
+            return nullptr;
+    }
 
     auto module = pristine_->clone();
     Operation *func = getTopFunc(module.get());
-    auto primary = primaryBand(func);
-    if (primary.empty())
+    auto band_roots = getLoopBands(func);
+    if (band_roots.size() != d.bands.size())
         return nullptr;
-    Operation *primary_root = primary.front();
 
-    for (auto &band_loops : getLoopBands(func)) {
-        std::vector<Operation *> band = band_loops;
-        if (band.front() == primary_root) {
-            if (d.loopPerfectization)
-                applyLoopPerfectization(band.front());
-            if (d.removeVariableBound)
-                applyRemoveVariableBound(band.front());
-            if (d.loopPerfectization && d.removeVariableBound) {
-                // Ops below a variable-bound loop only sink once RVB has
-                // made the bounds constant (e.g. TRMM's final scaling).
-                applyLoopPerfectization(band.front());
-            }
-            band = getLoopNest(band.front());
-            if (band.size() == d.permMap.size())
-                applyLoopPermutation(band, d.permMap);
-            if (band.size() == d.tileSizes.size())
-                band = applyLoopTiling(band, d.tileSizes);
-            if (band.empty())
-                return nullptr;
-            if (!applyLoopPipelining(band.back(), d.targetII))
-                return nullptr;
-        } else {
-            // Secondary bands (e.g. initialization loops) are simply
-            // pipelined at their innermost level.
-            applyLoopPipelining(band.back(), 1);
+    for (size_t b = 0; b < band_roots.size(); ++b) {
+        const BandChoice &choice = d.bands[b];
+        std::vector<Operation *> band = band_roots[b];
+        if (d.loopPerfectization)
+            applyLoopPerfectization(band.front());
+        if (d.removeVariableBound)
+            applyRemoveVariableBound(band.front());
+        if (d.loopPerfectization && d.removeVariableBound) {
+            // Ops below a variable-bound loop only sink once RVB has
+            // made the bounds constant (e.g. TRMM's final scaling).
+            applyLoopPerfectization(band.front());
         }
+        band = getLoopNest(band.front());
+        if (band.size() == choice.permMap.size())
+            applyLoopPermutation(band, choice.permMap);
+        if (band.size() == choice.tileSizes.size())
+            band = applyLoopTiling(band, choice.tileSizes);
+        if (band.empty())
+            return nullptr;
+        if (!applyLoopPipelining(band.back(), choice.targetII))
+            return nullptr;
     }
 
     applyCanonicalize(func);
@@ -191,10 +207,8 @@ DesignSpace::canonicalSeedPoints() const
     for (int lp_on = 0; lp_on <= 1; ++lp_on) {
         for (int rvb_on = 0; rvb_on <= 1; ++rvb_on) {
             Point seed(numDims(), 0);
-            if (lp < numDims())
-                seed[lp] = lp_on;
-            if (rvb < numDims())
-                seed[rvb] = rvb_on;
+            seed[lp] = lp_on;
+            seed[rvb] = rvb_on;
             if (std::find(seeds.begin(), seeds.end(), seed) == seeds.end())
                 seeds.push_back(std::move(seed));
         }

@@ -2,9 +2,10 @@
  * @file
  * The multi-dimensional design space of one HLS kernel (paper Section V-E):
  * each dimension is the on/off switch or tunable parameter of a transform
- * pass — loop perfectization, variable-bound removal, loop order, tile
- * size per loop, and pipeline II. Array partitioning is derived
- * automatically from the access pattern of each materialized point.
+ * pass — loop perfectization, variable-bound removal, and, PER top-level
+ * loop band, the loop order, tile size per loop, and pipeline II. Array
+ * partitioning is derived automatically from the access pattern of each
+ * materialized point.
  */
 
 #ifndef SCALEHLS_DSE_DESIGN_SPACE_H
@@ -22,11 +23,14 @@ namespace scalehls {
 struct DesignSpaceOptions
 {
     int64_t maxTileSize = 64;      ///< Per-loop tile (unroll) cap.
-    int64_t maxTotalUnroll = 512;  ///< Cap on the product of tile sizes.
+    int64_t maxTotalUnroll = 512;  ///< Cap on the tile-size product PER BAND.
     int64_t maxII = 64;            ///< Largest candidate target II.
 };
 
-/** The tunable design space of a single-band kernel function.
+/** The tunable design space of a kernel function with one or more
+ * top-level loop bands (multi-stage kernels like 2mm/3mm get per-band
+ * order/tile/II dimensions; the historical single-band layout is the
+ * one-band special case).
  *
  * Thread-safety: every const method (decode, materialize, neighbors,
  * randomPoint, canonicalSeedPoints, ...) is re-entrant — materialization
@@ -40,30 +44,49 @@ class DesignSpace
     using Point = std::vector<int>;
 
     /** @name Dimension layout
-     * The first dimensions are the two legalization switches, then the
-     * loop-order permutation, then one tile dimension per loop, then the
-     * pipeline II. Use these accessors instead of magic indices. */
+     * The first dimensions are the two legalization switches; then, for
+     * each top-level band in function body order: the loop-order
+     * permutation, one tile dimension per loop, and the pipeline II.
+     * Use these accessors instead of magic indices. */
     ///@{
     size_t dimLoopPerfectization() const { return 0; }
     size_t dimRemoveVariableBound() const { return 1; }
-    size_t dimPermutation() const { return 2; }
-    size_t dimFirstTile() const { return 3; }
-    size_t dimTargetII() const { return 3 + trip_counts_.size(); }
+    size_t dimPermutation(size_t band) const
+    {
+        return bands_[band].firstDim;
+    }
+    size_t dimFirstTile(size_t band) const
+    {
+        return bands_[band].firstDim + 1;
+    }
+    size_t dimTargetII(size_t band) const
+    {
+        return bands_[band].firstDim + 1 + bands_[band].tripCounts.size();
+    }
     ///@}
 
     /** @p module is the unoptimized affine-level module; its top function
-     * must contain at least one loop band (the primary compute band is the
-     * deepest one). */
+     * must contain at least one top-level loop band. */
     DesignSpace(Operation *module, DesignSpaceOptions options = {});
 
-    /** Number of dimensions: 2 (LP, RVB) + 1 (permutation) + #loops
-     * (tile sizes) + 1 (II). */
+    /** Number of dimensions: 2 (LP, RVB) + per band (1 permutation +
+     * #loops tile sizes + 1 II). */
     size_t numDims() const { return dim_sizes_.size(); }
     const std::vector<int> &dimSizes() const { return dim_sizes_; }
     /** Total number of design points. */
     double spaceSize() const;
-    /** Number of loops in the optimized band. */
-    size_t bandDepth() const { return trip_counts_.size(); }
+    /** Number of tunable top-level bands. */
+    size_t numBands() const { return bands_.size(); }
+    /** Number of loops in band @p band. */
+    size_t bandDepth(size_t band) const
+    {
+        return bands_[band].tripCounts.size();
+    }
+    /** Number of loops in the deepest (primary) band. */
+    size_t bandDepth() const
+    {
+        return bands_[primaryBandIndex()].tripCounts.size();
+    }
 
     Point randomPoint(std::mt19937 &rng) const;
     /** All ±1 single-dimension neighbors of @p point. */
@@ -72,25 +95,40 @@ class DesignSpace
     /** The canonical seed points: the baseline schedule under each
      * combination of the legalization switches. These guarantee the
      * neighbor traversal a feasible frontier even when random tiles are
-     * mostly illegal. Degenerate spaces (fewer dims than switches) fall
-     * back to the switch settings that exist. */
+     * mostly illegal. */
     std::vector<Point> canonicalSeedPoints() const;
+
+    /** The decoded schedule of one band. */
+    struct BandChoice
+    {
+        std::vector<unsigned> permMap;
+        std::vector<int64_t> tileSizes;
+        int64_t targetII;
+    };
 
     /** The decoded parameters of a point (for reporting, Table III). */
     struct Decoded
     {
         bool loopPerfectization;
         bool removeVariableBound;
+        /** Per-band schedules, in function body order. */
+        std::vector<BandChoice> bands;
+        /** @name Primary-band view
+         * The deepest band's schedule, mirrored for single-band
+         * reporting (Table III kernels have exactly one band). */
+        ///@{
         std::vector<unsigned> permMap;
         std::vector<int64_t> tileSizes;
         int64_t targetII;
+        ///@}
     };
     Decoded decode(const Point &point) const;
 
     /** Clone the pristine module and apply the point's schedule: LP, RVB,
-     * permutation, tiling, pipelining, simplification, array partition.
-     * Returns nullptr when the point is not materializable (e.g. unroll
-     * product too large). */
+     * then per band permutation, tiling, pipelining, followed by
+     * simplification and array partition. Returns nullptr when the point
+     * is not materializable (e.g. unroll product too large, pipelining
+     * fails). */
     std::unique_ptr<Operation> materialize(const Point &point) const;
 
     /** Per-memref partition factors of a materialized design, formatted
@@ -98,12 +136,22 @@ class DesignSpace
     static std::string partitionSummary(Operation *module);
 
   private:
+    /** The tunable sub-space of one top-level band. */
+    struct BandSpace
+    {
+        size_t firstDim; ///< Index of this band's permutation dimension.
+        std::vector<std::vector<unsigned>> permutations;
+        std::vector<std::vector<int64_t>> tileCandidates;
+        std::vector<int64_t> tripCounts;
+    };
+
+    /** The deepest band (ties resolved to the first). */
+    size_t primaryBandIndex() const;
+
     std::unique_ptr<Operation> pristine_;
     DesignSpaceOptions options_;
     std::vector<int> dim_sizes_;
-    std::vector<std::vector<unsigned>> permutations_;
-    std::vector<std::vector<int64_t>> tile_candidates_;
-    std::vector<int64_t> trip_counts_;
+    std::vector<BandSpace> bands_;
     std::vector<int64_t> ii_candidates_;
 };
 

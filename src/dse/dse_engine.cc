@@ -21,8 +21,12 @@ DSEEngine::explore()
         estimates = &local_estimates;
     size_t hits_before = estimates ? estimates->hits() : 0;
     size_t lookups_before = estimates ? estimates->lookups() : 0;
+    size_t band_hits_before = estimates ? estimates->bandHits() : 0;
+    size_t band_lookups_before =
+        estimates ? estimates->bandLookups() : 0;
 
-    CachingEvaluator evaluator(space_, &pool, estimates);
+    CachingEvaluator evaluator(space_, &pool, estimates,
+                               options_.bandLevelCache);
     SearchContext ctx(space_, evaluator, evaluated_, options_.batchSize);
 
     // Step 1: initial sampling, evaluated as one parallel batch. The
@@ -43,6 +47,10 @@ DSEEngine::explore()
     estimate_hits_ = estimates ? estimates->hits() - hits_before : 0;
     estimate_lookups_ =
         estimates ? estimates->lookups() - lookups_before : 0;
+    band_hits_ =
+        estimates ? estimates->bandHits() - band_hits_before : 0;
+    band_lookups_ =
+        estimates ? estimates->bandLookups() - band_lookups_before : 0;
 
     // Return the frontier sorted by latency. frontierIndices is already
     // ascending (latency, area, index); stable_sort keeps tie groups in
@@ -89,6 +97,8 @@ runDSE(Operation *module, const ResourceBudget &budget,
     result.evaluations = engine.numEvaluations();
     result.estimateHits = engine.numEstimateHits();
     result.estimateLookups = engine.numEstimateLookups();
+    result.bandEstimateHits = engine.numBandEstimateHits();
+    result.bandEstimateLookups = engine.numBandEstimateLookups();
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();

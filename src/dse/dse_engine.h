@@ -42,6 +42,13 @@ struct DSEOptions
      * optimization — keys are content-derived, so hits return exactly
      * what recomputation would. */
     bool crossPointCache = true;
+    /** Band-level tier of the estimate cache: additionally reuse
+     * per-band estimates between points that differ only INSIDE another
+     * band of the same function (keyed by a self-contained band digest,
+     * so digest-identical bands share even across functions). Same
+     * content-keyed guarantee: never changes results. No effect when
+     * crossPointCache is off and no external cache is supplied. */
+    bool bandLevelCache = true;
     /** External estimate cache spanning multiple explorations (e.g. all
      * kernels of optimizeFunctions), NOT owned; nullptr = the engine
      * creates a per-exploration cache when crossPointCache is set. */
@@ -87,6 +94,9 @@ class DSEEngine
     /** Total function-estimate lookups of the last explore (same sharing
      * caveat as numEstimateHits). */
     size_t numEstimateLookups() const { return estimate_lookups_; }
+    /** Band-tier traffic of the last explore (same sharing caveat). */
+    size_t numBandEstimateHits() const { return band_hits_; }
+    size_t numBandEstimateLookups() const { return band_lookups_; }
 
   private:
     DesignSpace &space_;
@@ -96,6 +106,8 @@ class DSEEngine
     size_t cache_hits_ = 0;
     size_t estimate_hits_ = 0;
     size_t estimate_lookups_ = 0;
+    size_t band_hits_ = 0;
+    size_t band_lookups_ = 0;
 };
 
 /** Convenience: run the full flow on a C-level module — returns the
@@ -111,6 +123,8 @@ struct DSEResult
      * DSEEngine::numEstimateHits for the shared-cache caveat). */
     size_t estimateHits = 0;
     size_t estimateLookups = 0;
+    size_t bandEstimateHits = 0;
+    size_t bandEstimateLookups = 0;
     double seconds = 0;
 };
 std::optional<DSEResult> runDSE(Operation *module,

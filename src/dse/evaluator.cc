@@ -15,7 +15,8 @@ CachingEvaluator::evaluateFresh(const DesignSpace::Point &point)
         result.interval = kInfeasibleQoR;
         result.feasible = false;
     } else {
-        QoREstimator estimator(module.get(), pool_, estimates_);
+        QoREstimator estimator(module.get(), pool_, estimates_,
+                               band_cache_);
         result = estimator.estimateModule();
         if (!result.feasible) {
             // An infeasible estimate (unknown trip counts, recursive

@@ -60,16 +60,20 @@ class Evaluator
  *
  * @p estimates (optional, not owned) is the cross-point estimate cache:
  * per-function results keyed by content digest, shared across every
- * worker (and potentially across evaluators). The pool is also handed
- * to each QoREstimator so multi-function points estimate their callees
- * concurrently (intra-point parallelism). */
+ * worker (and potentially across evaluators). @p band_cache additionally
+ * enables its band-level tier, so points differing only inside one band
+ * of a function reuse the other bands' estimates. The pool is also
+ * handed to each QoREstimator so multi-function points estimate their
+ * callees concurrently (intra-point parallelism). */
 class CachingEvaluator : public Evaluator
 {
   public:
     explicit CachingEvaluator(const DesignSpace &space,
                               ThreadPool *pool = nullptr,
-                              EstimateCache *estimates = nullptr)
-        : space_(space), pool_(pool), estimates_(estimates)
+                              EstimateCache *estimates = nullptr,
+                              bool band_cache = true)
+        : space_(space), pool_(pool), estimates_(estimates),
+          band_cache_(band_cache)
     {}
 
     QoRResult evaluate(const DesignSpace::Point &point) override;
@@ -88,6 +92,7 @@ class CachingEvaluator : public Evaluator
     const DesignSpace &space_;
     ThreadPool *pool_;
     EstimateCache *estimates_ = nullptr;
+    bool band_cache_ = true;
     ConcurrentCache<DesignSpace::Point, QoRResult, OrdinalVectorHash>
         cache_;
     std::atomic<size_t> materializations_{0};

@@ -50,22 +50,61 @@ struct Digest128
     }
 };
 
-/** Serialize the op tree of @p op into @p digest: op names, attributes
- * (AttrMap is ordered, so iteration is deterministic), operand wiring via
- * function-local value numbering, and result / block-argument types. */
-class FuncSerializer
+/** Serialize an op tree into @p digest: op names, attributes (AttrMap is
+ * ordered, so iteration is deterministic), operand wiring via tree-local
+ * value numbering, and result / block-argument types. One traversal
+ * serves both cache tiers — function-tier and band-tier digests must
+ * never drift in what they cover — and the modes differ only in how
+ * values defined OUTSIDE the serialized tree are referenced:
+ *
+ *  - Function mode: externals degrade to a fixed "ext" marker (none
+ *    exist in this IR's top-level-function structure).
+ *  - Band mode: a fixed marker would alias bands that access different
+ *    arrays, so every external value gets a stable local id on first
+ *    reference, and its type (covering memref shapes and partition
+ *    layouts) plus a canonical summary of its definition are folded in:
+ *    block arguments as "arg"; arith.constant as "const" + the value
+ *    (trip counts and guards computed from external constants depend on
+ *    it); memref.alloc as "alloc" (the estimate reads only the memref
+ *    type). Any other defining op makes the band NOT content-determined
+ *    — estimation may read through it in ways the digest cannot see —
+ *    and the band must not be shared. A func.call inside the band also
+ *    disqualifies it: the band estimate would depend on callee bodies
+ *    the digest does not cover. Callee coverage in function mode comes
+ *    from digestFunc folding callee digests instead.
+ *
+ * The hlscpp.top_func attribute is skipped in both modes: it selects the
+ * entry point of a module-level estimate but never changes a function's
+ * (or band's) own estimate, and band roots never carry it anyway. */
+class TreeSerializer
 {
   public:
-    explicit FuncSerializer(Digest128 &digest) : digest_(digest) {}
+    enum class Mode
+    {
+        Function,
+        Band
+    };
+
+    TreeSerializer(Digest128 &digest, Mode mode)
+        : digest_(digest), mode_(mode)
+    {}
+
+    /** False when band mode found content the digest cannot determine
+     * (always true in function mode). */
+    bool cacheable() const { return cacheable_; }
 
     void
     serialize(Operation *op)
     {
+        if (mode_ == Mode::Band && op->is(ops::Call)) {
+            cacheable_ = false;
+            return;
+        }
         digest_.feed("op");
         digest_.feed(op->name());
         for (const auto &[name, attr] : op->attrs()) {
             if (name == kTopFunc)
-                continue; // Estimation-irrelevant; see header comment.
+                continue; // Estimation-irrelevant; see class comment.
             digest_.feed(name);
             digest_.feed(attr.toString());
         }
@@ -94,16 +133,37 @@ class FuncSerializer
     void define(const Value *value) { ids_.emplace(value, ids_.size()); }
 
     std::string
-    refOf(const Value *value)
+    refOf(Value *value)
     {
         auto it = ids_.find(value);
-        // Values defined outside the function (there are none in this
-        // IR's top-level-function structure) degrade to a fixed marker.
-        return it == ids_.end() ? std::string("ext")
-                                : "%" + std::to_string(it->second);
+        if (it != ids_.end())
+            return "%" + std::to_string(it->second);
+        if (mode_ == Mode::Function)
+            return "ext";
+        // Band mode, first reference to an external value: register it
+        // and fold its type and definition summary into the digest.
+        unsigned id = static_cast<unsigned>(ids_.size());
+        ids_.emplace(value, id);
+        digest_.feed("ext");
+        digest_.feed(std::to_string(id));
+        digest_.feed(value->type().toString());
+        Operation *def = value->definingOp();
+        if (!def) {
+            digest_.feed("arg");
+        } else if (def->is(ops::Constant)) {
+            digest_.feed("const");
+            digest_.feed(def->attr(kValue).toString());
+        } else if (def->is(ops::Alloc)) {
+            digest_.feed("alloc");
+        } else {
+            cacheable_ = false;
+        }
+        return "%" + std::to_string(id);
     }
 
     Digest128 &digest_;
+    Mode mode_;
+    bool cacheable_ = true;
     std::map<const Value *, unsigned> ids_;
 };
 
@@ -121,7 +181,8 @@ digestFunc(Operation *func, Operation *module, EstimateDigests &out,
         return it->second;
 
     Digest128 digest;
-    FuncSerializer(digest).serialize(func);
+    TreeSerializer(digest, TreeSerializer::Mode::Function)
+        .serialize(func);
 
     // Fold in direct callees (ordered by call-site appearance; duplicates
     // deduplicated) so a callee-body change invalidates the caller too.
@@ -152,6 +213,18 @@ addFuncEstimateDigests(Operation *func, Operation *module,
 {
     std::set<Operation *> on_path;
     digestFunc(func, module, out, on_path);
+}
+
+std::optional<std::string>
+bandEstimateDigest(Operation *band_root)
+{
+    Digest128 digest;
+    digest.feed("band"); // Domain-separate from function digests.
+    TreeSerializer serializer(digest, TreeSerializer::Mode::Band);
+    serializer.serialize(band_root);
+    if (!serializer.cacheable())
+        return std::nullopt;
+    return digest.hex();
 }
 
 EstimateDigests

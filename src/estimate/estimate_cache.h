@@ -22,16 +22,30 @@
 
 namespace scalehls {
 
-/** Thread-safe map from (function name, digest) keys to function-level
- * QoR estimates, shared across concurrently evaluating design points. */
+/** Thread-safe two-tier estimate cache shared across concurrently
+ * evaluating design points:
+ *
+ *  - the FUNCTION tier maps (function name, digest) keys to whole-
+ *    function QoR estimates;
+ *  - the BAND tier maps band digests to BandEstimate values, so points
+ *    that differ only inside one band of a function still reuse the
+ *    estimates of every other band (the band digest is self-contained,
+ *    so digest-identical bands share even across functions).
+ *
+ * Both tiers are content-keyed: hits are value-identical to
+ * recomputation at any thread count. */
 class EstimateCache
 {
   public:
-    /** The cache key of @p func given its precomputed @p digest. */
+    /** The function-tier cache key of @p func given its precomputed
+     * @p digest. The name is length-prefixed so the key is an injective
+     * encoding of the (name, digest) pair — a '#' inside a function
+     * name cannot alias another pair's key. */
     static std::string
     keyFor(const std::string &func_name, const std::string &digest)
     {
-        return func_name + '#' + digest;
+        return std::to_string(func_name.size()) + ':' + func_name + '#' +
+               digest;
     }
 
     std::optional<QoRResult>
@@ -46,19 +60,50 @@ class EstimateCache
         cache_.insert(key, result);
     }
 
-    /** @name Statistics (delegated to the sharded cache). */
+    /** @name Band tier */
+    ///@{
+    std::optional<BandEstimate>
+    lookupBand(const std::string &digest) const
+    {
+        return bands_.lookup(digest);
+    }
+
+    void
+    insertBand(const std::string &digest, const BandEstimate &estimate)
+    {
+        bands_.insert(digest, estimate);
+    }
+    ///@}
+
+    /** @name Statistics (delegated to the sharded tiers).
+     * The unqualified accessors report the function tier (source
+     * compatible with the single-tier cache); band* mirrors them for the
+     * band tier; the stats() snapshots carry both in one read. */
     ///@{
     size_t hits() const { return cache_.hits(); }
     size_t misses() const { return cache_.misses(); }
     size_t lookups() const { return cache_.lookups(); }
     double hitRate() const { return cache_.hitRate(); }
     size_t size() const { return cache_.size(); }
+    size_t bandHits() const { return bands_.hits(); }
+    size_t bandMisses() const { return bands_.misses(); }
+    size_t bandLookups() const { return bands_.lookups(); }
+    double bandHitRate() const { return bands_.hitRate(); }
+    size_t bandSize() const { return bands_.size(); }
+    CacheStats funcStats() const { return cache_.stats(); }
+    CacheStats bandStats() const { return bands_.stats(); }
     ///@}
 
-    void clear() { cache_.clear(); }
+    void
+    clear()
+    {
+        cache_.clear();
+        bands_.clear();
+    }
 
   private:
     ConcurrentCache<std::string, QoRResult> cache_;
+    ConcurrentCache<std::string, BandEstimate> bands_;
 };
 
 } // namespace scalehls

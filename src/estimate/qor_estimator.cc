@@ -243,6 +243,14 @@ QoREstimator::estimateBlock(Block *block, EstimateContext &ctx)
 int64_t
 QoREstimator::opLatency(Operation *op, EstimateContext &ctx)
 {
+    if (op->is(ops::AffineFor) && op->parentOp() &&
+        op->parentOp()->is(ops::Func)) {
+        // Top-level band: route through the per-band core so the latency
+        // walk and the resource walk share one (possibly cached) band
+        // computation.
+        const BandEstimate &band = estimateBand(op, ctx);
+        return band.feasible ? band.latency : -1;
+    }
     if (op->is(ops::AffineFor) || op->is(ops::ScfFor)) {
         LoopEstimate est = estimateLoop(op, ctx);
         return est.feasible ? est.latency : -1;
@@ -349,6 +357,97 @@ QoREstimator::estimateLoop(Operation *loop, EstimateContext &ctx)
     return result;
 }
 
+void
+QoREstimator::accountCompute(Operation *scope, BandEstimate &out)
+{
+    // Pipelined leaf loops inside scope share operators across II
+    // cycles: instances = ceil(count / II).
+    auto countsIn = [&](Operation *leaf) {
+        std::map<std::string, int64_t> counts;
+        leaf->walk([&](Operation *op) {
+            if (op != leaf && isComputeOp(op)) {
+                ++counts[op->name()];
+                out.profiles.emplace(op->name(), opProfile(op));
+            }
+        });
+        return counts;
+    };
+
+    std::vector<Operation *> pipelined;
+    scope->walk([&](Operation *op) {
+        if (op->is(ops::AffineFor) && getLoopDirective(op).pipeline)
+            pipelined.push_back(op);
+    });
+    for (Operation *leaf : pipelined) {
+        // Rebuild the flattened chain for the II.
+        std::vector<Operation *> chain = {leaf};
+        for (Operation *parent = leaf->parentOp();
+             isa(parent, ops::AffineFor) &&
+             getLoopDirective(parent).flatten;
+             parent = parent->parentOp())
+            chain.insert(chain.begin(), parent);
+        int64_t ii = std::max(getLoopDirective(leaf).targetII,
+                              minLoopII(chain, leaf));
+        for (const auto &[kind, count] : countsIn(leaf)) {
+            const OpProfile &profile = out.profiles[kind];
+            int64_t instances = ceilDiv(count, ii);
+            out.pipelinedCompute.dsp += instances * profile.dsp;
+            out.pipelinedCompute.lut += instances * profile.lut;
+        }
+    }
+
+    // Remaining sequential compute ops: counts only — instance sharing
+    // for these spans all bands and happens in funcResources.
+    scope->walk([&](Operation *op) {
+        if (!isComputeOp(op))
+            return;
+        for (Operation *p = op->parentOp(); p; p = p->parentOp())
+            if (p->is(ops::AffineFor) && getLoopDirective(p).pipeline)
+                return; // Counted above.
+        ++out.sequentialOps[op->name()];
+        out.profiles.emplace(op->name(), opProfile(op));
+    });
+
+    // Control logic counts.
+    scope->walk([&](Operation *op) {
+        out.loops += isLoop(op) ? 1 : 0;
+        out.calls += op->is(ops::Call) ? 1 : 0;
+    });
+}
+
+const BandEstimate &
+QoREstimator::estimateBand(Operation *band_root, EstimateContext &ctx)
+{
+    auto it = ctx.bands.find(band_root);
+    if (it != ctx.bands.end())
+        return it->second;
+
+    // Band tier of the shared cache: content-keyed by the band digest,
+    // so a hit is value-identical to the computation below.
+    std::string key;
+    if (shared_ && band_cache_) {
+        if (auto digest = bandEstimateDigest(band_root)) {
+            key = *digest;
+            if (auto cached = shared_->lookupBand(key))
+                return ctx.bands.emplace(band_root, *cached)
+                    .first->second;
+        }
+    }
+
+    BandEstimate band;
+    LoopEstimate loop = estimateLoop(band_root, ctx);
+    band.latency = loop.latency;
+    band.interval = loop.interval;
+    band.feasible = loop.feasible;
+    std::vector<Operation *> nest = getLoopNest(band_root);
+    band.memPortII = memoryPortII(band_root, bandIVs(nest));
+    accountCompute(band_root, band);
+
+    if (!key.empty())
+        shared_->insertBand(key, band);
+    return ctx.bands.emplace(band_root, std::move(band)).first->second;
+}
+
 ResourceUsage
 QoREstimator::funcResources(Operation *func, EstimateContext &ctx)
 {
@@ -375,59 +474,37 @@ QoREstimator::funcResources(Operation *func, EstimateContext &ctx)
         usage += mem;
     }
 
-    // Compute resources. Pipelined regions share operators across II
-    // cycles: instances = ceil(count / II). Sequential code fully shares
-    // one instance per op kind.
-    std::set<std::string> sequential_kinds;
+    // Compute resources, composed from per-band accounts (served from
+    // the band cache when warm) plus a direct account of the non-band
+    // glue ops, merged in body order so per-kind profile selection is
+    // deterministic. Pipelined contributions are final per band;
+    // sequential ops share one instance per kind ACROSS bands (or
+    // ceil(count / targetII) instances under function pipelining), so
+    // their counts merge here before sharing is applied.
+    std::map<std::string, int64_t> rest;
     std::map<std::string, OpProfile> profiles;
-
-    auto countsIn = [&](Operation *scope) {
-        std::map<std::string, int64_t> counts;
-        scope->walk([&](Operation *op) {
-            if (op != scope && isComputeOp(op)) {
-                ++counts[op->name()];
-                profiles.emplace(op->name(), opProfile(op));
-            }
-        });
-        return counts;
+    int64_t loops = 0;
+    int64_t calls = 0;
+    auto merge = [&](const BandEstimate &part) {
+        usage += part.pipelinedCompute;
+        for (const auto &[kind, count] : part.sequentialOps)
+            rest[kind] += count;
+        for (const auto &[kind, profile] : part.profiles)
+            profiles.emplace(kind, profile);
+        loops += part.loops;
+        calls += part.calls;
     };
-
-    // Pipelined leaf loops.
-    std::vector<Operation *> pipelined;
-    func->walk([&](Operation *op) {
-        if (op->is(ops::AffineFor) && getLoopDirective(op).pipeline)
-            pipelined.push_back(op);
-    });
-    for (Operation *leaf : pipelined) {
-        // Rebuild the flattened chain for the II.
-        std::vector<Operation *> chain = {leaf};
-        for (Operation *parent = leaf->parentOp();
-             isa(parent, ops::AffineFor) &&
-             getLoopDirective(parent).flatten;
-             parent = parent->parentOp())
-            chain.insert(chain.begin(), parent);
-        int64_t ii = std::max(getLoopDirective(leaf).targetII,
-                              minLoopII(chain, leaf));
-        for (const auto &[kind, count] : countsIn(leaf)) {
-            const OpProfile &profile = profiles[kind];
-            int64_t instances = ceilDiv(count, ii);
-            usage.dsp += instances * profile.dsp;
-            usage.lut += instances * profile.lut;
+    for (auto &op : funcBody(func)->ops()) {
+        if (op->is(ops::AffineFor)) {
+            merge(estimateBand(op.get(), ctx));
+        } else {
+            BandEstimate glue;
+            accountCompute(op.get(), glue);
+            merge(glue);
         }
     }
 
-    // Remaining (sequential or function-pipelined) compute ops.
     bool func_pipelined = fd.pipeline;
-    std::map<std::string, int64_t> rest;
-    func->walk([&](Operation *op) {
-        if (!isComputeOp(op))
-            return;
-        for (Operation *p = op->parentOp(); p; p = p->parentOp())
-            if (p->is(ops::AffineFor) && getLoopDirective(p).pipeline)
-                return; // Counted above.
-        ++rest[op->name()];
-        profiles.emplace(op->name(), opProfile(op));
-    });
     for (const auto &[kind, count] : rest) {
         const OpProfile &profile = profiles[kind];
         int64_t instances =
@@ -437,12 +514,6 @@ QoREstimator::funcResources(Operation *func, EstimateContext &ctx)
     }
 
     // Control logic overheads.
-    int64_t loops = 0;
-    int64_t calls = 0;
-    func->walk([&](Operation *op) {
-        loops += isLoop(op) ? 1 : 0;
-        calls += op->is(ops::Call) ? 1 : 0;
-    });
     usage.lut += 200 + 50 * loops + 100 * calls;
 
     // Sub-function instances (one hardware module per call site).

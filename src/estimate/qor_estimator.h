@@ -11,6 +11,7 @@
 #define SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -62,6 +63,52 @@ EstimateDigests moduleEstimateDigests(Operation *module);
 std::vector<Operation *> collectDistinctCallees(Operation *func,
                                                 Operation *module);
 
+/** Canonical estimate digest of one top-level loop band: the band's op
+ * tree (structure, directives, operand wiring, types) plus, for every
+ * value defined OUTSIDE the band, its type (covering partition layouts)
+ * and enough of its definition (constant value / alloc / argument) to
+ * make the digest content-determined. Two bands with equal digests are
+ * guaranteed to estimate identically, even across different functions.
+ * Returns nullopt when the band is not content-determined from the
+ * serializer's point of view — it contains a func.call (the estimate
+ * would depend on callee bodies) or references an external value with an
+ * unrecognized defining op — in which case the band must not be shared
+ * through the cache. */
+std::optional<std::string> bandEstimateDigest(Operation *band_root);
+
+/** Self-contained estimate of one top-level loop band (the unit of the
+ * band-level cache tier). Latency/interval/feasibility come from the
+ * band's loop composition; the resource side is kept DECOMPOSED — the
+ * pipelined-leaf contributions are final, but sequential op counts and
+ * per-kind profiles are merged at function level, because sequential
+ * operator sharing (one instance per kind) spans all bands of a
+ * function and is not a per-band quantity. */
+struct BandEstimate
+{
+    int64_t latency = 0;
+    int64_t interval = 0;
+    bool feasible = true;
+    /** Min II the band's memory accesses impose (port pressure over the
+     * band's induction variables). Today's sequential/dataflow
+     * composition reads only latency + the resource account, but cache
+     * entries deliberately stay self-contained — interval and port
+     * demand are what any future band-overlapping composition (or an
+     * external consumer of lookupBand) needs, and recomputing them later
+     * would require the IR the cache exists to avoid re-walking. */
+    int64_t memPortII = 1;
+    /** DSP/LUT of pipelined leaves inside the band (shared under each
+     * leaf's achieved II; final, summable across bands). */
+    ResourceUsage pipelinedCompute;
+    /** Per-kind counts of compute ops outside pipelined leaves; the
+     * function composition applies instance sharing across bands. */
+    std::map<std::string, int64_t> sequentialOps;
+    /** First-seen profile per op kind inside the band (pre-order). */
+    std::map<std::string, OpProfile> profiles;
+    /** Loop / call counts feeding the control-logic LUT overhead. */
+    int64_t loops = 0;
+    int64_t calls = 0;
+};
+
 /** Latency / throughput / resource estimate of a design. */
 struct QoRResult
 {
@@ -95,7 +142,11 @@ struct QoRResult
  *  - Cross-point reuse: pass a shared EstimateCache and per-function
  *    results are published under content-derived (name, digest) keys, so
  *    other DSE workers evaluating points with identical function content
- *    reuse them instead of re-walking the IR.
+ *    reuse them instead of re-walking the IR. The cache has a second,
+ *    finer tier keyed by BAND digests: a design point that differs from
+ *    an evaluated one only inside one band of a function still reuses
+ *    the estimates of every other band of that function (and of
+ *    digest-identical bands in any other function).
  *
  * The instance-level memo (estimateFunc results across public calls) is
  * still unsynchronized: share the EstimateCache across threads, not one
@@ -104,10 +155,14 @@ class QoREstimator
 {
   public:
     /** @p pool (optional, not owned) fans callee estimation out;
-     * @p shared (optional, not owned) is the cross-point cache. */
+     * @p shared (optional, not owned) is the cross-point cache.
+     * @p band_cache additionally enables the band-level tier of
+     * @p shared (no effect without a shared cache). */
     explicit QoREstimator(Operation *module, ThreadPool *pool = nullptr,
-                          EstimateCache *shared = nullptr)
-        : module_(module), pool_(pool), shared_(shared)
+                          EstimateCache *shared = nullptr,
+                          bool band_cache = true)
+        : module_(module), pool_(pool), shared_(shared),
+          band_cache_(band_cache)
     {}
 
     QoREstimator(const QoREstimator &) = delete;
@@ -141,6 +196,10 @@ class QoREstimator
         std::set<const Operation *> active;
         /** Completed per-function results of this run. */
         std::map<Operation *, QoRResult> memo;
+        /** Completed band estimates of this run, so the latency walk and
+         * the resource walk of one function share a single band
+         * computation (and a single band-cache lookup). */
+        std::map<Operation *, BandEstimate> bands;
     };
 
     struct LoopEstimate
@@ -173,6 +232,20 @@ class QoREstimator
     LoopEstimate estimateLoop(Operation *loop, EstimateContext &ctx);
     int64_t opLatency(Operation *op, EstimateContext &ctx);
 
+    /** The per-band core: latency/II of @p band_root plus the band's
+     * decomposed resource account, memoized in @p ctx and — for bands
+     * whose digest is content-determined — shared through the band tier
+     * of the EstimateCache. Cached values are exact copies of freshly
+     * computed ones, so results stay bit-identical to the uncached
+     * path. */
+    const BandEstimate &estimateBand(Operation *band_root,
+                                     EstimateContext &ctx);
+
+    /** Fold the compute-resource account of @p scope (pipelined-leaf
+     * sharing, sequential op counts, loop/call counts) into @p out.
+     * Scope is a top-level band root or any other func-body op. */
+    void accountCompute(Operation *scope, BandEstimate &out);
+
     /** Minimum legal II of a pipelined loop body given recurrences and
      * memory port pressure (paper's achievable-II analysis). */
     int64_t minLoopII(const std::vector<Operation *> &band,
@@ -195,6 +268,7 @@ class QoREstimator
     Operation *module_;
     ThreadPool *pool_ = nullptr;
     EstimateCache *shared_ = nullptr;
+    bool band_cache_ = true;
     EstimateDigests digests_;
     std::map<Operation *, QoRResult> cache_;
 };

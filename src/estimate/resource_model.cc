@@ -25,9 +25,23 @@ opProfile(const Operation *op)
     if (!isComputeOp(op))
         return {0, 1, 0, 0};
 
-    unsigned width = 32;
-    if (op->numOperands() > 0 && op->operand(0))
-        width = op->operand(0)->type().bitWidth();
+    // The widest float lane among operands and results decides the
+    // profile. operand(0) alone mis-profiles mixed-precision ops: an
+    // arith op with a narrow first operand feeding a double datapath
+    // (or producing a double result) must be costed at the wide width.
+    // Only float widths vote — an i1 select condition or an i64 index
+    // operand must not promote a single-precision core to double.
+    unsigned width = 0;
+    auto vote = [&](const Value *value) {
+        if (value && value->type().isFloat())
+            width = std::max(width, value->type().bitWidth());
+    };
+    for (unsigned i = 0; i < op->numOperands(); ++i)
+        vote(op->operand(i));
+    for (const Value *result : op->results())
+        vote(result);
+    if (width == 0)
+        width = 32; // Pure integer/index op; profiles below are fixed.
     bool is_double = width > 32;
 
     // Floating point cores (Vivado HLS "full_dsp" configurations).

@@ -81,6 +81,61 @@ trmmSource(int64_t n)
 }
 
 std::string
+mm2Source(int64_t n)
+{
+    // Two sequential matrix-multiply stages (top-level loop bands):
+    // tmp = alpha*A*B, then D = beta*D + tmp*C. The multi-band workload
+    // class for the band-level estimate cache.
+    std::ostringstream os;
+    os << "void k2mm(float alpha, float beta, float tmp[" << n << "][" << n
+       << "], float A[" << n << "][" << n << "], float B[" << n << "][" << n
+       << "], float C[" << n << "][" << n << "], float D[" << n << "][" << n
+       << "]) {\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    for (int j = 0; j < " << n << "; j++) {\n"
+       << "      tmp[i][j] = 0.0;\n"
+       << "      for (int k = 0; k < " << n << "; k++) {\n"
+       << "        tmp[i][j] += alpha * A[i][k] * B[k][j];\n"
+       << "      }\n    }\n  }\n"
+       << "  for (int i = 0; i < " << n << "; i++) {\n"
+       << "    for (int j = 0; j < " << n << "; j++) {\n"
+       << "      D[i][j] *= beta;\n"
+       << "      for (int k = 0; k < " << n << "; k++) {\n"
+       << "        D[i][j] += tmp[i][k] * C[k][j];\n"
+       << "      }\n    }\n  }\n}\n";
+    return os.str();
+}
+
+std::string
+mm3Source(int64_t n)
+{
+    // Three matrix-multiply stages: E = A*B, F = C*D, G = E*F. The first
+    // two bands are structurally identical up to which interface arrays
+    // they touch, which exercises cross-band digest sharing.
+    std::ostringstream os;
+    auto stage = [&os, n](const char *dst, const char *lhs,
+                          const char *rhs) {
+        os << "  for (int i = 0; i < " << n << "; i++) {\n"
+           << "    for (int j = 0; j < " << n << "; j++) {\n"
+           << "      " << dst << "[i][j] = 0.0;\n"
+           << "      for (int k = 0; k < " << n << "; k++) {\n"
+           << "        " << dst << "[i][j] += " << lhs << "[i][k] * "
+           << rhs << "[k][j];\n"
+           << "      }\n    }\n  }\n";
+    };
+    os << "void k3mm(float E[" << n << "][" << n << "], float A[" << n
+       << "][" << n << "], float B[" << n << "][" << n << "], float F["
+       << n << "][" << n << "], float C[" << n << "][" << n
+       << "], float D[" << n << "][" << n << "], float G[" << n << "]["
+       << n << "]) {\n";
+    stage("E", "A", "B");
+    stage("F", "C", "D");
+    stage("G", "E", "F");
+    os << "}\n";
+    return os.str();
+}
+
+std::string
 bicgSource(int64_t n)
 {
     std::ostringstream os;
@@ -135,6 +190,10 @@ polybenchSource(const std::string &kernel, int64_t n)
         return bicgSource(n);
     if (kernel == "gesummv")
         return gesummvSource(n);
+    if (kernel == "2mm")
+        return mm2Source(n);
+    if (kernel == "3mm")
+        return mm3Source(n);
     fatal("unknown PolyBench kernel: " + kernel);
 }
 

@@ -16,8 +16,10 @@ namespace scalehls {
 /** The kernel names in Table III order. */
 const std::vector<std::string> &polybenchKernelNames();
 
-/** HLS C source of a kernel at problem size @p n. Throws on unknown
- * names. */
+/** HLS C source of a kernel at problem size @p n. Besides the Table III
+ * kernels this also serves the multi-stage (multi-band) kernels "2mm"
+ * and "3mm", which exercise the per-band design space and the
+ * band-level estimate cache. Throws on unknown names. */
 std::string polybenchSource(const std::string &kernel, int64_t n);
 
 /** The 16x8 SYRK example of paper Fig. 5 (input C block (i)). */

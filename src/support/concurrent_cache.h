@@ -18,6 +18,26 @@
 
 namespace scalehls {
 
+/** A point-in-time statistics snapshot of one cache tier. Multi-tier
+ * caches (e.g. the function/band EstimateCache) expose one snapshot per
+ * tier so callers can report them side by side. */
+struct CacheStats
+{
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+
+    size_t lookups() const { return hits + misses; }
+    double
+    hitRate() const
+    {
+        size_t total = lookups();
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
 /** Hash for ordinal vectors (e.g. DesignSpace::Point): FNV-1a over the
  * elements. */
 struct OrdinalVectorHash
@@ -110,6 +130,9 @@ class ConcurrentCache
                           : static_cast<double>(hits()) /
                                 static_cast<double>(total);
     }
+    /** Everything above in one snapshot (entry count takes the shard
+     * locks; hit/miss counters are the same relaxed reads). */
+    CacheStats stats() const { return {hits(), misses(), size()}; }
     ///@}
 
   private:

@@ -93,39 +93,69 @@ applyLoopMerge(Operation *first_op, Operation *second_op)
     return true;
 }
 
+namespace {
+
+/** Merge every legal adjacent loop pair directly inside @p block, then
+ * recurse into the surviving loops' bodies.
+ *
+ * Iteration safety: a successful merge erases the second loop — and with
+ * it every block nested inside it — so the sweep must never hold
+ * pointers into erased structure. This routine re-snapshots only the
+ * affected block after each merge (the erased op's nested blocks are
+ * never on our stack because recursion happens AFTER this block is fully
+ * merged). The previous implementation pre-collected every block of the
+ * whole scope up front and stayed safe only by breaking out of both
+ * loops and restarting the entire scope walk per merge, which made long
+ * merge chains quadratic in the scope size.
+ *
+ * Recursing after the local merges also handles chains that only become
+ * adjacent through a parent merge: fusing two i-loops that each wrap a
+ * j-loop leaves two adjacent j-loops in the merged body, which the
+ * recursion then fuses in turn. Child merges cannot re-enable parent
+ * merges (domains and the access set of a loop are unchanged by fusing
+ * inside it), so one top-down pass converges. */
 bool
-applyLoopMergeAll(Operation *scope)
+mergeInBlock(Block *block)
 {
     bool changed = false;
     bool progress = true;
     while (progress) {
         progress = false;
-        std::vector<Block *> blocks;
-        scope->walk([&](Operation *op) {
-            for (unsigned i = 0; i < op->numRegions(); ++i)
-                for (auto &block : op->region(i).blocks())
-                    blocks.push_back(block.get());
-        });
-        for (Block *block : blocks) {
-            // Find adjacent loop pairs (pure ops in between allowed).
-            Operation *prev_loop = nullptr;
-            for (Operation *op : block->opsVector()) {
-                if (op->is(ops::AffineFor)) {
-                    if (prev_loop && applyLoopMerge(prev_loop, op)) {
-                        progress = true;
-                        break;
-                    }
-                    prev_loop = op;
-                } else if (op->dialect() != "arith" &&
-                           op->dialect() != "math") {
-                    prev_loop = nullptr;
+        // Adjacent loop pairs (pure ops in between allowed).
+        Operation *prev_loop = nullptr;
+        for (Operation *op : block->opsVector()) {
+            if (op->is(ops::AffineFor)) {
+                if (prev_loop && applyLoopMerge(prev_loop, op)) {
+                    // op was erased; prev_loop absorbed its body. Leave
+                    // the stale snapshot and rescan this block: the
+                    // merged loop may fuse with the next one too.
+                    changed = true;
+                    progress = true;
+                    break;
                 }
+                prev_loop = op;
+            } else if (op->dialect() != "arith" &&
+                       op->dialect() != "math") {
+                prev_loop = nullptr;
             }
-            if (progress)
-                break;
         }
-        changed |= progress;
     }
+    for (Operation *op : block->opsVector())
+        for (unsigned r = 0; r < op->numRegions(); ++r)
+            for (auto &nested : op->region(r).blocks())
+                changed |= mergeInBlock(nested.get());
+    return changed;
+}
+
+} // namespace
+
+bool
+applyLoopMergeAll(Operation *scope)
+{
+    bool changed = false;
+    for (unsigned r = 0; r < scope->numRegions(); ++r)
+        for (auto &block : scope->region(r).blocks())
+            changed |= mergeInBlock(block.get());
     return changed;
 }
 

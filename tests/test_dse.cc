@@ -205,6 +205,129 @@ TEST(DesignSpace, MaterializeAndEvaluate)
     EXPECT_EQ(again.latency, qor.latency);
 }
 
+TEST(DesignSpace, MultiBandDimensions)
+{
+    auto module = parseCToModule(polybenchSource("2mm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    ASSERT_EQ(space.numBands(), 2u);
+    // 2 switches + per band (1 permutation + 3 tile dims + 1 II).
+    EXPECT_EQ(space.numDims(), 12u);
+    EXPECT_EQ(space.bandDepth(0), 3u);
+    EXPECT_EQ(space.bandDepth(1), 3u);
+    EXPECT_EQ(space.dimSizes()[space.dimPermutation(0)], 6);
+    EXPECT_EQ(space.dimSizes()[space.dimPermutation(1)], 6);
+    EXPECT_LT(space.dimTargetII(0), space.dimPermutation(1));
+
+    auto decoded = space.decode(DesignSpace::Point(space.numDims(), 0));
+    ASSERT_EQ(decoded.bands.size(), 2u);
+    for (const auto &choice : decoded.bands) {
+        EXPECT_EQ(choice.permMap.size(), 3u);
+        EXPECT_EQ(choice.tileSizes.size(), 3u);
+        EXPECT_EQ(choice.targetII, 1);
+    }
+    // The primary-band mirror reports one of the (equal-depth) bands.
+    EXPECT_EQ(decoded.tileSizes.size(), 3u);
+
+    // The zero point materializes with BOTH bands pipelined.
+    auto materialized =
+        space.materialize(DesignSpace::Point(space.numDims(), 0));
+    ASSERT_NE(materialized, nullptr);
+    size_t pipelined = 0;
+    materialized->walk([&](Operation *op) {
+        pipelined += getLoopDirective(op).pipeline ? 1 : 0;
+    });
+    EXPECT_EQ(pipelined, 2u);
+
+    // Tuning one band's tile dimension leaves the other band's subtree
+    // untouched (the property the band-level estimate cache exploits).
+    // Tiling needs a perfect nest, so both points turn perfectization on.
+    DesignSpace::Point base(space.numDims(), 0);
+    base[space.dimLoopPerfectization()] = 1;
+    DesignSpace::Point tiled = base;
+    tiled[space.dimFirstTile(1)] =
+        space.dimSizes()[space.dimFirstTile(1)] - 1;
+    materialized = space.materialize(base);
+    ASSERT_NE(materialized, nullptr);
+    auto variant = space.materialize(tiled);
+    ASSERT_NE(variant, nullptr);
+    auto count_unrolled = [](Operation *module) {
+        std::vector<size_t> stores_per_band;
+        Operation *func = getTopFunc(module);
+        for (auto &band : getLoopBands(func)) {
+            size_t stores = 0;
+            band[0]->walk([&](Operation *op) {
+                stores += op->is(ops::AffineStore) ? 1 : 0;
+            });
+            stores_per_band.push_back(stores);
+        }
+        return stores_per_band;
+    };
+    auto base_stores = count_unrolled(materialized.get());
+    auto variant_stores = count_unrolled(variant.get());
+    ASSERT_EQ(base_stores.size(), 2u);
+    ASSERT_EQ(variant_stores.size(), 2u);
+    EXPECT_EQ(base_stores[0], variant_stores[0]);
+    EXPECT_GT(variant_stores[1], base_stores[1]);
+}
+
+TEST(DSEEngine, MultiBandBandCacheDoesNotChangeResults)
+{
+    // 2mm DSE with the band tier on vs off: bit-identical trajectories
+    // and frontiers (the tier is content-keyed), with band-tier hits
+    // strictly above the function-level-only configuration (which has
+    // none by construction).
+    auto module = parseCToModule(polybenchSource("2mm", 8));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 4;
+    space_options.maxTotalUnroll = 16;
+
+    size_t band_hits_on = 0;
+    auto run = [&](bool band_cache) {
+        DesignSpace space(module.get(), space_options);
+        DSEOptions options;
+        options.numInitialSamples = 15;
+        options.maxIterations = 30;
+        options.numThreads = 2;
+        options.bandLevelCache = band_cache;
+        DSEEngine engine(space, options);
+        auto frontier = engine.explore();
+        if (band_cache) {
+            EXPECT_GT(engine.numBandEstimateLookups(), 0u);
+            EXPECT_GT(engine.numBandEstimateHits(), 0u);
+            band_hits_on = engine.numBandEstimateHits();
+        } else {
+            EXPECT_EQ(engine.numBandEstimateLookups(), 0u);
+            EXPECT_EQ(engine.numBandEstimateHits(), 0u);
+        }
+        return std::make_pair(frontier, engine.evaluated());
+    };
+
+    auto [frontier_on, evaluated_on] = run(true);
+    auto [frontier_off, evaluated_off] = run(false);
+    EXPECT_GT(band_hits_on, 0u);
+
+    ASSERT_EQ(frontier_on.size(), frontier_off.size());
+    for (size_t i = 0; i < frontier_on.size(); ++i) {
+        EXPECT_EQ(frontier_on[i].point, frontier_off[i].point);
+        EXPECT_EQ(frontier_on[i].qor.latency,
+                  frontier_off[i].qor.latency);
+        EXPECT_EQ(frontier_on[i].qor.interval,
+                  frontier_off[i].qor.interval);
+        EXPECT_EQ(frontier_on[i].qor.resources.dsp,
+                  frontier_off[i].qor.resources.dsp);
+        EXPECT_EQ(frontier_on[i].qor.resources.lut,
+                  frontier_off[i].qor.resources.lut);
+    }
+    ASSERT_EQ(evaluated_on.size(), evaluated_off.size());
+    for (size_t i = 0; i < evaluated_on.size(); ++i) {
+        EXPECT_EQ(evaluated_on[i].point, evaluated_off[i].point);
+        EXPECT_EQ(evaluated_on[i].qor.latency,
+                  evaluated_off[i].qor.latency);
+    }
+}
+
 TEST(DSEEngine, FindsBetterThanBaseline)
 {
     auto module = parseCToModule(polybenchSource("gemm", 32));

@@ -411,6 +411,181 @@ TEST(Estimator, ParallelAndCachedEstimationBitIdentical)
     }
 }
 
+TEST(ResourceModel, MixedPrecisionUsesWidestWidth)
+{
+    // opProfile must profile at the widest float lane among operands AND
+    // results — reading only operand(0) mis-costs mixed-precision ops.
+    auto module = createModule();
+    Operation *f = createFunc(module.get(), "f", {});
+    Block *body = funcBody(f);
+    OpBuilder b(body, body->back());
+    Operation *c32 = createConstantFloat(b, 1.0, Type::f32());
+    Operation *c64 = createConstantFloat(b, 2.0, Type::f64());
+
+    // Pure single precision: the f32 core (3 DSP fmul, 2 DSP fadd).
+    Operation *mul32 = b.create(std::string(ops::MulF), {Type::f32()},
+                                {c32->result(0), c32->result(0)});
+    EXPECT_EQ(opProfile(mul32).dsp, 3);
+    EXPECT_EQ(opProfile(mul32).latency, 3);
+
+    // Narrow FIRST operand feeding a double datapath: the wide second
+    // operand must win (operand(0) alone would pick the f32 core).
+    Operation *mul_mixed = b.create(std::string(ops::MulF), {Type::f64()},
+                                    {c32->result(0), c64->result(0)});
+    EXPECT_EQ(opProfile(mul_mixed).dsp, 11);
+    EXPECT_EQ(opProfile(mul_mixed).latency, 6);
+
+    // Widening op: narrow operands, wide RESULT — the result votes too.
+    Operation *add_widening =
+        b.create(std::string(ops::AddF), {Type::f64()},
+                 {c32->result(0), c32->result(0)});
+    EXPECT_EQ(opProfile(add_widening).dsp, 3);
+    EXPECT_EQ(opProfile(add_widening).latency, 7);
+
+    // A float compare's i1 result must not shrink the vote: cmpf on
+    // doubles keeps its (width-independent) comparator profile, and the
+    // wide operands do not crash the result-type scan.
+    Operation *cmp = createCmpF(b, CmpPredicate::LT, c64->result(0),
+                                c64->result(0));
+    EXPECT_EQ(opProfile(cmp).latency, 1);
+    EXPECT_EQ(opProfile(cmp).dsp, 0);
+}
+
+TEST(Estimator, EstimateCacheKeyInjective)
+{
+    // keyFor must be an injective encoding of the (name, digest) pair: a
+    // '#' inside a function name used to alias another pair's key.
+    EXPECT_NE(EstimateCache::keyFor("a#b", "c"),
+              EstimateCache::keyFor("a", "b#c"));
+    EXPECT_NE(EstimateCache::keyFor("f#1", "d"),
+              EstimateCache::keyFor("f", "1#d"));
+    EXPECT_EQ(EstimateCache::keyFor("kernel", "abc"),
+              EstimateCache::keyFor("kernel", "abc"));
+    EXPECT_NE(EstimateCache::keyFor("kernel", "abc"),
+              EstimateCache::keyFor("kernel", "abd"));
+}
+
+TEST(Estimator, BandDigestSharingAndSensitivity)
+{
+    // 3mm: three structurally identical matmul stages over equal-typed
+    // interface arrays — digest-equal, so one band-cache entry serves
+    // all three. Directives and partition layouts inside/around one band
+    // must perturb only that band's digest.
+    auto module = affineModule(polybenchSource("3mm", 8));
+    Operation *func = getTopFunc(module.get());
+    auto bands = getLoopBands(func);
+    ASSERT_EQ(bands.size(), 3u);
+    auto d0 = bandEstimateDigest(bands[0][0]);
+    auto d1 = bandEstimateDigest(bands[1][0]);
+    auto d2 = bandEstimateDigest(bands[2][0]);
+    ASSERT_TRUE(d0 && d1 && d2);
+    EXPECT_EQ(*d0, *d1);
+    EXPECT_EQ(*d0, *d2);
+
+    // A pipeline directive inside band 1: only band 1's digest moves.
+    ASSERT_TRUE(applyLoopPipelining(getLoopNest(bands[1][0]).back(), 2));
+    auto d1_pipelined = bandEstimateDigest(bands[1][0]);
+    ASSERT_TRUE(d1_pipelined);
+    EXPECT_NE(*d1_pipelined, *d1);
+    EXPECT_EQ(*bandEstimateDigest(bands[0][0]), *d0);
+    EXPECT_EQ(*bandEstimateDigest(bands[2][0]), *d2);
+
+    // Partitioning an interface array referenced by bands 0 and 2 (E is
+    // written by stage 0 and read by stage 2) changes their digests —
+    // the external value's memref layout is part of the band content —
+    // but not band 1's.
+    Value *e_arg = funcBody(func)->argument(0);
+    PartitionPlan plan;
+    plan.kinds = {PartitionKind::Cyclic, PartitionKind::None};
+    plan.factors = {2, 1};
+    applyPartitionPlan(e_arg, plan);
+    EXPECT_NE(*bandEstimateDigest(bands[0][0]), *d0);
+    EXPECT_NE(*bandEstimateDigest(bands[2][0]), *d2);
+    EXPECT_EQ(*bandEstimateDigest(bands[1][0]), *d1_pipelined);
+}
+
+TEST(Estimator, BandWithCallNotContentDetermined)
+{
+    // A band containing a func.call depends on the callee's body, which
+    // the band digest does not cover: it must refuse to produce one.
+    auto module = affineModule(polybenchSource("gemm", 8) + "\n" +
+                               polybenchSource("syrk", 8));
+    Operation *gemm = lookupFunc(module.get(), "gemm");
+    auto band = getLoopNest(getLoopBands(gemm)[0][0]);
+    Block *leaf_body = AffineForOp(band.back()).body();
+    OpBuilder builder(leaf_body, leaf_body->front());
+    builder.create(std::string(ops::Call), {}, {},
+                   {{kCallee, Attribute(std::string("syrk"))}});
+    EXPECT_FALSE(bandEstimateDigest(band.front()).has_value());
+}
+
+TEST(Estimator, BandCacheHitsAcrossMultiBandVariants)
+{
+    // Two 2mm variants that differ only in the SECOND band's pipeline
+    // II: the whole-function digests differ (the function tier cannot
+    // help), but the unchanged first band transfers through the band
+    // tier — and every configuration stays bit-identical to the
+    // sequential uncached path.
+    auto make = [](int64_t ii) {
+        auto module = affineModule(polybenchSource("2mm", 8));
+        Operation *func = getTopFunc(module.get());
+        auto bands = getLoopBands(func);
+        EXPECT_TRUE(
+            applyLoopPipelining(getLoopNest(bands[1][0]).back(), ii));
+        return module;
+    };
+    // IIs on either side of the band's recurrence-limited minimum, so
+    // the two variants genuinely estimate differently.
+    auto m1 = make(1);
+    auto m2 = make(16);
+    QoRResult ref1 = QoREstimator(m1.get()).estimateModule();
+    QoRResult ref2 = QoREstimator(m2.get()).estimateModule();
+    ASSERT_TRUE(ref1.feasible);
+    ASSERT_TRUE(ref2.feasible);
+    EXPECT_NE(ref1.latency, ref2.latency);
+
+    EstimateCache cache;
+    QoRResult q1 =
+        QoREstimator(m1.get(), nullptr, &cache).estimateModule();
+    QoRResult q2 =
+        QoREstimator(m2.get(), nullptr, &cache).estimateModule();
+    EXPECT_EQ(cache.hits(), 0u);    // Function tier: all misses.
+    EXPECT_EQ(cache.bandHits(), 1u); // Band 0 reused across variants.
+
+    for (const auto &[cached, reference] :
+         {std::make_pair(q1, ref1), std::make_pair(q2, ref2)}) {
+        EXPECT_EQ(cached.latency, reference.latency);
+        EXPECT_EQ(cached.interval, reference.interval);
+        EXPECT_EQ(cached.feasible, reference.feasible);
+        EXPECT_EQ(cached.resources.dsp, reference.resources.dsp);
+        EXPECT_EQ(cached.resources.lut, reference.resources.lut);
+        EXPECT_EQ(cached.resources.bram18k, reference.resources.bram18k);
+        EXPECT_EQ(cached.resources.memoryBits,
+                  reference.resources.memoryBits);
+    }
+
+    // Cache entries are self-contained: the shared band's entry carries
+    // the full estimate (latency, II, memory-port demand), not just what
+    // today's composition happens to read.
+    Operation *band0 = getLoopBands(getTopFunc(m1.get()))[0][0];
+    auto digest = bandEstimateDigest(band0);
+    ASSERT_TRUE(digest);
+    auto entry = cache.lookupBand(*digest);
+    ASSERT_TRUE(entry);
+    EXPECT_TRUE(entry->feasible);
+    EXPECT_GT(entry->latency, 0);
+    EXPECT_GT(entry->interval, 0);
+    EXPECT_GE(entry->memPortII, 1);
+    EXPECT_FALSE(entry->sequentialOps.empty());
+
+    // The function-level-only configuration never touches the band tier.
+    EstimateCache func_only;
+    QoREstimator(m1.get(), nullptr, &func_only, false).estimateModule();
+    QoREstimator(m2.get(), nullptr, &func_only, false).estimateModule();
+    EXPECT_EQ(func_only.bandLookups(), 0u);
+    EXPECT_LT(func_only.bandHits(), cache.bandHits());
+}
+
 TEST(Estimator, DigestDistinguishesDirectives)
 {
     // Same structure, different pipeline II: different digests. Same

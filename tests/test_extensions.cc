@@ -63,6 +63,71 @@ TEST(LoopMerge, RejectsCrossIterationDependence)
     EXPECT_EQ(func->collect(ops::AffineFor).size(), 2u);
 }
 
+TEST(LoopMerge, ChainMergesThreeAdjacentLoops)
+{
+    // Regression for the chain case the one-merge-per-sweep structure is
+    // prone to get wrong: three adjacent mergeable loops must collapse
+    // into one, with the survivor absorbing every body in order.
+    auto module = affineModule(
+        "void k(float A[16], float B[16], float C[16]) {\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    A[i] = 1.0;\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    B[i] = 2.0;\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    C[i] = 3.0;\n"
+        "}");
+    Operation *func = getTopFunc(module.get());
+    ASSERT_EQ(func->collect(ops::AffineFor).size(), 3u);
+    EXPECT_TRUE(applyLoopMergeAll(func));
+    EXPECT_EQ(func->collect(ops::AffineFor).size(), 1u);
+    EXPECT_EQ(func->collect(ops::AffineStore).size(), 3u);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(LoopMerge, ChainMergeRecursesIntoMergedBodies)
+{
+    // Merging two perfect i-bands leaves their j-loops adjacent inside
+    // the merged body; the sweep must fuse those too (without ever
+    // touching blocks owned by the erased loop).
+    auto module = affineModule(
+        "void k(float A[8][8], float B[8][8]) {\n"
+        "  for (int i = 0; i < 8; i++)\n"
+        "    for (int j = 0; j < 8; j++)\n"
+        "      A[i][j] = 1.0;\n"
+        "  for (int i = 0; i < 8; i++)\n"
+        "    for (int j = 0; j < 8; j++)\n"
+        "      B[i][j] = 2.0;\n"
+        "}");
+    Operation *func = getTopFunc(module.get());
+    ASSERT_EQ(func->collect(ops::AffineFor).size(), 4u);
+    EXPECT_TRUE(applyLoopMergeAll(func));
+    // One i-loop wrapping one j-loop carrying both stores.
+    EXPECT_EQ(func->collect(ops::AffineFor).size(), 2u);
+    EXPECT_EQ(func->collect(ops::AffineStore).size(), 2u);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
+TEST(LoopMerge, ChainSkipsIllegalPairAndContinues)
+{
+    // First pair illegal (cross-iteration dependence), second legal: the
+    // sweep must still fuse the tail of the chain.
+    auto module = affineModule(
+        "void k(float A[16], float B[16], float C[16]) {\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    B[i] = A[i];\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    A[i] = i < 15 ? B[i + 1] : B[i];\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    C[i] = 4.0;\n"
+        "}");
+    Operation *func = getTopFunc(module.get());
+    ASSERT_EQ(func->collect(ops::AffineFor).size(), 3u);
+    EXPECT_TRUE(applyLoopMergeAll(func));
+    EXPECT_EQ(func->collect(ops::AffineFor).size(), 2u);
+    EXPECT_TRUE(verifyOk(module.get()));
+}
+
 TEST(LoopMerge, RejectsDifferentDomains)
 {
     auto module = affineModule("void k(float A[16]) {\n"

@@ -53,7 +53,12 @@ usage()
            "  -dse-seed=<n>     DSE random seed\n"
            "  -dse-cache=<0|1>  cross-point estimate cache (default 1;\n"
            "                    content-keyed, never changes results);\n"
-           "                    hit-rate stats are printed to stderr\n";
+           "                    hit-rate stats are printed to stderr\n"
+           "  -dse-band-cache=<0|1>  band-level tier of the estimate\n"
+           "                    cache: reuse per-band estimates between\n"
+           "                    points differing only in another band\n"
+           "                    (default 1; content-keyed, never changes\n"
+           "                    results)\n";
 }
 
 unsigned
@@ -142,6 +147,9 @@ main(int argc, char **argv)
         } else if (name == "-dse-cache") {
             dse_options.crossPointCache =
                 parseUnsignedArg(name, value) != 0;
+        } else if (name == "-dse-band-cache") {
+            dse_options.bandLevelCache =
+                parseUnsignedArg(name, value) != 0;
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -218,12 +226,21 @@ main(int argc, char **argv)
         auto report_cache = [&] {
             if (!dse_options.sharedEstimates)
                 return;
-            std::cerr << "estimate cache: " << estimate_cache.hits()
-                      << " hits / " << estimate_cache.lookups()
+            CacheStats func_tier = estimate_cache.funcStats();
+            std::cerr << "estimate cache: func tier " << func_tier.hits
+                      << " hits / " << func_tier.lookups()
                       << " lookups ("
-                      << static_cast<int>(estimate_cache.hitRate() * 100)
-                      << "%), " << estimate_cache.size()
-                      << " entries\n";
+                      << static_cast<int>(func_tier.hitRate() * 100)
+                      << "%), " << func_tier.entries << " entries";
+            if (dse_options.bandLevelCache) {
+                CacheStats band_tier = estimate_cache.bandStats();
+                std::cerr << "; band tier " << band_tier.hits
+                          << " hits / " << band_tier.lookups()
+                          << " lookups ("
+                          << static_cast<int>(band_tier.hitRate() * 100)
+                          << "%), " << band_tier.entries << " entries";
+            }
+            std::cerr << "\n";
         };
 
         if (run_dse && !compiler.optimize(xc7z020(), {}, dse_options)) {
