@@ -397,4 +397,61 @@ findRecurrences(const std::vector<Operation *> &band)
     return recurrences;
 }
 
+std::map<Value *, std::vector<bool>>
+partitionRelevantDims(Operation *band_root)
+{
+    std::map<Value *, std::vector<bool>> relevant;
+
+    // One scope per plan query the estimator makes; mirrors
+    // estimateBand (whole band over the nest IVs) and minLoopII (each
+    // pipelined leaf over its flattened chain's IVs).
+    auto scan = [&](Operation *scope, const std::vector<Value *> &ivs) {
+        auto accesses = collectAccesses(scope, ivs);
+        for (auto &[memref, group] : groupByMemRef(accesses)) {
+            if (!memref->type().isMemRef())
+                continue;
+            unsigned rank = memref->type().rank();
+            auto &mask =
+                relevant.emplace(memref, std::vector<bool>(rank, false))
+                    .first->second;
+            if (mask.size() != rank)
+                continue;
+            for (size_t i = 0; i < group.size(); ++i) {
+                const MemAccess &a = group[i];
+                if (!a.normalized || a.indices.size() != rank)
+                    continue; // possiblySameBank never reads the plan.
+                for (size_t j = i + 1; j < group.size(); ++j) {
+                    const MemAccess &b = group[j];
+                    if (!b.normalized || b.indices.size() != rank)
+                        continue;
+                    for (unsigned d = 0; d < rank; ++d) {
+                        if (mask[d])
+                            continue;
+                        auto diff =
+                            constantDiff(a.indices[d], b.indices[d]);
+                        if (diff && *diff != 0)
+                            mask[d] = true;
+                    }
+                }
+            }
+        }
+    };
+
+    scan(band_root, bandIVs(getLoopNest(band_root)));
+    band_root->walk([&](Operation *op) {
+        if (!op->is(ops::AffineFor) || !getLoopDirective(op).pipeline)
+            return;
+        // The maximal flatten chain ending at this pipelined leaf —
+        // exactly the chain minLoopII normalizes over.
+        std::vector<Operation *> chain = {op};
+        for (Operation *parent = op->parentOp();
+             isa(parent, ops::AffineFor) &&
+             getLoopDirective(parent).flatten;
+             parent = parent->parentOp())
+            chain.insert(chain.begin(), parent);
+        scan(op, bandIVs(chain));
+    });
+    return relevant;
+}
+
 } // namespace scalehls

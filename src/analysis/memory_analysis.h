@@ -95,6 +95,24 @@ struct Recurrence
  * based): equal keys imply identical addresses every iteration. */
 std::string subscriptKey(const MemAccess &access);
 
+/** Per-dimension partition RELEVANCE of every memref accessed inside the
+ * band rooted at @p band_root: dimension d of memref M is relevant iff
+ * the band-level QoR estimate can read M's partition plan along d. The
+ * estimator consults a plan only through bank-conflict grouping
+ * (possiblySameBank), which along dimension d compares pairs of
+ * normalized, rank-matching accesses whose subscript difference is a
+ * known constant — and every partition kind/factor yields the same
+ * verdict when that constant is zero. So d is relevant only when some
+ * pair, in some scope the estimator queries (the whole band normalized
+ * over the nest IVs, plus each pipelined leaf normalized over its
+ * flattened chain), has a known NONZERO difference. Repartitioning an
+ * irrelevant dim provably cannot change the band's estimate, which is
+ * what lets the band digest mask such dims (partition-aware band keys).
+ * The analysis reads subscripts only — never layouts — so digest-equal
+ * bands always agree on their masks. */
+std::map<Value *, std::vector<bool>> partitionRelevantDims(
+    Operation *band_root);
+
 /** Find memory recurrences within @p band. Only equal-subscript pairs are
  * detected (the dominant recurrence pattern of reduction kernels);
  * non-normalizable accesses conservatively produce a distance-1

@@ -1,6 +1,7 @@
 #include "api/scalehls.h"
 
 #include <limits>
+#include <set>
 
 #include "analysis/loop_analysis.h"
 #include "support/thread_pool.h"
@@ -211,6 +212,8 @@ Compiler::optimizeFunctions(const ResourceBudget &budget,
     // the callee subtrees of the targets), so their content-keyed
     // estimates transfer across kernels and workers alike.
     EstimateCache shared_estimates;
+    if (inner_options.estimateCacheCap != 0)
+        shared_estimates.setMaxEntries(inner_options.estimateCacheCap);
     if (!inner_options.sharedEstimates && inner_options.crossPointCache)
         inner_options.sharedEstimates = &shared_estimates;
 
@@ -220,19 +223,31 @@ Compiler::optimizeFunctions(const ResourceBudget &budget,
 
     ThreadPool pool(outer);
     pool.parallelFor(kernels.size(), [&](size_t i) {
-        // Each task explores a private clone of the FULL module — not
-        // just its kernel — so func.call callees stay resolvable and the
-        // estimator scores them; only the top-function mark selects which
-        // kernel this task's design space covers. The shared module_ is
-        // never touched here.
-        auto sub = module_->clone();
-        size_t kernel_seen = 0;
-        for (auto &op : sub->region(0).front().ops()) {
-            if (!op->is(ops::Func))
+        // Each task explores a private REDUCED clone: its kernel plus
+        // the kernel's transitive callee closure, so func.call callees
+        // stay resolvable and the estimator scores them — but the other
+        // kernels (and their subtrees) are never copied. DesignSpace
+        // clones the sub-module once more per materialized point, so
+        // shrinking it here shrinks every per-point clone of this
+        // exploration. The shared module_ is never touched here.
+        std::set<Operation *> needed;
+        std::vector<Operation *> worklist = {kernels[i]};
+        while (!worklist.empty()) {
+            Operation *func = worklist.back();
+            worklist.pop_back();
+            if (!needed.insert(func).second)
                 continue;
-            bool is_target = !getLoopBands(op.get()).empty() &&
-                             kernel_seen++ == i;
-            setTopFunc(op.get(), is_target);
+            for (Operation *callee :
+                 collectDistinctCallees(func, module_.get()))
+                worklist.push_back(callee);
+        }
+        auto sub = createModule();
+        Block &sub_body = sub->region(0).front();
+        for (auto &op : module_->region(0).front().ops()) {
+            if (!op->is(ops::Func) || !needed.count(op.get()))
+                continue;
+            Operation *copy = sub_body.pushBack(op->clone());
+            setTopFunc(copy, op.get() == kernels[i]);
         }
 
         FuncDSEResult &out = results[i];

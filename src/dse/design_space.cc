@@ -145,9 +145,10 @@ DesignSpace::decode(const Point &point) const
     return d;
 }
 
-std::unique_ptr<Operation>
-DesignSpace::materialize(const Point &point) const
+DesignSpace::Partial
+DesignSpace::beginMaterialize(const Point &point) const
 {
+    Partial partial;
     Decoded d = decode(point);
 
     // Reject per-band unroll products beyond the configured cap early.
@@ -156,14 +157,14 @@ DesignSpace::materialize(const Point &point) const
         for (int64_t t : choice.tileSizes)
             product *= t;
         if (product > options_.maxTotalUnroll)
-            return nullptr;
+            return partial;
     }
 
     auto module = pristine_->clone();
     Operation *func = getTopFunc(module.get());
     auto band_roots = getLoopBands(func);
     if (band_roots.size() != d.bands.size())
-        return nullptr;
+        return partial;
 
     for (size_t b = 0; b < band_roots.size(); ++b) {
         const BandChoice &choice = d.bands[b];
@@ -183,11 +184,72 @@ DesignSpace::materialize(const Point &point) const
         if (band.size() == choice.tileSizes.size())
             band = applyLoopTiling(band, choice.tileSizes);
         if (band.empty())
-            return nullptr;
+            return partial;
         if (!applyLoopPipelining(band.back(), choice.targetII))
-            return nullptr;
+            return partial;
+        partial.bandRoots.push_back(band.front());
     }
 
+    partial.module = std::move(module);
+    partial.func = func;
+    partial.eligible = fastPathEligible(partial);
+    if (partial.eligible) {
+        for (Operation *root : partial.bandRoots) {
+            // Partition-sensitive keys: phase-1 layouts are the pristine
+            // module's (trivial on DSE inputs), so masking could not
+            // hide anything — but it would pay a per-point relevance
+            // analysis. Sensitive keys are strictly more discriminating,
+            // which only ever costs hits, never soundness.
+            auto digest = bandEstimateDigestInfo(
+                root, /*mask_partitions=*/false);
+            if (!digest) {
+                partial.eligible = false;
+                partial.bandDigests.clear();
+                break;
+            }
+            partial.bandDigests.push_back(std::move(*digest));
+        }
+    }
+    return partial;
+}
+
+bool
+DesignSpace::fastPathEligible(const Partial &partial)
+{
+    // The fast path replays estimateFuncImpl's SEQUENTIAL composition
+    // and skips the memory/callee resource terms, and its soundness
+    // argument needs every cleanup pass to be band-local. That holds
+    // exactly when: the top function carries no pipeline/dataflow
+    // directive; the function body is bands + constants + return only
+    // (no flat-scope accesses or control flow — constants are
+    // latency-free and excluded from the compute account, so flat-scope
+    // cleanup cannot move the QoR); and no alloc (removeWriteOnlyBuffers
+    // is the one cross-band cleanup, and function-level memory
+    // accounting reads alloc types) or call (callee latency/resource
+    // instances) exists anywhere in the function.
+    FuncDirective fd = getFuncDirective(partial.func);
+    if (fd.pipeline || fd.dataflow)
+        return false;
+    for (auto &op : funcBody(partial.func)->ops()) {
+        if (op->is(ops::AffineFor) || op->is(ops::Constant) ||
+            op->is(ops::Return))
+            continue;
+        return false;
+    }
+    bool clean = true;
+    partial.func->walk([&](Operation *op) {
+        if (op->is(ops::Alloc) || op->is(ops::Call))
+            clean = false;
+    });
+    return clean;
+}
+
+std::unique_ptr<Operation>
+DesignSpace::finishMaterialize(Partial &partial) const
+{
+    if (!partial.module)
+        return nullptr;
+    Operation *func = partial.func;
     applyCanonicalize(func);
     applySimplifyAffineIf(func);
     applyAffineStoreForward(func);
@@ -195,7 +257,14 @@ DesignSpace::materialize(const Point &point) const
     applyCSE(func);
     applyCanonicalize(func);
     applyArrayPartition(func);
-    return module;
+    return std::move(partial.module);
+}
+
+std::unique_ptr<Operation>
+DesignSpace::materialize(const Point &point) const
+{
+    Partial partial = beginMaterialize(point);
+    return finishMaterialize(partial);
 }
 
 std::vector<DesignSpace::Point>

@@ -128,8 +128,39 @@ class DesignSpace
      * then per band permutation, tiling, pipelining, followed by
      * simplification and array partition. Returns nullptr when the point
      * is not materializable (e.g. unroll product too large, pipelining
-     * fails). */
+     * fails). Equivalent to finishMaterialize(beginMaterialize(point)). */
     std::unique_ptr<Operation> materialize(const Point &point) const;
+
+    /** Phase 1 of a materialization: the per-band structural transforms
+     * (LP/RVB, permutation, tiling, pipelining) plus the fast-path
+     * bookkeeping — each band's phase-1 digest and eligibility for the
+     * band-incremental evaluation (composeScheduledQoR). Phase 2
+     * (finishMaterialize) runs the function-wide cleanup pipeline and
+     * array partition; the split lets a caller whose bands all hit the
+     * schedule cache tier skip phase 2 — and the estimator walk —
+     * entirely. */
+    struct Partial
+    {
+        /** Phase-1 module; nullptr when the point is not
+         * materializable. */
+        std::unique_ptr<Operation> module;
+        Operation *func = nullptr;
+        /** Top-level band roots of func, body order. */
+        std::vector<Operation *> bandRoots;
+        /** True when the fast path may engage: sequential non-dataflow
+         * top function, body ops limited to bands/constants/return, no
+         * allocs or calls anywhere, every band digestable. Those are
+         * exactly the conditions under which the cleanup pipeline is
+         * band-local and the composed QoR replays the estimator
+         * bit-identically. */
+        bool eligible = false;
+        /** Per-band phase-1 digests (filled only when eligible). */
+        std::vector<BandDigestInfo> bandDigests;
+    };
+    Partial beginMaterialize(const Point &point) const;
+    /** Phase 2: function-wide cleanup + array partition, in place;
+     * returns the finished module (nullptr when phase 1 failed). */
+    std::unique_ptr<Operation> finishMaterialize(Partial &partial) const;
 
     /** Per-memref partition factors of a materialized design, formatted
      * like Table III ("A:[8, 16]"). */
@@ -147,6 +178,9 @@ class DesignSpace
 
     /** The deepest band (ties resolved to the first). */
     size_t primaryBandIndex() const;
+
+    /** The fast-path eligibility rule (see beginMaterialize). */
+    static bool fastPathEligible(const Partial &partial);
 
     std::unique_ptr<Operation> pristine_;
     DesignSpaceOptions options_;

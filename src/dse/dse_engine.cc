@@ -1,7 +1,11 @@
 #include "dse/dse_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
+#include <memory>
+
+#include "dse/pareto.h"
 
 namespace scalehls {
 
@@ -11,22 +15,35 @@ DSEEngine::explore()
     evaluated_.clear();
     std::mt19937 rng(options_.seed);
 
-    ThreadPool pool(options_.numThreads);
+    pool_ = std::make_unique<ThreadPool>(options_.numThreads);
     // Cross-point estimate cache: external if supplied, per-exploration
     // otherwise (unless disabled). Content-keyed, so it never changes
     // results — only how often the estimator re-walks identical IR.
-    EstimateCache local_estimates;
+    local_estimates_ = std::make_unique<EstimateCache>();
+    if (options_.estimateCacheCap != 0)
+        local_estimates_->setMaxEntries(options_.estimateCacheCap);
     EstimateCache *estimates = options_.sharedEstimates;
     if (!estimates && options_.crossPointCache)
-        estimates = &local_estimates;
+        estimates = local_estimates_.get();
+    estimates_in_use_ = estimates;
     size_t hits_before = estimates ? estimates->hits() : 0;
     size_t lookups_before = estimates ? estimates->lookups() : 0;
     size_t band_hits_before = estimates ? estimates->bandHits() : 0;
     size_t band_lookups_before =
         estimates ? estimates->bandLookups() : 0;
+    size_t masked_before = estimates ? estimates->bandMaskedHits() : 0;
 
-    CachingEvaluator evaluator(space_, &pool, estimates,
-                               options_.bandLevelCache);
+    EvaluatorOptions evaluator_options;
+    evaluator_options.bandCache = options_.bandLevelCache;
+    evaluator_options.partitionAwareKeys =
+        options_.partitionAwareBandKeys;
+    evaluator_options.incremental = options_.incrementalMaterialize;
+    evaluator_ = std::make_unique<CachingEvaluator>(
+        space_, pool_.get(), estimates, evaluator_options);
+    // Keep the winning module so finalization does not re-materialize
+    // the point it just evaluated.
+    evaluator_->retainBestModule(finalize_budget_);
+    CachingEvaluator &evaluator = *evaluator_;
     SearchContext ctx(space_, evaluator, evaluated_, options_.batchSize);
 
     // Step 1: initial sampling, evaluated as one parallel batch. The
@@ -43,6 +60,8 @@ DSEEngine::explore()
         ->run(ctx, rng, options_.maxIterations);
 
     materializations_ = evaluator.numMaterializations();
+    full_materializations_ = evaluator.numFullMaterializations();
+    fast_path_hits_ = evaluator.numFastPathHits();
     cache_hits_ = evaluator.numCacheHits();
     estimate_hits_ = estimates ? estimates->hits() - hits_before : 0;
     estimate_lookups_ =
@@ -51,6 +70,8 @@ DSEEngine::explore()
         estimates ? estimates->bandHits() - band_hits_before : 0;
     band_lookups_ =
         estimates ? estimates->bandLookups() - band_lookups_before : 0;
+    band_masked_hits_ =
+        estimates ? estimates->bandMaskedHits() - masked_before : 0;
 
     // Return the frontier sorted by latency. frontierIndices is already
     // ascending (latency, area, index); stable_sort keeps tie groups in
@@ -78,6 +99,52 @@ DSEEngine::finalize(const std::vector<EvaluatedPoint> &frontier,
     return std::nullopt;
 }
 
+std::unique_ptr<Operation>
+DSEEngine::materializeEvaluated(const EvaluatedPoint &chosen)
+{
+    module_reused_ = false;
+    qor_verified_ = false;
+    std::unique_ptr<Operation> module;
+    if (evaluator_)
+        module = evaluator_->takeRetainedModule(chosen.point);
+    if (module)
+        module_reused_ = true;
+    else
+        module = space_.materialize(chosen.point);
+    if (!module)
+        return nullptr;
+
+    // Re-estimate against the still-warm content-keyed caches (a
+    // function-tier hit makes this a digest + lookup, not a walk) and
+    // check the module really carries the QoR the frontier promised —
+    // this also end-to-end-verifies any fast-path composition that fed
+    // the chosen point's cached result.
+    QoREstimator estimator(module.get(), pool_.get(), estimates_in_use_,
+                           options_.bandLevelCache,
+                           options_.partitionAwareBandKeys);
+    QoRResult check = estimator.estimateModule();
+    if (!check.feasible) {
+        check.latency = kInfeasibleQoR;
+        check.interval = kInfeasibleQoR;
+    }
+    qor_verified_ = check.latency == chosen.qor.latency &&
+                    check.interval == chosen.qor.interval &&
+                    check.feasible == chosen.qor.feasible &&
+                    check.resources.dsp == chosen.qor.resources.dsp &&
+                    check.resources.lut == chosen.qor.resources.lut &&
+                    check.resources.bram18k ==
+                        chosen.qor.resources.bram18k &&
+                    check.resources.memoryBits ==
+                        chosen.qor.resources.memoryBits;
+    // On divergence the re-estimated QoR is the one consistent with the
+    // module being returned; callers (runDSE) adopt it over the cached
+    // value so result.module and result.qor can never disagree.
+    verified_qor_ = check;
+    assert(qor_verified_ &&
+           "materialized module diverged from the cached QoR");
+    return module;
+}
+
 std::optional<DSEResult>
 runDSE(Operation *module, const ResourceBudget &budget,
        DesignSpaceOptions space_options, DSEOptions options)
@@ -85,6 +152,7 @@ runDSE(Operation *module, const ResourceBudget &budget,
     auto start = std::chrono::steady_clock::now();
     DesignSpace space(module, space_options);
     DSEEngine engine(space, options);
+    engine.setFinalizeBudget(budget);
     auto frontier = engine.explore();
     auto chosen = DSEEngine::finalize(frontier, budget);
     if (!chosen)
@@ -93,12 +161,22 @@ runDSE(Operation *module, const ResourceBudget &budget,
     DSEResult result;
     result.point = chosen->point;
     result.qor = chosen->qor;
-    result.module = space.materialize(chosen->point);
+    result.module = engine.materializeEvaluated(*chosen);
+    if (result.module && !engine.qorVerified()) {
+        // Should not happen (asserted in debug builds); in release,
+        // keep the QoR consistent with the module we actually return.
+        result.qor = engine.verifiedQoR();
+    }
     result.evaluations = engine.numEvaluations();
     result.estimateHits = engine.numEstimateHits();
     result.estimateLookups = engine.numEstimateLookups();
     result.bandEstimateHits = engine.numBandEstimateHits();
     result.bandEstimateLookups = engine.numBandEstimateLookups();
+    result.fullMaterializations = engine.numFullMaterializations();
+    result.fastPathHits = engine.numFastPathHits();
+    result.bandMaskedHits = engine.numBandMaskedHits();
+    result.moduleReused = engine.moduleReused();
+    result.qorVerified = engine.qorVerified();
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();

@@ -49,6 +49,25 @@ struct DSEOptions
      * content-keyed guarantee: never changes results. No effect when
      * crossPointCache is off and no external cache is supplied. */
     bool bandLevelCache = true;
+    /** Partition-aware band keys: mask external memref layout dims the
+     * band's estimate provably never reads out of the band digest, so
+     * retuning band B no longer invalidates band A's cached estimate
+     * just because it repartitioned a shared array along a dim A never
+     * separates banks on. Content-keyed on everything the estimate can
+     * read — never changes results. Off = the partition-sensitive PR 3
+     * keying (kept for A/B comparison). */
+    bool partitionAwareBandKeys = true;
+    /** Band-incremental materialization: a cache-miss point whose bands
+     * all hit the schedule tier (phase-1 digests) skips function-wide
+     * cleanup, array partition and the estimator walk, composing its QoR
+     * from cached per-band entries (validated, bit-identical). Requires
+     * the band cache. */
+    bool incrementalMaterialize = true;
+    /** Max entries PER TIER of the engine-owned estimate cache (coarse
+     * FIFO eviction; 0 = unbounded). Bounds memory on week-long sweeps
+     * without changing results; external sharedEstimates caches are the
+     * caller's to bound. */
+    size_t estimateCacheCap = 0;
     /** External estimate cache spanning multiple explorations (e.g. all
      * kernels of optimizeFunctions), NOT owned; nullptr = the engine
      * creates a per-exploration cache when crossPointCache is set. */
@@ -74,6 +93,33 @@ class DSEEngine
         const std::vector<EvaluatedPoint> &frontier,
         const ResourceBudget &budget);
 
+    /** Scope module retention during explore() to designs fitting
+     * @p budget (the finalize criterion); call before explore(). Without
+     * it the evaluator retains the best feasible module regardless of
+     * budget. */
+    void setFinalizeBudget(const ResourceBudget &budget)
+    {
+        finalize_budget_ = budget;
+    }
+
+    /** The materialized module of an explore()-evaluated point: reuses
+     * the module retained during exploration when it is exactly this
+     * point (no re-materialization), re-materializing otherwise (fast
+     * path composition never builds modules; retention keeps one). The
+     * module is then re-estimated against the warm estimate cache and
+     * its QoR asserted equal to the cached result — qorVerified()
+     * reports the outcome. */
+    std::unique_ptr<Operation> materializeEvaluated(
+        const EvaluatedPoint &chosen);
+    /** True when materializeEvaluated reused the retained module. */
+    bool moduleReused() const { return module_reused_; }
+    /** True when the re-estimated module matched the cached QoR. */
+    bool qorVerified() const { return qor_verified_; }
+    /** The re-estimated QoR of the last materializeEvaluated module —
+     * equal to the cached result when qorVerified(); on divergence it
+     * is the value consistent with the returned module. */
+    const QoRResult &verifiedQoR() const { return verified_qor_; }
+
     /** All points evaluated during explore() (for Fig. 6 profiling). */
     const std::vector<EvaluatedPoint> &evaluated() const
     {
@@ -97,6 +143,18 @@ class DSEEngine
     /** Band-tier traffic of the last explore (same sharing caveat). */
     size_t numBandEstimateHits() const { return band_hits_; }
     size_t numBandEstimateLookups() const { return band_lookups_; }
+    /** Cache misses that ran the FULL pipeline (cleanup + partition +
+     * estimator walk) in the last explore. */
+    size_t numFullMaterializations() const
+    {
+        return full_materializations_;
+    }
+    /** Cache misses served by the band-incremental fast path. */
+    size_t numFastPathHits() const { return fast_path_hits_; }
+    /** Band-tier hits whose key masked a partition layout dim (hits the
+     * partition-sensitive keying would have missed; sharing caveat as
+     * numEstimateHits). */
+    size_t numBandMaskedHits() const { return band_masked_hits_; }
 
   private:
     DesignSpace &space_;
@@ -108,6 +166,20 @@ class DSEEngine
     size_t estimate_lookups_ = 0;
     size_t band_hits_ = 0;
     size_t band_lookups_ = 0;
+    size_t full_materializations_ = 0;
+    size_t fast_path_hits_ = 0;
+    size_t band_masked_hits_ = 0;
+    std::optional<ResourceBudget> finalize_budget_;
+    bool module_reused_ = false;
+    bool qor_verified_ = false;
+    QoRResult verified_qor_;
+    /** Exploration state kept alive across explore() so
+     * materializeEvaluated can reuse the retained module and the warm
+     * caches. */
+    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<EstimateCache> local_estimates_;
+    EstimateCache *estimates_in_use_ = nullptr;
+    std::unique_ptr<CachingEvaluator> evaluator_;
 };
 
 /** Convenience: run the full flow on a C-level module — returns the
@@ -125,6 +197,17 @@ struct DSEResult
     size_t estimateLookups = 0;
     size_t bandEstimateHits = 0;
     size_t bandEstimateLookups = 0;
+    /** Materialization-side stats: misses that paid the full pipeline
+     * vs. misses composed by the band-incremental fast path, and
+     * band-tier hits only the partition-aware keying could score. */
+    size_t fullMaterializations = 0;
+    size_t fastPathHits = 0;
+    size_t bandMaskedHits = 0;
+    /** True when the finalized module was the one retained during
+     * exploration (no re-materialization). */
+    bool moduleReused = false;
+    /** True when the finalized module re-estimated to the cached QoR. */
+    bool qorVerified = false;
     double seconds = 0;
 };
 std::optional<DSEResult> runDSE(Operation *module,

@@ -1,34 +1,142 @@
 #include "dse/evaluator.h"
 
+#include <unordered_map>
+
 #include "dse/pareto.h"
 
 namespace scalehls {
 
+std::optional<QoRResult>
+CachingEvaluator::evaluateScheduled(const DesignSpace::Partial &partial)
+{
+    if (!partial.eligible ||
+        partial.bandDigests.size() != partial.bandRoots.size())
+        return std::nullopt;
+
+    // Hold the looked-up entries by value (the sharded cache returns
+    // copies) and compose only when EVERY band hit.
+    std::vector<BandScheduleEntry> entries;
+    entries.reserve(partial.bandDigests.size());
+    for (const BandDigestInfo &digest : partial.bandDigests) {
+        auto entry = estimates_->lookupSchedule(digest.digest);
+        if (!entry)
+            return std::nullopt;
+        entries.push_back(std::move(*entry));
+    }
+
+    std::vector<ScheduledBand> bands;
+    bands.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i)
+        bands.push_back(
+            {&entries[i], &partial.bandDigests[i].externals});
+    return composeScheduledQoR(bands);
+}
+
+void
+CachingEvaluator::insertScheduleEntries(
+    const DesignSpace::Partial &partial, const QoREstimator &estimator)
+{
+    // The cleanup pipeline may have erased bands (e.g. emptied bodies);
+    // entries are only replayable when the phase-1 bands map 1:1 onto
+    // the final ones (cleanup never reorders or splits top-level loops).
+    auto final_bands = getLoopBands(partial.func);
+    if (final_bands.size() != partial.bandDigests.size())
+        return;
+    const auto &band_estimates = estimator.lastBandEstimates();
+    for (size_t i = 0; i < final_bands.size(); ++i) {
+        auto it = band_estimates.find(final_bands[i].front());
+        if (it == band_estimates.end())
+            continue; // Function-tier hit skipped the band walk.
+        auto entry = buildBandScheduleEntry(
+            final_bands[i].front(), it->second,
+            partial.bandDigests[i].externals);
+        if (entry)
+            estimates_->insertSchedule(partial.bandDigests[i].digest,
+                                       *entry);
+    }
+}
+
 QoRResult
-CachingEvaluator::evaluateFresh(const DesignSpace::Point &point)
+CachingEvaluator::evaluateFresh(const DesignSpace::Point &point,
+                                std::unique_ptr<Operation> *module_out)
 {
     materializations_.fetch_add(1, std::memory_order_relaxed);
+    const bool incremental =
+        options_.incremental && estimates_ && options_.bandCache;
+
     QoRResult result;
-    auto module = space_.materialize(point);
-    if (!module) {
-        result.latency = kInfeasibleQoR;
-        result.interval = kInfeasibleQoR;
-        result.feasible = false;
-    } else {
-        QoREstimator estimator(module.get(), pool_, estimates_,
-                               band_cache_);
-        result = estimator.estimateModule();
-        if (!result.feasible) {
+    auto finalize = [&](QoRResult qor) {
+        if (!qor.feasible) {
             // An infeasible estimate (unknown trip counts, recursive
             // call cycles) carries internal placeholder latencies — e.g.
             // the recursion guard's latency-1 stub — that must not leak
             // into frontier ranking or annealing costs as if they were
             // excellent designs. Force the sentinel.
-            result.latency = kInfeasibleQoR;
-            result.interval = kInfeasibleQoR;
+            qor.latency = kInfeasibleQoR;
+            qor.interval = kInfeasibleQoR;
+        }
+        return qor;
+    };
+
+    DesignSpace::Partial partial;
+    if (incremental) {
+        partial = space_.beginMaterialize(point);
+        if (partial.module) {
+            if (auto composed = evaluateScheduled(partial)) {
+                // Every band hit the schedule tier and validated: the
+                // composed QoR is bit-identical to what the skipped
+                // cleanup + partition + estimator walk would produce.
+                fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+                return finalize(*composed);
+            }
         }
     }
+
+    full_materializations_.fetch_add(1, std::memory_order_relaxed);
+    auto module = incremental ? space_.finishMaterialize(partial)
+                              : space_.materialize(point);
+    if (!module) {
+        result.latency = kInfeasibleQoR;
+        result.interval = kInfeasibleQoR;
+        result.feasible = false;
+        return result;
+    }
+
+    QoREstimator estimator(module.get(), pool_, estimates_,
+                           options_.bandCache,
+                           options_.partitionAwareKeys);
+    result = finalize(estimator.estimateModule());
+    if (incremental && partial.eligible)
+        insertScheduleEntries(partial, estimator);
+    if (module_out)
+        *module_out = std::move(module);
     return result;
+}
+
+void
+CachingEvaluator::maybeRetain(const DesignSpace::Point &point,
+                              const QoRResult &qor,
+                              std::unique_ptr<Operation> module)
+{
+    if (!retention_enabled_ || !module || !qor.feasible)
+        return;
+    if (retention_budget_ && !qor.fits(*retention_budget_))
+        return;
+    // Strictly-better latency wins; ties keep the earlier (batch input
+    // order) point, so the retained point is thread-count independent.
+    if (retained_module_ && retained_qor_.latency <= qor.latency)
+        return;
+    retained_module_ = std::move(module);
+    retained_point_ = point;
+    retained_qor_ = qor;
+}
+
+std::unique_ptr<Operation>
+CachingEvaluator::takeRetainedModule(const DesignSpace::Point &point)
+{
+    if (!retained_module_ || retained_point_ != point)
+        return nullptr;
+    return std::move(retained_module_);
 }
 
 QoRResult
@@ -38,7 +146,10 @@ CachingEvaluator::evaluate(const DesignSpace::Point &point)
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         return *cached;
     }
-    QoRResult result = evaluateFresh(point);
+    std::unique_ptr<Operation> module;
+    QoRResult result =
+        evaluateFresh(point, retention_enabled_ ? &module : nullptr);
+    maybeRetain(point, result, std::move(module));
     cache_.insert(point, result);
     return result;
 }
@@ -48,24 +159,36 @@ CachingEvaluator::evaluateBatch(const std::vector<DesignSpace::Point> &points)
 {
     std::vector<QoRResult> results(points.size());
 
-    // Resolve cache hits up front; only misses go to the pool. Duplicate
-    // points within one batch each materialize at most once: the first
-    // occurrence computes, later ones are either distinct batch slots
-    // (evaluated independently — callers dedup batches; see
-    // SearchContext::propose) or already-cached lookups.
+    // Resolve cache hits up front and dedup duplicate misses: identical
+    // points in one batch materialize ONCE (the first slot computes,
+    // later slots copy its result), so callers that cannot pre-dedup —
+    // e.g. annealing chains re-proposing a neighbor — do not pay a
+    // redundant materialization per duplicate slot.
     std::vector<size_t> misses;
+    std::unordered_map<DesignSpace::Point, size_t, OrdinalVectorHash>
+        first_miss;
+    std::vector<std::pair<size_t, size_t>> duplicates; // (slot, miss idx)
     for (size_t i = 0; i < points.size(); ++i) {
         if (auto cached = cache_.lookup(points[i])) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
             results[i] = *cached;
-        } else {
+            continue;
+        }
+        auto [it, inserted] =
+            first_miss.try_emplace(points[i], misses.size());
+        if (inserted) {
             misses.push_back(i);
+        } else {
+            duplicates.push_back({i, it->second});
+            batch_dedups_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
+    std::vector<std::unique_ptr<Operation>> modules(misses.size());
     auto evaluate_miss = [&](size_t mi) {
         size_t i = misses[mi];
-        results[i] = evaluateFresh(points[i]);
+        results[i] = evaluateFresh(
+            points[i], retention_enabled_ ? &modules[mi] : nullptr);
     };
     if (pool_ && pool_->size() > 1 && misses.size() > 1)
         pool_->parallelFor(misses.size(), evaluate_miss);
@@ -73,8 +196,15 @@ CachingEvaluator::evaluateBatch(const std::vector<DesignSpace::Point> &points)
         for (size_t mi = 0; mi < misses.size(); ++mi)
             evaluate_miss(mi);
 
-    for (size_t i : misses)
+    // Sequential merge in input order: retention decisions and cache
+    // publication stay deterministic at any thread count.
+    for (size_t mi = 0; mi < misses.size(); ++mi) {
+        size_t i = misses[mi];
+        maybeRetain(points[i], results[i], std::move(modules[mi]));
         cache_.insert(points[i], results[i]);
+    }
+    for (auto [slot, mi] : duplicates)
+        results[slot] = results[misses[mi]];
     return results;
 }
 

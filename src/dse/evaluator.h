@@ -47,10 +47,31 @@ class Evaluator
     evaluateBatch(const std::vector<DesignSpace::Point> &points) = 0;
 };
 
+/** Tuning knobs of the default evaluator. */
+struct EvaluatorOptions
+{
+    /** Band-level tier of the estimate cache. */
+    bool bandCache = true;
+    /** Partition-aware band keys: digest external memref layouts only
+     * along dims the band's estimate reads (see
+     * bandEstimateDigestInfo). */
+    bool partitionAwareKeys = true;
+    /** Band-incremental materialization: when every band of a point hits
+     * the schedule tier (and the cross-band partition validation
+     * passes), skip cleanup + array partition + the estimator walk and
+     * compose the QoR from the cached per-band entries. Requires an
+     * estimate cache with the band tier on; results are always
+     * bit-identical to the full path. */
+    bool incremental = true;
+};
+
 /** The default evaluator: materialize + estimate behind a sharded memo
  * cache, batches spread over @p pool (nullptr or a 1-wide pool runs
  * inline). The cache is keyed on the full point vector, so re-probing an
- * already-evaluated point is a lookup, not a re-materialization.
+ * already-evaluated point is a lookup, not a re-materialization; a miss
+ * first tries the band-incremental fast path (phase-1 transforms + the
+ * schedule tier of the estimate cache) before paying for a full
+ * materialization.
  *
  * An infeasible estimate (unknown trips, call cycles, failed analysis)
  * is returned carrying the kInfeasibleQoR latency/interval sentinel —
@@ -60,43 +81,95 @@ class Evaluator
  *
  * @p estimates (optional, not owned) is the cross-point estimate cache:
  * per-function results keyed by content digest, shared across every
- * worker (and potentially across evaluators). @p band_cache additionally
- * enables its band-level tier, so points differing only inside one band
- * of a function reuse the other bands' estimates. The pool is also
- * handed to each QoREstimator so multi-function points estimate their
- * callees concurrently (intra-point parallelism). */
+ * worker (and potentially across evaluators). The pool is also handed to
+ * each QoREstimator so multi-function points estimate their callees
+ * concurrently (intra-point parallelism). */
 class CachingEvaluator : public Evaluator
 {
   public:
     explicit CachingEvaluator(const DesignSpace &space,
                               ThreadPool *pool = nullptr,
                               EstimateCache *estimates = nullptr,
-                              bool band_cache = true)
+                              EvaluatorOptions options = {})
         : space_(space), pool_(pool), estimates_(estimates),
-          band_cache_(band_cache)
+          options_(options)
     {}
 
     QoRResult evaluate(const DesignSpace::Point &point) override;
     std::vector<QoRResult>
     evaluateBatch(const std::vector<DesignSpace::Point> &points) override;
 
-    /** Number of materialize+estimate runs (cache misses). */
+    /** Keep the module of the best slow-path evaluation seen so far
+     * (lowest-latency feasible point, optionally restricted to designs
+     * fitting @p budget — the finalize criterion), so the engine can
+     * hand the winning module back without re-materializing it.
+     * Retention decisions happen on the sequential result-merge path in
+     * batch input order, so the retained point is identical at any
+     * thread count. */
+    void
+    retainBestModule(std::optional<ResourceBudget> budget)
+    {
+        retention_enabled_ = true;
+        retention_budget_ = std::move(budget);
+    }
+    /** The retained module if it belongs to exactly @p point (ownership
+     * transfers); nullptr otherwise. */
+    std::unique_ptr<Operation> takeRetainedModule(
+        const DesignSpace::Point &point);
+
+    /** Number of uncached (memo-miss) evaluations. */
     size_t numMaterializations() const { return materializations_.load(); }
+    /** Uncached evaluations that ran the FULL pipeline (phase-2 cleanup
+     * + partition + estimator walk). */
+    size_t numFullMaterializations() const
+    {
+        return full_materializations_.load();
+    }
+    /** Uncached evaluations served by the band-incremental fast path
+     * (every band hit the schedule tier and validated). */
+    size_t numFastPathHits() const { return fast_path_hits_.load(); }
     /** Number of evaluations served from the cache. */
     size_t numCacheHits() const { return cache_hits_.load(); }
+    /** Duplicate in-batch slots served from their sibling's result. */
+    size_t numBatchDedups() const { return batch_dedups_.load(); }
 
   private:
-    /** Uncached materialize + estimate of one point. */
-    QoRResult evaluateFresh(const DesignSpace::Point &point);
+    /** Uncached materialize + estimate of one point. @p module_out
+     * (optional) receives the materialized module when the full pipeline
+     * ran (the fast path composes the QoR without one). */
+    QoRResult evaluateFresh(const DesignSpace::Point &point,
+                            std::unique_ptr<Operation> *module_out =
+                                nullptr);
+    /** The band-incremental fast path; nullopt -> run the full
+     * pipeline. */
+    std::optional<QoRResult> evaluateScheduled(
+        const DesignSpace::Partial &partial);
+    /** Publish the schedule-tier entries of a fully materialized,
+     * eligible point. */
+    void insertScheduleEntries(const DesignSpace::Partial &partial,
+                               const QoREstimator &estimator);
+    /** Retention hook; called only from sequential merge paths. */
+    void maybeRetain(const DesignSpace::Point &point,
+                     const QoRResult &qor,
+                     std::unique_ptr<Operation> module);
 
     const DesignSpace &space_;
     ThreadPool *pool_;
     EstimateCache *estimates_ = nullptr;
-    bool band_cache_ = true;
+    EvaluatorOptions options_;
     ConcurrentCache<DesignSpace::Point, QoRResult, OrdinalVectorHash>
         cache_;
     std::atomic<size_t> materializations_{0};
+    std::atomic<size_t> full_materializations_{0};
+    std::atomic<size_t> fast_path_hits_{0};
     std::atomic<size_t> cache_hits_{0};
+    std::atomic<size_t> batch_dedups_{0};
+
+    bool retention_enabled_ = false;
+    std::optional<ResourceBudget> retention_budget_;
+    std::unique_ptr<Operation> retained_module_;
+    DesignSpace::Point retained_point_;
+    QoRResult retained_qor_;
 };
 
 } // namespace scalehls

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/memory_analysis.h"
 #include "dialect/ops.h"
 
 namespace scalehls {
@@ -85,13 +86,27 @@ class TreeSerializer
         Band
     };
 
-    TreeSerializer(Digest128 &digest, Mode mode)
-        : digest_(digest), mode_(mode)
+    /** @p relevance (band mode with @p mask_partitions only): per-dim
+     * partition relevance of the band's accessed memrefs; external
+     * memref layouts are digested per dim and masked along irrelevant
+     * dims (see bandEstimateDigestInfo). */
+    TreeSerializer(Digest128 &digest, Mode mode,
+                   bool mask_partitions = false,
+                   const std::map<Value *, std::vector<bool>> *relevance =
+                       nullptr)
+        : digest_(digest), mode_(mode),
+          mask_partitions_(mask_partitions), relevance_(relevance)
     {}
 
     /** False when band mode found content the digest cannot determine
      * (always true in function mode). */
     bool cacheable() const { return cacheable_; }
+
+    /** True when a non-trivially partitioned layout dim was masked. */
+    bool partitionMasked() const { return partition_masked_; }
+
+    /** External values in first-reference (id) order. */
+    const std::vector<Value *> &externals() const { return externals_; }
 
     void
     serialize(Operation *op)
@@ -132,6 +147,48 @@ class TreeSerializer
   private:
     void define(const Value *value) { ids_.emplace(value, ids_.size()); }
 
+    /** Digest an external value's type. Partition-aware keying digests
+     * memrefs decomposed — shape, element, memory space, then the
+     * DECODED partition plan per dimension, masked to a fixed marker
+     * along dims the band's estimate provably never reads (the estimator
+     * consults layouts only through decodePartitionMap, so digesting the
+     * decoded plan is exactly as discriminating as the estimate is
+     * sensitive). Everything else keeps the full type string. */
+    void
+    feedExternalType(Value *value)
+    {
+        Type t = value->type();
+        if (!mask_partitions_ || !t.isMemRef()) {
+            digest_.feed(t.toString());
+            return;
+        }
+        digest_.feed("memref");
+        for (int64_t s : t.shape())
+            digest_.feed(std::to_string(s));
+        digest_.feed(t.elementType().toString());
+        digest_.feed(std::to_string(static_cast<int>(t.memorySpace())));
+        PartitionPlan plan = decodePartitionMap(t.layout(), t.shape());
+        const std::vector<bool> *mask = nullptr;
+        if (relevance_) {
+            auto it = relevance_->find(value);
+            if (it != relevance_->end() &&
+                it->second.size() == t.rank())
+                mask = &it->second;
+        }
+        for (unsigned d = 0; d < t.rank(); ++d) {
+            if (mask && (*mask)[d]) {
+                digest_.feed(
+                    std::to_string(static_cast<int>(plan.kinds[d])) +
+                    ":" + std::to_string(plan.factors[d]));
+            } else {
+                digest_.feed("*");
+                if (plan.kinds[d] != PartitionKind::None ||
+                    plan.factors[d] != 1)
+                    partition_masked_ = true;
+            }
+        }
+    }
+
     std::string
     refOf(Value *value)
     {
@@ -144,9 +201,10 @@ class TreeSerializer
         // and fold its type and definition summary into the digest.
         unsigned id = static_cast<unsigned>(ids_.size());
         ids_.emplace(value, id);
+        externals_.push_back(value);
         digest_.feed("ext");
         digest_.feed(std::to_string(id));
-        digest_.feed(value->type().toString());
+        feedExternalType(value);
         Operation *def = value->definingOp();
         if (!def) {
             digest_.feed("arg");
@@ -163,8 +221,12 @@ class TreeSerializer
 
     Digest128 &digest_;
     Mode mode_;
+    bool mask_partitions_ = false;
+    const std::map<Value *, std::vector<bool>> *relevance_ = nullptr;
     bool cacheable_ = true;
+    bool partition_masked_ = false;
     std::map<const Value *, unsigned> ids_;
+    std::vector<Value *> externals_;
 };
 
 /** Digest @p func, recursing into callees through @p out. @p on_path
@@ -215,16 +277,36 @@ addFuncEstimateDigests(Operation *func, Operation *module,
     digestFunc(func, module, out, on_path);
 }
 
-std::optional<std::string>
-bandEstimateDigest(Operation *band_root)
+std::optional<BandDigestInfo>
+bandEstimateDigestInfo(Operation *band_root, bool mask_partitions)
 {
     Digest128 digest;
-    digest.feed("band"); // Domain-separate from function digests.
-    TreeSerializer serializer(digest, TreeSerializer::Mode::Band);
+    // Domain-separate from function digests AND between the two keying
+    // schemes — masked and partition-sensitive keys must never alias
+    // when both feed one cache.
+    digest.feed(mask_partitions ? "band-masked" : "band");
+    std::map<Value *, std::vector<bool>> relevance;
+    if (mask_partitions)
+        relevance = partitionRelevantDims(band_root);
+    TreeSerializer serializer(digest, TreeSerializer::Mode::Band,
+                              mask_partitions, &relevance);
     serializer.serialize(band_root);
     if (!serializer.cacheable())
         return std::nullopt;
-    return digest.hex();
+    BandDigestInfo info;
+    info.digest = digest.hex();
+    info.partitionMasked = serializer.partitionMasked();
+    info.externals = serializer.externals();
+    return info;
+}
+
+std::optional<std::string>
+bandEstimateDigest(Operation *band_root, bool mask_partitions)
+{
+    auto info = bandEstimateDigestInfo(band_root, mask_partitions);
+    if (!info)
+        return std::nullopt;
+    return std::move(info->digest);
 }
 
 EstimateDigests

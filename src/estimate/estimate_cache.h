@@ -13,6 +13,7 @@
 #ifndef SCALEHLS_ESTIMATE_ESTIMATE_CACHE_H
 #define SCALEHLS_ESTIMATE_ESTIMATE_CACHE_H
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <string>
@@ -22,7 +23,7 @@
 
 namespace scalehls {
 
-/** Thread-safe two-tier estimate cache shared across concurrently
+/** Thread-safe three-tier estimate cache shared across concurrently
  * evaluating design points:
  *
  *  - the FUNCTION tier maps (function name, digest) keys to whole-
@@ -30,10 +31,18 @@ namespace scalehls {
  *  - the BAND tier maps band digests to BandEstimate values, so points
  *    that differ only inside one band of a function still reuse the
  *    estimates of every other band (the band digest is self-contained,
- *    so digest-identical bands share even across functions).
+ *    so digest-identical bands share even across functions);
+ *  - the SCHEDULE tier maps PHASE-1 band digests (the content right
+ *    after the per-band structural transforms, before cleanup and array
+ *    partition) to BandScheduleEntry values — the band-incremental
+ *    materialization fast path: a point whose bands all hit this tier
+ *    skips the function-wide cleanup, array partition AND the estimator
+ *    walk entirely (composeScheduledQoR re-validates the cross-band
+ *    partition coupling before trusting an entry).
  *
- * Both tiers are content-keyed: hits are value-identical to
- * recomputation at any thread count. */
+ * All tiers are content-keyed (the schedule tier additionally validated
+ * at use): hits are value-identical to recomputation at any thread
+ * count. */
 class EstimateCache
 {
   public:
@@ -60,12 +69,20 @@ class EstimateCache
         cache_.insert(key, result);
     }
 
-    /** @name Band tier */
+    /** @name Band tier
+     * @p partition_masked tags lookups whose digest masked away a
+     * non-trivially partitioned layout dim (bandEstimateDigestInfo): a
+     * hit under such a key is one the PR 3 partition-sensitive keying
+     * would have missed, counted separately in bandStats().maskedHits. */
     ///@{
     std::optional<BandEstimate>
-    lookupBand(const std::string &digest) const
+    lookupBand(const std::string &digest,
+               bool partition_masked = false) const
     {
-        return bands_.lookup(digest);
+        auto result = bands_.lookup(digest);
+        if (result && partition_masked)
+            masked_band_hits_.fetch_add(1, std::memory_order_relaxed);
+        return result;
     }
 
     void
@@ -74,6 +91,34 @@ class EstimateCache
         bands_.insert(digest, estimate);
     }
     ///@}
+
+    /** @name Schedule tier (incremental materialization) */
+    ///@{
+    std::optional<BandScheduleEntry>
+    lookupSchedule(const std::string &phase1_digest) const
+    {
+        return schedules_.lookup(phase1_digest);
+    }
+
+    void
+    insertSchedule(const std::string &phase1_digest,
+                   const BandScheduleEntry &entry)
+    {
+        schedules_.insert(phase1_digest, entry);
+    }
+    ///@}
+
+    /** Bound each tier to @p max_entries_per_tier entries (coarse FIFO
+     * eviction; see ConcurrentCache::setMaxEntries). 0 = unbounded (the
+     * default). Content-keyed tiers just recompute evicted values, so
+     * bounding changes memory, never results. Set before populating. */
+    void
+    setMaxEntries(size_t max_entries_per_tier)
+    {
+        cache_.setMaxEntries(max_entries_per_tier);
+        bands_.setMaxEntries(max_entries_per_tier);
+        schedules_.setMaxEntries(max_entries_per_tier);
+    }
 
     /** @name Statistics (delegated to the sharded tiers).
      * The unqualified accessors report the function tier (source
@@ -90,8 +135,21 @@ class EstimateCache
     size_t bandLookups() const { return bands_.lookups(); }
     double bandHitRate() const { return bands_.hitRate(); }
     size_t bandSize() const { return bands_.size(); }
+    size_t bandMaskedHits() const
+    {
+        return masked_band_hits_.load(std::memory_order_relaxed);
+    }
     CacheStats funcStats() const { return cache_.stats(); }
-    CacheStats bandStats() const { return bands_.stats(); }
+    CacheStats
+    bandStats() const
+    {
+        CacheStats stats = bands_.stats();
+        stats.maskedHits = bandMaskedHits();
+        return stats;
+    }
+    size_t scheduleHits() const { return schedules_.hits(); }
+    size_t scheduleLookups() const { return schedules_.lookups(); }
+    CacheStats scheduleStats() const { return schedules_.stats(); }
     ///@}
 
     void
@@ -99,11 +157,15 @@ class EstimateCache
     {
         cache_.clear();
         bands_.clear();
+        schedules_.clear();
+        masked_band_hits_.store(0, std::memory_order_relaxed);
     }
 
   private:
     ConcurrentCache<std::string, QoRResult> cache_;
     ConcurrentCache<std::string, BandEstimate> bands_;
+    ConcurrentCache<std::string, BandScheduleEntry> schedules_;
+    mutable std::atomic<size_t> masked_band_hits_{0};
 };
 
 } // namespace scalehls

@@ -422,13 +422,16 @@ QoREstimator::estimateBand(Operation *band_root, EstimateContext &ctx)
     if (it != ctx.bands.end())
         return it->second;
 
-    // Band tier of the shared cache: content-keyed by the band digest,
-    // so a hit is value-identical to the computation below.
+    // Band tier of the shared cache: content-keyed by the band digest
+    // (partition-aware by default — irrelevant layout dims masked), so a
+    // hit is value-identical to the computation below.
     std::string key;
     if (shared_ && band_cache_) {
-        if (auto digest = bandEstimateDigest(band_root)) {
-            key = *digest;
-            if (auto cached = shared_->lookupBand(key))
+        if (auto digest =
+                bandEstimateDigestInfo(band_root, masked_band_keys_)) {
+            key = digest->digest;
+            if (auto cached =
+                    shared_->lookupBand(key, digest->partitionMasked))
                 return ctx.bands.emplace(band_root, *cached)
                     .first->second;
         }
@@ -446,6 +449,38 @@ QoREstimator::estimateBand(Operation *band_root, EstimateContext &ctx)
     if (!key.empty())
         shared_->insertBand(key, band);
     return ctx.bands.emplace(band_root, std::move(band)).first->second;
+}
+
+void
+BandResourceMerge::add(const BandEstimate &band)
+{
+    usage_ += band.pipelinedCompute;
+    for (const auto &[kind, count] : band.sequentialOps)
+        rest_[kind] += count;
+    for (const auto &[kind, profile] : band.profiles)
+        profiles_.emplace(kind, profile);
+    loops_ += band.loops;
+    calls_ += band.calls;
+}
+
+ResourceUsage
+BandResourceMerge::finish(bool func_pipelined, int64_t target_ii) const
+{
+    ResourceUsage usage = usage_;
+    // Sequential ops share one instance per kind ACROSS bands (or
+    // ceil(count / targetII) instances under function pipelining).
+    for (const auto &[kind, count] : rest_) {
+        auto it = profiles_.find(kind);
+        const OpProfile profile =
+            it != profiles_.end() ? it->second : OpProfile{};
+        int64_t instances =
+            func_pipelined ? ceilDiv(count, target_ii) : 1;
+        usage.dsp += instances * profile.dsp;
+        usage.lut += instances * profile.lut;
+    }
+    // Control logic overheads.
+    usage.lut += 200 + 50 * loops_ + 100 * calls_;
+    return usage;
 }
 
 ResourceUsage
@@ -477,44 +512,21 @@ QoREstimator::funcResources(Operation *func, EstimateContext &ctx)
     // Compute resources, composed from per-band accounts (served from
     // the band cache when warm) plus a direct account of the non-band
     // glue ops, merged in body order so per-kind profile selection is
-    // deterministic. Pipelined contributions are final per band;
-    // sequential ops share one instance per kind ACROSS bands (or
-    // ceil(count / targetII) instances under function pipelining), so
-    // their counts merge here before sharing is applied.
-    std::map<std::string, int64_t> rest;
-    std::map<std::string, OpProfile> profiles;
-    int64_t loops = 0;
-    int64_t calls = 0;
-    auto merge = [&](const BandEstimate &part) {
-        usage += part.pipelinedCompute;
-        for (const auto &[kind, count] : part.sequentialOps)
-            rest[kind] += count;
-        for (const auto &[kind, profile] : part.profiles)
-            profiles.emplace(kind, profile);
-        loops += part.loops;
-        calls += part.calls;
-    };
+    // deterministic. The merge itself (pipelined contributions final per
+    // band, sequential ops shared across bands, control-logic overhead)
+    // lives in BandResourceMerge so the incremental fast path composes
+    // with the identical arithmetic.
+    BandResourceMerge merge;
     for (auto &op : funcBody(func)->ops()) {
         if (op->is(ops::AffineFor)) {
-            merge(estimateBand(op.get(), ctx));
+            merge.add(estimateBand(op.get(), ctx));
         } else {
             BandEstimate glue;
             accountCompute(op.get(), glue);
-            merge(glue);
+            merge.add(glue);
         }
     }
-
-    bool func_pipelined = fd.pipeline;
-    for (const auto &[kind, count] : rest) {
-        const OpProfile &profile = profiles[kind];
-        int64_t instances =
-            func_pipelined ? ceilDiv(count, fd.targetII) : 1;
-        usage.dsp += instances * profile.dsp;
-        usage.lut += instances * profile.lut;
-    }
-
-    // Control logic overheads.
-    usage.lut += 200 + 50 * loops + 100 * calls;
+    usage += merge.finish(fd.pipeline, fd.targetII);
 
     // Sub-function instances (one hardware module per call site).
     func->walk([&](Operation *op) {
@@ -693,6 +705,10 @@ QoREstimator::estimateFunc(Operation *func)
     ctx.active.insert(func);
     QoRResult result = estimateFuncImpl(func, ctx);
 
+    // Expose this run's band estimates (empty when the function tier hit
+    // — the walk that fills them was skipped entirely).
+    last_bands_ = std::move(ctx.bands);
+
     cache_.emplace(func, result);
     // Adopt the callee results completed along the way.
     for (const auto &[callee, callee_result] : ctx.memo)
@@ -706,6 +722,205 @@ QoREstimator::estimateModule()
     Operation *top = getTopFunc(module_);
     assert(top && "module has no functions");
     return estimateFunc(top);
+}
+
+namespace {
+
+PartitionPlan
+trivialPlan(unsigned rank)
+{
+    PartitionPlan plan;
+    plan.kinds.assign(rank, PartitionKind::None);
+    plan.factors.assign(rank, 1);
+    return plan;
+}
+
+/** What the slow path's applied-then-decoded plan looks like: trivial
+ * merges are never applied (the pristine layout — empty on fast-path
+ * workloads — decodes trivial), non-trivial ones round-trip through the
+ * layout-map codec, which e.g. renormalizes block factors. */
+PartitionPlan
+canonicalPlan(const PartitionPlan &plan, const std::vector<int64_t> &shape)
+{
+    return decodePartitionMap(buildPartitionMap(plan, shape), shape);
+}
+
+} // namespace
+
+std::optional<QoRResult>
+composeScheduledQoR(const std::vector<ScheduledBand> &bands)
+{
+    // Re-derive the function-wide partition plans from the entries'
+    // per-band contributions — the exact analyzeFunc/mergedPlans rule:
+    // bands in body order, strictly-greater factor wins a dim, the first
+    // writer keeps the kind on ties. The flat scope contributes nothing
+    // on fast-path-eligible functions (no accesses outside bands).
+    std::map<Value *, PartitionPlan> merged;
+    for (const ScheduledBand &band : bands) {
+        if (!band.entry || !band.externals)
+            return std::nullopt;
+        for (const auto &m : band.entry->memrefs) {
+            if (m.extId >= band.externals->size())
+                return std::nullopt;
+            Value *v = (*band.externals)[m.extId];
+            if (!v || !v->type().isMemRef())
+                return std::nullopt;
+            unsigned rank = v->type().rank();
+            if (m.relevant.size() != rank ||
+                m.contribution.factors.size() != rank ||
+                m.assumed.factors.size() != rank)
+                return std::nullopt;
+            auto [it, inserted] = merged.try_emplace(v, PartitionPlan());
+            PartitionPlan &plan = it->second;
+            if (inserted)
+                plan = trivialPlan(rank);
+            for (unsigned d = 0; d < rank; ++d) {
+                if (m.contribution.factors[d] > plan.factors[d]) {
+                    plan.factors[d] = m.contribution.factors[d];
+                    plan.kinds[d] = m.contribution.kinds[d];
+                }
+            }
+        }
+    }
+
+    // Validate: an entry's estimate transfers only if the layout it was
+    // computed under agrees with the would-be merged layout on every dim
+    // whose partitioning the band's estimate actually reads.
+    for (const ScheduledBand &band : bands) {
+        for (const auto &m : band.entry->memrefs) {
+            Value *v = (*band.externals)[m.extId];
+            PartitionPlan final_plan =
+                canonicalPlan(merged.at(v), v->type().shape());
+            for (unsigned d = 0; d < m.relevant.size(); ++d) {
+                if (!m.relevant[d])
+                    continue;
+                if (final_plan.kinds[d] != m.assumed.kinds[d] ||
+                    final_plan.factors[d] != m.assumed.factors[d])
+                    return std::nullopt;
+            }
+        }
+    }
+
+    // Replay estimateBlock over the function body: constants finish at
+    // cycle 0, so only the memory-dependence chain between bands (a
+    // write waits for all prior accesses of the memref; any access waits
+    // for the last prior write) schedules them.
+    int64_t max_finish = 0;
+    bool feasible = true;
+    std::map<Value *, int64_t> last_write;
+    std::map<Value *, std::vector<int64_t>> accesses;
+    for (const ScheduledBand &band : bands) {
+        int64_t start = 0;
+        for (const auto &m : band.entry->memrefs) {
+            if (!m.read && !m.write)
+                continue;
+            Value *v = (*band.externals)[m.extId];
+            if (auto it = last_write.find(v); it != last_write.end())
+                start = std::max(start, it->second);
+            if (m.write)
+                for (int64_t finish : accesses[v])
+                    start = std::max(start, finish);
+        }
+        int64_t latency = band.entry->estimate.latency;
+        if (!band.entry->estimate.feasible) {
+            // opLatency's infeasible marker: latency 1 in the schedule,
+            // feasibility propagated.
+            feasible = false;
+            latency = 1;
+        }
+        int64_t finish = start + latency;
+        max_finish = std::max(max_finish, finish);
+        for (const auto &m : band.entry->memrefs) {
+            if (!m.read && !m.write)
+                continue;
+            Value *v = (*band.externals)[m.extId];
+            accesses[v].push_back(finish);
+            if (m.write)
+                last_write[v] = finish;
+        }
+    }
+
+    QoRResult result;
+    result.latency = max_finish + 2;
+    result.interval = result.latency;
+    result.feasible = feasible;
+
+    // The operator-sharing merge — the identical arithmetic
+    // funcResources runs, minus the memory/callee terms an eligible
+    // function cannot have.
+    BandResourceMerge resources;
+    for (const ScheduledBand &band : bands)
+        resources.add(band.entry->estimate);
+    result.resources = resources.finish(false, 1);
+    return result;
+}
+
+std::optional<BandScheduleEntry>
+buildBandScheduleEntry(Operation *band_root, const BandEstimate &estimate,
+                       const std::vector<Value *> &externals)
+{
+    BandScheduleEntry entry;
+    entry.estimate = estimate;
+
+    // Touched memrefs exactly as estimateBlock's function-body walk sees
+    // them (read/write presence drives the dependence replay).
+    std::map<Value *, std::pair<bool, bool>> touched;
+    band_root->walk([&](Operation *op) {
+        if (!isMemoryAccess(op))
+            return;
+        auto &flags = touched[accessedMemRef(op)];
+        (isMemoryWrite(op) ? flags.second : flags.first) = true;
+    });
+
+    // This band's partition contribution, exactly as analyzeFunc
+    // computes it (computePartitionPlan reads subscripts and shape only,
+    // so running it post-partition reproduces the pre-partition plan).
+    auto nest = getLoopNest(band_root);
+    auto band_accesses = collectAccesses(band_root, bandIVs(nest));
+    std::map<Value *, PartitionPlan> contribution;
+    for (auto &[memref, group] : groupByMemRef(band_accesses))
+        contribution[memref] = computePartitionPlan(memref, group);
+
+    auto relevance = partitionRelevantDims(band_root);
+
+    std::set<Value *> memrefs;
+    for (const auto &[memref, flags] : touched)
+        memrefs.insert(memref);
+    for (const auto &[memref, plan] : contribution)
+        memrefs.insert(memref);
+
+    for (Value *memref : memrefs) {
+        if (!memref->type().isMemRef())
+            return std::nullopt;
+        auto position = std::find(externals.begin(), externals.end(),
+                                  memref);
+        if (position == externals.end())
+            return std::nullopt; // Not replayable from the phase-1 key.
+        unsigned rank = memref->type().rank();
+
+        BandScheduleEntry::MemrefInfo info;
+        info.extId =
+            static_cast<unsigned>(position - externals.begin());
+        if (auto it = touched.find(memref); it != touched.end()) {
+            info.read = it->second.first;
+            info.write = it->second.second;
+        }
+        if (auto it = relevance.find(memref);
+            it != relevance.end() && it->second.size() == rank)
+            info.relevant = it->second;
+        else
+            info.relevant.assign(rank, false);
+        if (auto it = contribution.find(memref);
+            it != contribution.end() &&
+            it->second.factors.size() == rank)
+            info.contribution = it->second;
+        else
+            info.contribution = trivialPlan(rank);
+        info.assumed = decodePartitionMap(memref->type().layout(),
+                                          memref->type().shape());
+        entry.memrefs.push_back(std::move(info));
+    }
+    return entry;
 }
 
 int64_t

@@ -63,18 +63,48 @@ EstimateDigests moduleEstimateDigests(Operation *module);
 std::vector<Operation *> collectDistinctCallees(Operation *func,
                                                 Operation *module);
 
+/** A band digest plus the context the incremental-materialization fast
+ * path needs to interpret cache entries keyed by it. */
+struct BandDigestInfo
+{
+    std::string digest;
+    /** True when at least one NON-TRIVIALLY partitioned layout dim was
+     * masked out of the digest — a hit under this key would have missed
+     * under the partition-sensitive (PR 3) keying. */
+    bool partitionMasked = false;
+    /** Every value defined outside the band, in serializer-id order:
+     * digest-equal bands assign identical ids, so an id recorded against
+     * one band instance resolves to the corresponding value of any
+     * other. */
+    std::vector<Value *> externals;
+};
+
 /** Canonical estimate digest of one top-level loop band: the band's op
  * tree (structure, directives, operand wiring, types) plus, for every
- * value defined OUTSIDE the band, its type (covering partition layouts)
- * and enough of its definition (constant value / alloc / argument) to
- * make the digest content-determined. Two bands with equal digests are
- * guaranteed to estimate identically, even across different functions.
+ * value defined OUTSIDE the band, its type and enough of its definition
+ * (constant value / alloc / argument) to make the digest
+ * content-determined. Two bands with equal digests are guaranteed to
+ * estimate identically, even across different functions.
+ *
+ * With @p mask_partitions set (the default), an external memref's layout
+ * is digested PER DIMENSION and only along dims the band's estimate can
+ * actually read (partitionRelevantDims): repartitioning an array along a
+ * dim the band never separates banks on — the typical effect of retuning
+ * a DIFFERENT band that shares the array — no longer changes this band's
+ * key, so its cached estimate survives. With it clear, the full type
+ * string (partition-sensitive, PR 3 behavior) is digested instead.
+ *
  * Returns nullopt when the band is not content-determined from the
  * serializer's point of view — it contains a func.call (the estimate
  * would depend on callee bodies) or references an external value with an
  * unrecognized defining op — in which case the band must not be shared
  * through the cache. */
-std::optional<std::string> bandEstimateDigest(Operation *band_root);
+std::optional<BandDigestInfo> bandEstimateDigestInfo(
+    Operation *band_root, bool mask_partitions = true);
+
+/** Digest-only convenience wrapper over bandEstimateDigestInfo. */
+std::optional<std::string> bandEstimateDigest(
+    Operation *band_root, bool mask_partitions = true);
 
 /** Self-contained estimate of one top-level loop band (the unit of the
  * band-level cache tier). Latency/interval/feasibility come from the
@@ -107,6 +137,54 @@ struct BandEstimate
     /** Loop / call counts feeding the control-logic LUT overhead. */
     int64_t loops = 0;
     int64_t calls = 0;
+};
+
+/** One band's cached phase-2 outcome for the band-incremental
+ * materialization fast path, keyed by the band's PHASE-1 digest (the
+ * content right after the per-band structural transforms, BEFORE the
+ * function-wide cleanup pipeline and array partition ran). The cleanup
+ * passes are band-local on fast-path-eligible functions, so the final
+ * (post-cleanup) band content — and with it this entry's estimate and
+ * partition contribution — is a pure function of the phase-1 digest. The
+ * one cross-band coupling, the globally merged array-partition plan, is
+ * captured by `assumed` and re-validated against the would-be merged
+ * plan at every use, so a replayed QoR is bit-identical to what the
+ * skipped slow path would have produced. */
+struct BandScheduleEntry
+{
+    /** The band's final estimate (as computed on the fully materialized
+     * module of the point that created this entry). */
+    BandEstimate estimate;
+
+    /** One record per memref the band's FINAL content accesses. */
+    struct MemrefInfo
+    {
+        /** The memref's id in the phase-1 digest's external-value
+         * numbering (resolved per point via BandDigestInfo::externals). */
+        unsigned extId = 0;
+        /** Whether the band reads / writes the memref — replays the
+         * function-level memory-dependence scheduling across bands. */
+        bool read = false;
+        bool write = false;
+        /** Per-dim partition relevance of the band's final content. */
+        std::vector<bool> relevant;
+        /** The band's own per-scope partition plan (its contribution to
+         * the function-wide max-factor merge). */
+        PartitionPlan contribution;
+        /** The final merged plan the estimate was computed under —
+         * compared on relevant dims only at replay time. */
+        PartitionPlan assumed;
+    };
+    std::vector<MemrefInfo> memrefs;
+};
+
+/** A band of the point under evaluation, resolved against its cached
+ * schedule entry: `externals` is the CURRENT materialization's id-to-
+ * value table (BandDigestInfo::externals of the phase-1 digest). */
+struct ScheduledBand
+{
+    const BandScheduleEntry *entry = nullptr;
+    const std::vector<Value *> *externals = nullptr;
 };
 
 /** Latency / throughput / resource estimate of a design. */
@@ -157,12 +235,15 @@ class QoREstimator
     /** @p pool (optional, not owned) fans callee estimation out;
      * @p shared (optional, not owned) is the cross-point cache.
      * @p band_cache additionally enables the band-level tier of
-     * @p shared (no effect without a shared cache). */
+     * @p shared (no effect without a shared cache); @p masked_band_keys
+     * selects partition-aware band keys (bandEstimateDigestInfo) over
+     * the partition-sensitive PR 3 keying. */
     explicit QoREstimator(Operation *module, ThreadPool *pool = nullptr,
                           EstimateCache *shared = nullptr,
-                          bool band_cache = true)
+                          bool band_cache = true,
+                          bool masked_band_keys = true)
         : module_(module), pool_(pool), shared_(shared),
-          band_cache_(band_cache)
+          band_cache_(band_cache), masked_band_keys_(masked_band_keys)
     {}
 
     QoREstimator(const QoREstimator &) = delete;
@@ -173,6 +254,14 @@ class QoREstimator
 
     /** Estimate the module's top function. */
     QoRResult estimateModule();
+
+    /** The per-band estimates of the most recent estimateFunc run, keyed
+     * by band root. The evaluator reads these to build schedule-tier
+     * entries without re-walking the IR or round-tripping the cache. */
+    const std::map<Operation *, BandEstimate> &lastBandEstimates() const
+    {
+        return last_bands_;
+    }
 
     /** Drop memoized function estimates and digests (the shared
      * EstimateCache itself is content-keyed and never needs
@@ -269,9 +358,59 @@ class QoREstimator
     ThreadPool *pool_ = nullptr;
     EstimateCache *shared_ = nullptr;
     bool band_cache_ = true;
+    bool masked_band_keys_ = true;
     EstimateDigests digests_;
     std::map<Operation *, QoRResult> cache_;
+    std::map<Operation *, BandEstimate> last_bands_;
 };
+
+/** The function-level half of the resource model, shared between
+ * funcResources (slow path) and composeScheduledQoR (fast path) so the
+ * cross-band operator-sharing merge cannot drift between them: pipelined
+ * contributions sum directly, sequential op counts merge per kind (with
+ * the first-seen profile, in band order) before instance sharing, and
+ * loop/call counts feed the control-logic LUT overhead. */
+class BandResourceMerge
+{
+  public:
+    /** Fold one band's (or glue scope's) account in; call in function
+     * body order so per-kind profile selection stays deterministic. */
+    void add(const BandEstimate &band);
+    /** The merged compute usage: shared sequential instances (one per
+     * kind, or ceil(count / target_ii) under function pipelining) plus
+     * the control-logic overhead. */
+    ResourceUsage finish(bool func_pipelined, int64_t target_ii) const;
+
+  private:
+    ResourceUsage usage_;
+    std::map<std::string, int64_t> rest_;
+    std::map<std::string, OpProfile> profiles_;
+    int64_t loops_ = 0;
+    int64_t calls_ = 0;
+};
+
+/** Compose the whole-function QoR of a fast-path point from its bands'
+ * cached schedule entries, replaying exactly what estimateFuncImpl does
+ * on a fast-path-eligible function (no callees, no allocs, no flat-scope
+ * accesses, sequential composition): the function-body dependence
+ * scheduling over band latencies and the operator-sharing resource
+ * merge. First re-derives the function-wide partition plans from the
+ * entries' contributions (the same max-factor merge applyArrayPartition
+ * would run) and validates every entry's `assumed` plan against them on
+ * partition-relevant dims; returns nullopt — caller falls back to the
+ * full slow path — when any entry fails validation or cannot be
+ * resolved. A returned QoR is bit-identical to the slow path's. */
+std::optional<QoRResult> composeScheduledQoR(
+    const std::vector<ScheduledBand> &bands);
+
+/** Build the schedule entry of @p band_root (a top-level band of a fully
+ * materialized, fast-path-eligible function) from its final estimate and
+ * the phase-1 external-value table @p externals. Returns nullopt when
+ * the band's accesses cannot be mapped back onto the phase-1 externals
+ * (the entry would not be replayable). */
+std::optional<BandScheduleEntry> buildBandScheduleEntry(
+    Operation *band_root, const BandEstimate &estimate,
+    const std::vector<Value *> &externals);
 
 /** Memory port pressure (min II imposed by bank conflicts) of the accesses
  * inside @p scope, normalized over @p band_ivs. Shared helper for the

@@ -1,6 +1,7 @@
 #include "ir/ir.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "support/utils.h"
 
@@ -299,24 +300,129 @@ Operation::collect(std::string_view name)
     return out;
 }
 
+/** The clone remap table: open-addressed, pointer-keyed, sized once to
+ * the cloned tree's value count. A std::unordered_map rehashes several
+ * times while a big module clone grows it and chases list nodes on every
+ * operand lookup; this table allocates once and probes linearly, which is
+ * what makes per-point module clones cheap on the DSE hot path. */
+class ValueRemap
+{
+  public:
+    explicit ValueRemap(size_t expected)
+    {
+        size_t cap = 16;
+        while (cap < expected * 2)
+            cap <<= 1;
+        slots_.assign(cap, {nullptr, nullptr});
+        mask_ = cap - 1;
+    }
+
+    void
+    set(Value *from, Value *to)
+    {
+        if ((size_ + 1) * 2 > slots_.size())
+            grow();
+        insertSlot(from, to);
+    }
+
+    Value *
+    get(Value *from) const
+    {
+        for (size_t i = hash(from) & mask_;; i = (i + 1) & mask_) {
+            const auto &slot = slots_[i];
+            if (!slot.first)
+                return nullptr;
+            if (slot.first == from)
+                return slot.second;
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &slot : slots_)
+            if (slot.first)
+                fn(slot.first, slot.second);
+    }
+
+  private:
+    static size_t
+    hash(const Value *v)
+    {
+        // Pointer bits are alignment-poor in the low bits; mix them.
+        auto x = reinterpret_cast<uintptr_t>(v);
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 29;
+        return static_cast<size_t>(x);
+    }
+
+    void
+    insertSlot(Value *from, Value *to)
+    {
+        for (size_t i = hash(from) & mask_;; i = (i + 1) & mask_) {
+            if (!slots_[i].first) {
+                slots_[i] = {from, to};
+                ++size_;
+                return;
+            }
+            if (slots_[i].first == from) {
+                slots_[i].second = to;
+                return;
+            }
+        }
+    }
+
+    void
+    grow()
+    {
+        auto old = std::move(slots_);
+        slots_.assign(old.size() * 2, {nullptr, nullptr});
+        mask_ = slots_.size() - 1;
+        size_ = 0;
+        for (const auto &slot : old)
+            if (slot.first)
+                insertSlot(slot.first, slot.second);
+    }
+
+    std::vector<std::pair<Value *, Value *>> slots_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
+
+size_t
+Operation::countValues() const
+{
+    size_t count = results_.size();
+    for (const auto &region : regions_)
+        for (const auto &block : region->blocks_) {
+            count += block->args_.size();
+            for (const auto &op : block->ops_)
+                count += op->countValues();
+        }
+    return count;
+}
+
 std::unique_ptr<Operation>
-Operation::clone(std::unordered_map<Value *, Value *> &mapping) const
+Operation::cloneImpl(ValueRemap &remap) const
 {
     std::vector<Type> result_types;
+    result_types.reserve(results_.size());
     for (auto &r : results_)
         result_types.push_back(r->type());
 
     std::vector<Value *> new_operands;
     new_operands.reserve(operands_.size());
     for (Value *v : operands_) {
-        auto it = mapping.find(v);
-        new_operands.push_back(it == mapping.end() ? v : it->second);
+        Value *mapped = v ? remap.get(v) : nullptr;
+        new_operands.push_back(mapped ? mapped : v);
     }
 
     auto cloned = create(name_, std::move(result_types),
                          std::move(new_operands), attrs_, 0);
     for (unsigned i = 0; i < numResults(); ++i)
-        mapping[results_[i].get()] = cloned->results_[i].get();
+        remap.set(results_[i].get(), cloned->results_[i].get());
 
     for (auto &region : regions_) {
         auto new_region = std::make_unique<Region>();
@@ -325,10 +431,10 @@ Operation::clone(std::unordered_map<Value *, Value *> &mapping) const
             Block *new_block = new_region->addBlock();
             for (auto &arg : block->args_) {
                 Value *new_arg = new_block->addArgument(arg->type());
-                mapping[arg.get()] = new_arg;
+                remap.set(arg.get(), new_arg);
             }
             for (auto &op : block->ops_)
-                new_block->pushBack(op->clone(mapping));
+                new_block->pushBack(op->cloneImpl(remap));
         }
         cloned->regions_.push_back(std::move(new_region));
     }
@@ -336,10 +442,21 @@ Operation::clone(std::unordered_map<Value *, Value *> &mapping) const
 }
 
 std::unique_ptr<Operation>
+Operation::clone(std::unordered_map<Value *, Value *> &mapping) const
+{
+    ValueRemap remap(mapping.size() + countValues());
+    for (const auto &[from, to] : mapping)
+        remap.set(from, to);
+    auto cloned = cloneImpl(remap);
+    remap.forEach([&](Value *from, Value *to) { mapping[from] = to; });
+    return cloned;
+}
+
+std::unique_ptr<Operation>
 Operation::clone() const
 {
-    std::unordered_map<Value *, Value *> mapping;
-    return clone(mapping);
+    ValueRemap remap(countValues());
+    return cloneImpl(remap);
 }
 
 //

@@ -32,6 +32,7 @@ namespace scalehls {
 class Operation;
 class Block;
 class Region;
+class ValueRemap;
 
 /** An SSA value: either the result of an Operation or a Block argument. */
 class Value
@@ -196,12 +197,21 @@ class Operation
      * into @p mapping. */
     std::unique_ptr<Operation> clone(
         std::unordered_map<Value *, Value *> &mapping) const;
-    /** Clone with a fresh empty mapping. */
+    /** Clone with a fresh empty mapping. Hot path of the DSE stack (one
+     * clone per materialized design point): the remap table is sized to
+     * the tree's value count up front, so cloning never rehashes. */
     std::unique_ptr<Operation> clone() const;
+
+    /** Number of values (op results + block arguments) defined inside
+     * this op's tree, i.e. the number of remap entries a clone records. */
+    size_t countValues() const;
 
   private:
     Operation() = default;
     friend class Block;
+
+    /** Shared clone core over the pre-sized remap table. */
+    std::unique_ptr<Operation> cloneImpl(ValueRemap &remap) const;
 
     std::string name_;
     std::vector<Value *> operands_;

@@ -10,8 +10,10 @@
 #ifndef SCALEHLS_SUPPORT_CONCURRENT_CACHE_H
 #define SCALEHLS_SUPPORT_CONCURRENT_CACHE_H
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -26,6 +28,11 @@ struct CacheStats
     size_t hits = 0;
     size_t misses = 0;
     size_t entries = 0;
+    /** Entries dropped by the max-entry bound (0 when unbounded). */
+    size_t evictions = 0;
+    /** Hits whose key masked away partition-layout dims the consumer
+     * never reads (band tier of the EstimateCache; 0 elsewhere). */
+    size_t maskedHits = 0;
 
     size_t lookups() const { return hits + misses; }
     double
@@ -80,13 +87,44 @@ class ConcurrentCache
 
     /** Insert unless present. Returns true when this call inserted; the
      * first writer wins, so concurrent duplicate computations converge on
-     * one canonical value. */
+     * one canonical value. When a max-entry bound is set, inserting past
+     * a shard's share evicts that shard's oldest entries (coarse FIFO):
+     * content-keyed consumers just recompute an evicted value, so
+     * eviction bounds memory without ever changing results. */
     bool
     insert(const Key &key, Value value)
     {
         Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);
-        return shard.map.emplace(key, std::move(value)).second;
+        bool inserted = shard.map.emplace(key, std::move(value)).second;
+        if (inserted && per_shard_cap_ != 0) {
+            shard.fifo.push_back(key);
+            // The cap governs TRACKED (post-bound) entries: entries
+            // inserted while the cache was unbounded are not in the
+            // FIFO and are never evicted, and must not make every new
+            // insert evict itself trying to get the map under cap.
+            while (shard.fifo.size() > per_shard_cap_) {
+                shard.map.erase(shard.fifo.front());
+                shard.fifo.pop_front();
+                evictions_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        return inserted;
+    }
+
+    /** Bound the total entry count (approximately: the bound is split
+     * evenly across shards, each evicting FIFO past its share). 0 (the
+     * default) keeps the cache unbounded — insertion-order bookkeeping is
+     * then skipped entirely. Set before the cache is populated; entries
+     * inserted while unbounded are never evicted. */
+    void
+    setMaxEntries(size_t max_entries)
+    {
+        per_shard_cap_ =
+            max_entries == 0
+                ? 0
+                : std::max<size_t>(1, (max_entries + NumShards - 1) /
+                                          NumShards);
     }
 
     size_t
@@ -106,9 +144,11 @@ class ConcurrentCache
         for (Shard &shard : shards_) {
             std::lock_guard<std::mutex> lock(shard.mutex);
             shard.map.clear();
+            shard.fifo.clear();
         }
         hits_.store(0, std::memory_order_relaxed);
         misses_.store(0, std::memory_order_relaxed);
+        evictions_.store(0, std::memory_order_relaxed);
     }
 
     /** @name Statistics
@@ -122,6 +162,10 @@ class ConcurrentCache
         return misses_.load(std::memory_order_relaxed);
     }
     size_t lookups() const { return hits() + misses(); }
+    size_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
     double
     hitRate() const
     {
@@ -132,7 +176,16 @@ class ConcurrentCache
     }
     /** Everything above in one snapshot (entry count takes the shard
      * locks; hit/miss counters are the same relaxed reads). */
-    CacheStats stats() const { return {hits(), misses(), size()}; }
+    CacheStats
+    stats() const
+    {
+        CacheStats s;
+        s.hits = hits();
+        s.misses = misses();
+        s.entries = size();
+        s.evictions = evictions();
+        return s;
+    }
     ///@}
 
   private:
@@ -140,6 +193,9 @@ class ConcurrentCache
     {
         mutable std::mutex mutex;
         std::unordered_map<Key, Value, Hash> map;
+        /** Insertion order for FIFO eviction; maintained only when a
+         * max-entry bound is active. */
+        std::deque<Key> fifo;
     };
 
     const Shard &
@@ -154,8 +210,10 @@ class ConcurrentCache
     }
 
     std::array<Shard, NumShards> shards_;
+    size_t per_shard_cap_ = 0; ///< 0 = unbounded.
     mutable std::atomic<size_t> hits_{0};
     mutable std::atomic<size_t> misses_{0};
+    std::atomic<size_t> evictions_{0};
 };
 
 } // namespace scalehls

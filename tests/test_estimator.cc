@@ -491,17 +491,78 @@ TEST(Estimator, BandDigestSharingAndSensitivity)
     EXPECT_EQ(*bandEstimateDigest(bands[2][0]), *d2);
 
     // Partitioning an interface array referenced by bands 0 and 2 (E is
-    // written by stage 0 and read by stage 2) changes their digests —
-    // the external value's memref layout is part of the band content —
-    // but not band 1's.
+    // written by stage 0 and read by stage 2). Every access of E inside
+    // those bands uses IDENTICAL subscripts, so no partition of E can
+    // ever separate (or collide) their banks: the default
+    // partition-aware keying masks E's layout out of both digests and
+    // the cached estimates survive the repartition — while the
+    // partition-sensitive (PR 3) keying still treats the layout as
+    // content and misses.
     Value *e_arg = funcBody(func)->argument(0);
+    auto d0_sensitive = bandEstimateDigest(bands[0][0], false);
+    auto d2_sensitive = bandEstimateDigest(bands[2][0], false);
+    ASSERT_TRUE(d0_sensitive && d2_sensitive);
     PartitionPlan plan;
     plan.kinds = {PartitionKind::Cyclic, PartitionKind::None};
     plan.factors = {2, 1};
     applyPartitionPlan(e_arg, plan);
-    EXPECT_NE(*bandEstimateDigest(bands[0][0]), *d0);
-    EXPECT_NE(*bandEstimateDigest(bands[2][0]), *d2);
+    EXPECT_EQ(*bandEstimateDigest(bands[0][0]), *d0);
+    EXPECT_EQ(*bandEstimateDigest(bands[2][0]), *d2);
     EXPECT_EQ(*bandEstimateDigest(bands[1][0]), *d1_pipelined);
+    EXPECT_NE(*bandEstimateDigest(bands[0][0], false), *d0_sensitive);
+    EXPECT_NE(*bandEstimateDigest(bands[2][0], false), *d2_sensitive);
+    // The masked digests flag that masking actually hid a layout.
+    auto info = bandEstimateDigestInfo(bands[0][0]);
+    ASSERT_TRUE(info);
+    EXPECT_TRUE(info->partitionMasked);
+}
+
+TEST(Estimator, PartitionMaskedDigestRelevantDims)
+{
+    // A band loading A[i] and A[i+1] CAN separate banks along A's only
+    // dim (known nonzero subscript distance), so that dim is relevant:
+    // repartitioning A must change even the partition-aware digest. B is
+    // stored through a single subscript — irrelevant — so repartitioning
+    // B must not.
+    auto module = createModule();
+    Type memref = Type::memref({16}, Type::f32());
+    Operation *func =
+        createFunc(module.get(), "shift", {memref, memref});
+    Block *body = funcBody(func);
+    Value *a = body->argument(0);
+    Value *b_arg = body->argument(1);
+    OpBuilder b(body, body->back());
+    AffineForOp loop = createAffineFor(b, 0, 15);
+    OpBuilder inner(loop.body());
+    Operation *x = createAffineLoad(inner, a, AffineMap::identity(1),
+                                    {loop.inductionVar()});
+    Operation *y = createAffineLoad(
+        inner, a, AffineMap::get(1, getAffineDimExpr(0) + 1),
+        {loop.inductionVar()});
+    Operation *sum = inner.create(std::string(ops::AddF), {Type::f32()},
+                                  {x->result(0), y->result(0)});
+    createAffineStore(inner, sum->result(0), b_arg,
+                      AffineMap::identity(1), {loop.inductionVar()});
+
+    Operation *band = getLoopBands(func)[0][0];
+    auto masks = partitionRelevantDims(band);
+    ASSERT_TRUE(masks.count(a));
+    ASSERT_TRUE(masks.count(b_arg));
+    EXPECT_TRUE(masks.at(a)[0]);
+    EXPECT_FALSE(masks.at(b_arg)[0]);
+
+    auto base = bandEstimateDigest(band);
+    ASSERT_TRUE(base);
+    PartitionPlan plan;
+    plan.kinds = {PartitionKind::Cyclic};
+    plan.factors = {2};
+    applyPartitionPlan(a, plan);
+    auto a_partitioned = bandEstimateDigest(band);
+    ASSERT_TRUE(a_partitioned);
+    EXPECT_NE(*a_partitioned, *base); // Relevant dim: digest tracks it.
+
+    applyPartitionPlan(b_arg, plan);
+    EXPECT_EQ(*bandEstimateDigest(band), *a_partitioned); // Masked.
 }
 
 TEST(Estimator, BandWithCallNotContentDetermined)

@@ -187,6 +187,70 @@ TEST(ConcurrentCache, StatsCountHitsAndMisses)
     EXPECT_EQ(cache.lookups(), 0u);
 }
 
+TEST(ConcurrentCache, MaxEntriesEvictsFifoPerShard)
+{
+    // One entry per shard (cap 16 over 16 shards): a second insert into
+    // any shard evicts that shard's oldest entry. Content-keyed users
+    // just recompute evicted values, so only memory changes.
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
+    cache.setMaxEntries(16);
+    for (int k = 0; k < 256; ++k)
+        cache.insert({k}, k);
+    EXPECT_LE(cache.size(), 16u);
+    EXPECT_EQ(cache.evictions(), 256u - cache.size());
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, cache.size());
+    EXPECT_EQ(stats.evictions, cache.evictions());
+
+    // Surviving entries are the NEWEST of each shard (FIFO evicts the
+    // oldest): re-inserting an evicted key succeeds (it is gone), and
+    // every key that is present still returns its original value.
+    size_t present = 0;
+    for (int k = 0; k < 256; ++k) {
+        if (auto hit = cache.lookup({k})) {
+            EXPECT_EQ(*hit, k);
+            ++present;
+        }
+    }
+    EXPECT_EQ(present, cache.size());
+
+    // Duplicate inserts do not grow the FIFO or evict.
+    cache.clear();
+    EXPECT_EQ(cache.evictions(), 0u);
+    for (int i = 0; i < 100; ++i)
+        cache.insert({1}, 1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ConcurrentCache, LateBoundNeverEvictsPreBoundEntries)
+{
+    // Entries inserted while unbounded are not FIFO-tracked; bounding
+    // afterwards must only govern NEW inserts — old entries survive,
+    // and a fresh insert must not evict itself trying to get the
+    // (untracked-inflated) map under cap.
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
+    for (int k = 0; k < 256; ++k)
+        cache.insert({k}, k);
+    cache.setMaxEntries(16);
+    for (int k = 256; k < 320; ++k) {
+        cache.insert({k}, k);
+        EXPECT_TRUE(cache.lookup({k}).has_value()) << k;
+    }
+    for (int k = 0; k < 256; ++k)
+        EXPECT_TRUE(cache.lookup({k}).has_value()) << k;
+}
+
+TEST(ConcurrentCache, UnboundedByDefault)
+{
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
+    for (int k = 0; k < 1000; ++k)
+        cache.insert({k}, k);
+    EXPECT_EQ(cache.size(), 1000u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.stats().maskedHits, 0u);
+}
+
 TEST(ConcurrentCache, StatsConsistentUnderContention)
 {
     ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;

@@ -5,11 +5,15 @@
 #   build-dir   where the bench binaries live (default: build)
 #   output-dir  where per-bench logs + results.json land
 #               (default: bench-results)
+#   BENCHES     (env) space-separated subset of benches to run
+#               (default: all)
 #
 # Every bench's stdout+stderr goes to <output-dir>/<bench>.txt; the JSON
 # index records exit codes and wall-clock seconds, plus any machine
-# readable "JSON {...}" lines the bench itself emitted (currently
-# bench_parallel_dse's per-thread-count scaling records).
+# readable "JSON {...}" lines the bench itself emitted. The performance
+# records CI tracks (points/sec, per-tier estimate-cache hit rates,
+# materializations per evaluated point) are additionally distilled into
+# <output-dir>/BENCH_pr4.json for artifact upload.
 
 set -u
 
@@ -17,8 +21,9 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 mkdir -p "$OUT_DIR"
 
-BENCHES=(bench_parallel_dse bench_estimator bench_fig6 bench_fig7 bench_fig8
-         bench_table3 bench_table4 bench_table5)
+DEFAULT_BENCHES="bench_parallel_dse bench_estimator bench_fig6 bench_fig7 \
+bench_fig8 bench_table3 bench_table4 bench_table5"
+read -r -a BENCHES <<< "${BENCHES:-$DEFAULT_BENCHES}"
 
 json="$OUT_DIR/results.json"
 printf '{\n  "benches": [\n' > "$json"
@@ -52,3 +57,29 @@ done
 
 printf '\n  ]\n}\n' >> "$json"
 echo "wrote $json"
+
+# Distill the PR 4 performance records (throughput, per-tier cache hit
+# rates, materializations per point) into one machine-readable file for
+# the CI artifact.
+pr4="$OUT_DIR/BENCH_pr4.json"
+collect() {
+    # collect <log> <bench-name-filter>
+    [ -f "$1" ] || return 0
+    grep '^JSON ' "$1" | sed 's/^JSON //' |
+        grep "\"bench\":\"$2\"" | paste -sd, -
+}
+dse_records=$(collect "$OUT_DIR/bench_parallel_dse.txt" "parallel_dse")
+est_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator")
+band_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_band_cache")
+mat_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_materialize")
+key_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_band_keys")
+{
+    printf '{\n'
+    printf '  "parallel_dse": [%s],\n' "${dse_records}"
+    printf '  "estimator_scaling": [%s],\n' "${est_records}"
+    printf '  "band_cache": [%s],\n' "${band_records}"
+    printf '  "incremental_materialize": [%s],\n' "${mat_records}"
+    printf '  "partition_aware_keys": [%s]\n' "${key_records}"
+    printf '}\n'
+} > "$pr4"
+echo "wrote $pr4"

@@ -58,7 +58,20 @@ usage()
            "                    cache: reuse per-band estimates between\n"
            "                    points differing only in another band\n"
            "                    (default 1; content-keyed, never changes\n"
-           "                    results)\n";
+           "                    results)\n"
+           "  -dse-partition-keys=<0|1>  partition-aware band keys:\n"
+           "                    mask layout dims a band's estimate never\n"
+           "                    reads out of its digest, so retuning one\n"
+           "                    band no longer invalidates the others'\n"
+           "                    cached estimates (default 1)\n"
+           "  -dse-incremental=<0|1>  band-incremental materialization:\n"
+           "                    points whose bands all hit the schedule\n"
+           "                    tier skip cleanup/partition/estimation\n"
+           "                    entirely (default 1; validated, results\n"
+           "                    bit-identical)\n"
+           "  -dse-cache-cap=<n>  max entries per estimate-cache tier\n"
+           "                    (coarse FIFO eviction; default 0 =\n"
+           "                    unbounded) so long sweeps stay bounded\n";
 }
 
 unsigned
@@ -150,6 +163,15 @@ main(int argc, char **argv)
         } else if (name == "-dse-band-cache") {
             dse_options.bandLevelCache =
                 parseUnsignedArg(name, value) != 0;
+        } else if (name == "-dse-partition-keys") {
+            dse_options.partitionAwareBandKeys =
+                parseUnsignedArg(name, value) != 0;
+        } else if (name == "-dse-incremental") {
+            dse_options.incrementalMaterialize =
+                parseUnsignedArg(name, value) != 0;
+        } else if (name == "-dse-cache-cap") {
+            dse_options.estimateCacheCap =
+                parseUnsignedArg(name, value);
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -221,34 +243,56 @@ main(int argc, char **argv)
         // both DSE modes (optimizeFunctions would otherwise create an
         // internal one).
         EstimateCache estimate_cache;
+        if (dse_options.estimateCacheCap != 0)
+            estimate_cache.setMaxEntries(dse_options.estimateCacheCap);
         if (dse_options.crossPointCache && (run_dse || run_dse_funcs))
             dse_options.sharedEstimates = &estimate_cache;
+        auto report_tier = [](const char *name, const CacheStats &tier) {
+            std::cerr << name << " " << tier.hits << " hits / "
+                      << tier.lookups() << " lookups ("
+                      << static_cast<int>(tier.hitRate() * 100) << "%), "
+                      << tier.entries << " entries";
+            if (tier.evictions != 0)
+                std::cerr << ", " << tier.evictions << " evicted";
+        };
         auto report_cache = [&] {
             if (!dse_options.sharedEstimates)
                 return;
-            CacheStats func_tier = estimate_cache.funcStats();
-            std::cerr << "estimate cache: func tier " << func_tier.hits
-                      << " hits / " << func_tier.lookups()
-                      << " lookups ("
-                      << static_cast<int>(func_tier.hitRate() * 100)
-                      << "%), " << func_tier.entries << " entries";
+            std::cerr << "estimate cache: ";
+            report_tier("func tier", estimate_cache.funcStats());
             if (dse_options.bandLevelCache) {
                 CacheStats band_tier = estimate_cache.bandStats();
-                std::cerr << "; band tier " << band_tier.hits
-                          << " hits / " << band_tier.lookups()
-                          << " lookups ("
-                          << static_cast<int>(band_tier.hitRate() * 100)
-                          << "%), " << band_tier.entries << " entries";
+                std::cerr << "; ";
+                report_tier("band tier", band_tier);
+                if (dse_options.partitionAwareBandKeys)
+                    std::cerr << " (" << band_tier.maskedHits
+                              << " partition-masked)";
+                if (dse_options.incrementalMaterialize) {
+                    std::cerr << "; ";
+                    report_tier("schedule tier",
+                                estimate_cache.scheduleStats());
+                }
             }
             std::cerr << "\n";
         };
 
-        if (run_dse && !compiler.optimize(xc7z020(), {}, dse_options)) {
-            std::cerr << "DSE found no feasible design\n";
-            return 1;
-        }
-        if (run_dse)
+        if (run_dse) {
+            auto result = compiler.optimize(xc7z020(), {}, dse_options);
+            if (!result) {
+                std::cerr << "DSE found no feasible design\n";
+                return 1;
+            }
+            std::cerr << "DSE materializations: "
+                      << result->fullMaterializations << " full, "
+                      << result->fastPathHits
+                      << " fast-path composed; finalized module "
+                      << (result->moduleReused ? "reused"
+                                               : "re-materialized")
+                      << ", QoR "
+                      << (result->qorVerified ? "verified" : "MISMATCH")
+                      << "\n";
             report_cache();
+        }
         if (run_dse_funcs) {
             auto results =
                 compiler.optimizeFunctions(xc7z020(), {}, dse_options);
