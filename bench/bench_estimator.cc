@@ -27,6 +27,7 @@
 #include "dse/design_space.h"
 #include "dse/evaluator.h"
 #include "estimate/estimate_cache.h"
+#include "model/dnn_dse.h"
 #include "model/graph_builder.h"
 #include "model/lower_graph.h"
 
@@ -466,14 +467,149 @@ runPartitionKeySection(const std::vector<unsigned> &configs, bool smoke)
     return ok;
 }
 
+/** DNN per-kernel fast-path sweep: the flagship workload class. Each
+ * model is lowered at graph level 4 (multi-layer dataflow stages whose
+ * intermediate feature maps are LOCAL allocs in the init / accumulate /
+ * consume chain pattern) and its first kernels swept over an II
+ * cross-product of their first two bands, border points first. Hard
+ * checks per model and thread count: the fast path engages
+ * (fastPathHits > 0), full materializations per evaluated point stay
+ * strictly below 1.0, and every configuration is bit-identical to the
+ * sequential uncached reference — the acceptance pin CI's dnn-bench job
+ * enforces. */
+bool
+runDNNSection(const std::vector<unsigned> &configs, bool smoke)
+{
+    std::printf("=== DNN per-kernel fast path (alloc-carrying dataflow "
+                "stages, graph level 4) ===\n\n");
+
+    struct ModelSpec
+    {
+        const char *model;
+        size_t kernels;
+    };
+    std::vector<ModelSpec> specs;
+    if (smoke)
+        specs = {{"resnet18", 1}};
+    else
+        specs = {{"resnet18", 4}, {"mobilenet", 4}};
+
+    bool ok = true;
+    for (const ModelSpec &spec : specs) {
+        auto kernels = buildDNNKernelModules(spec.model, 4, spec.kernels);
+        if (kernels.empty()) {
+            std::printf("UNEXPECTED: no DSE kernels extracted from %s\n",
+                        spec.model);
+            return false;
+        }
+
+        // Per-kernel sweeps: the II cross-product of the first two
+        // bands, border points (first appearance of each band variant)
+        // before interior points (combinations composed entirely from
+        // cached entries).
+        const int dials = smoke ? 2 : 3;
+        std::vector<std::unique_ptr<DesignSpace>> spaces;
+        std::vector<std::vector<DesignSpace::Point>> borders;
+        std::vector<std::vector<DesignSpace::Point>> interiors;
+        std::vector<std::vector<QoRResult>> references;
+        size_t total_points = 0;
+        for (DNNKernel &kernel : kernels) {
+            spaces.push_back(
+                std::make_unique<DesignSpace>(kernel.module.get()));
+            DesignSpace &space = *spaces.back();
+            std::vector<DesignSpace::Point> border;
+            std::vector<DesignSpace::Point> interior;
+            DesignSpace::Point zero(space.numDims(), 0);
+            for (int a = 0; a < dials; ++a) {
+                for (int b = 0; b < dials; ++b) {
+                    DesignSpace::Point p = zero;
+                    p[space.dimTargetII(0)] = a;
+                    if (space.numBands() > 1)
+                        p[space.dimTargetII(1)] = b;
+                    else if (b > 0)
+                        continue;
+                    (a == 0 || b == 0 ? border : interior)
+                        .push_back(std::move(p));
+                }
+            }
+            std::vector<DesignSpace::Point> all = border;
+            all.insert(all.end(), interior.begin(), interior.end());
+            total_points += all.size();
+            CachingEvaluator reference(space);
+            references.push_back(reference.evaluateBatch(all));
+            borders.push_back(std::move(border));
+            interiors.push_back(std::move(interior));
+            std::printf("%-24s bands=%zu local-allocs=%zu points=%zu\n",
+                        kernel.name.c_str(), kernel.numBands,
+                        kernel.numAllocs, all.size());
+        }
+        std::printf("\n%-10s %-14s %-14s %-12s %-12s %s\n", "Threads",
+                    "FullMat", "FastPath", "Mat/Point", "Pts/s",
+                    "Identical");
+
+        for (unsigned threads : configs) {
+            ThreadPool pool(threads);
+            // One estimate cache spans the model's kernels: repeated
+            // stages (mobilenet's identical separable units) share
+            // schedule entries ACROSS kernels, exactly like
+            // optimizeFunctions' shared cache.
+            EstimateCache cache;
+            bool matches = true;
+            size_t full = 0;
+            size_t fast = 0;
+            auto start = std::chrono::steady_clock::now();
+            for (size_t k = 0; k < spaces.size(); ++k) {
+                CachingEvaluator evaluator(*spaces[k], &pool, &cache);
+                auto results = evaluator.evaluateBatch(borders[k]);
+                auto rest = evaluator.evaluateBatch(interiors[k]);
+                results.insert(results.end(), rest.begin(), rest.end());
+                for (size_t i = 0; i < results.size(); ++i)
+                    matches &= identical(results[i], references[k][i]);
+                full += evaluator.numFullMaterializations();
+                fast += evaluator.numFastPathHits();
+            }
+            double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            double per_point = static_cast<double>(full) /
+                               static_cast<double>(total_points);
+            double rate = total_points / seconds;
+            bool structural =
+                matches && fast > 0 && per_point < 1.0;
+            ok &= structural;
+            std::printf("%-10u %-14zu %-14zu %-12.3f %-12.1f %s\n",
+                        threads, full, fast, per_point, rate,
+                        structural ? "yes" : "NO (BUG)");
+            std::printf(
+                "JSON {\"bench\":\"estimator_dnn\",\"design\":\"%s-g4\","
+                "\"threads\":%u,\"kernels\":%zu,\"points\":%zu,"
+                "\"full_materializations\":%zu,\"fast_path_hits\":%zu,"
+                "\"fast_path_hit_rate\":%.3f,"
+                "\"materializations_per_point\":%.3f,"
+                "\"points_per_second\":%.1f,\"identical\":%s}\n",
+                spec.model, threads, spaces.size(), total_points, full,
+                fast,
+                static_cast<double>(fast) /
+                    static_cast<double>(total_points),
+                per_point, rate, matches ? "true" : "false");
+        }
+        std::printf("\n");
+    }
+    return ok;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    bool dnn_only = false;
+    for (int i = 1; i < argc; ++i) {
         smoke |= std::strcmp(argv[i], "--smoke") == 0;
+        dnn_only |= std::strcmp(argv[i], "--dnn") == 0;
+    }
 
     unsigned hw = defaultThreadCount();
     std::printf("=== Estimator scaling (intra-point parallel estimation "
@@ -484,15 +620,20 @@ main(int argc, char **argv)
     if (hw > 4 && !smoke)
         configs.push_back(hw);
 
-    bool ok = runScalingSection(configs, smoke);
-    ok &= runBandCacheSection(configs);
-    ok &= runMaterializationSection(configs, smoke);
-    ok &= runPartitionKeySection(configs, smoke);
+    bool ok = true;
+    if (!dnn_only) {
+        ok &= runScalingSection(configs, smoke);
+        ok &= runBandCacheSection(configs);
+        ok &= runMaterializationSection(configs, smoke);
+        ok &= runPartitionKeySection(configs, smoke);
+    }
+    ok &= runDNNSection(configs, smoke);
 
     if (!ok) {
         std::printf("SELF-CHECK FAILED: parallel/cached estimation "
-                    "diverged from the sequential path or the band tier "
-                    "underperformed the function-only configuration\n");
+                    "diverged from the sequential path, a cache tier "
+                    "underperformed its baseline, or the DNN fast path "
+                    "failed to engage\n");
         return 1;
     }
     return 0;

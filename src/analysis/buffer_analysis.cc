@@ -1,0 +1,127 @@
+#include "analysis/buffer_analysis.h"
+
+#include <algorithm>
+#include <map>
+
+namespace scalehls {
+
+const OwnedBuffer *
+AllocOwnershipInfo::find(const Value *memref) const
+{
+    for (const OwnedBuffer &buffer : buffers)
+        if (buffer.memref == memref)
+            return &buffer;
+    return nullptr;
+}
+
+bool
+AllocOwnershipInfo::eligible(bool dataflow_top) const
+{
+    if (!allOwned)
+        return false;
+    if (!dataflow_top)
+        return true;
+    for (const OwnedBuffer &buffer : buffers)
+        if (buffer.ownership == BufferOwnership::SharedChain)
+            return false;
+    return true;
+}
+
+std::string
+AllocOwnershipInfo::digestNote(const Value *memref) const
+{
+    const OwnedBuffer *buffer = find(memref);
+    if (!buffer)
+        return {};
+    return buffer->kept ? "kept" : "dead";
+}
+
+namespace {
+
+/** The index of the band containing @p op (-1 when outside every
+ * band). */
+int
+enclosingBand(const Operation *op,
+              const std::vector<Operation *> &band_roots)
+{
+    for (size_t b = 0; b < band_roots.size(); ++b)
+        if (band_roots[b] == op || band_roots[b]->isAncestorOf(op))
+            return static_cast<int>(b);
+    return -1;
+}
+
+OwnedBuffer
+classify(Operation *alloc, const std::vector<Operation *> &band_roots)
+{
+    OwnedBuffer buffer;
+    buffer.alloc = alloc;
+    buffer.memref = alloc->result(0);
+
+    // Per-band load/store presence. Any user that is not a plain
+    // load/store of the buffer inside some band — a call or copy taking
+    // the memref, the memref stored as a value, a flat-scope access —
+    // escapes band-local reasoning.
+    std::map<int, std::pair<bool, bool>> per_band; // band -> (load, store)
+    bool any_load = false;
+    for (Operation *user : buffer.memref->users()) {
+        bool plain_access = isMemoryAccess(user) &&
+                            accessedMemRef(user) == buffer.memref;
+        if (plain_access && isMemoryWrite(user) &&
+            user->operand(0) == buffer.memref)
+            plain_access = false; // The memref itself is the stored value.
+        int band = enclosingBand(user, band_roots);
+        if (!plain_access || band < 0) {
+            buffer.ownership = BufferOwnership::Escaping;
+            return buffer;
+        }
+        auto &flags = per_band[band];
+        if (isMemoryWrite(user))
+            flags.second = true;
+        else
+            flags.first = any_load = true;
+    }
+
+    for (const auto &[band, flags] : per_band)
+        buffer.bands.push_back(band);
+    buffer.writeOnly = !any_load && !per_band.empty();
+    buffer.kept = any_load;
+
+    if (per_band.empty()) {
+        buffer.ownership = BufferOwnership::Dead;
+        return buffer;
+    }
+    if (per_band.size() == 1) {
+        buffer.ownership = BufferOwnership::BandLocal;
+        buffer.owner = buffer.bands.front();
+        return buffer;
+    }
+    if (per_band.size() == 2) {
+        const auto &producer = per_band.begin()->second;
+        const auto &consumer = std::next(per_band.begin())->second;
+        if (!producer.first && producer.second && consumer.first) {
+            buffer.ownership = BufferOwnership::DataflowEdge;
+            buffer.owner = buffer.bands[0];
+            buffer.consumer = buffer.bands[1];
+            return buffer;
+        }
+    }
+    buffer.ownership = BufferOwnership::SharedChain;
+    return buffer;
+}
+
+} // namespace
+
+AllocOwnershipInfo
+bandLocalAllocs(Operation *func,
+                const std::vector<Operation *> &band_roots)
+{
+    AllocOwnershipInfo info;
+    for (Operation *alloc : func->collect(ops::Alloc)) {
+        info.buffers.push_back(classify(alloc, band_roots));
+        info.allOwned &=
+            info.buffers.back().ownership != BufferOwnership::Escaping;
+    }
+    return info;
+}
+
+} // namespace scalehls

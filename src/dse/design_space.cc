@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
 #include <sstream>
 
+#include "analysis/buffer_analysis.h"
 #include "analysis/memory_analysis.h"
 #include "support/utils.h"
 
@@ -192,56 +194,90 @@ DesignSpace::beginMaterialize(const Point &point) const
 
     partial.module = std::move(module);
     partial.func = func;
-    partial.eligible = fastPathEligible(partial);
-    if (partial.eligible) {
+    partial.dataflowTop = getFuncDirective(func).dataflow;
+    partial.funcEligible = fastPathEligible(partial);
+    if (partial.funcEligible) {
+        partial.eligible = true;
         for (Operation *root : partial.bandRoots) {
             // Partition-sensitive keys: phase-1 layouts are the pristine
             // module's (trivial on DSE inputs), so masking could not
             // hide anything — but it would pay a per-point relevance
             // analysis. Sensitive keys are strictly more discriminating,
-            // which only ever costs hits, never soundness.
+            // which only ever costs hits, never soundness. Ownership
+            // notes make the key distinguish bands whose local buffers
+            // survive cleanup from bands whose buffers are erased.
             auto digest = bandEstimateDigestInfo(
-                root, /*mask_partitions=*/false);
-            if (!digest) {
-                partial.eligible = false;
-                partial.bandDigests.clear();
-                break;
-            }
-            partial.bandDigests.push_back(std::move(*digest));
+                root, /*mask_partitions=*/false, &partial.ownership);
+            // A nullopt digest (call-containing band, unrecognized
+            // external) masks only THIS band out of the schedule tier;
+            // its siblings still populate it. The whole-point fast path
+            // needs every band digested.
+            partial.eligible &= digest.has_value();
+            partial.bandDigests.push_back(std::move(digest));
         }
     }
     return partial;
 }
 
 bool
-DesignSpace::fastPathEligible(const Partial &partial)
+DesignSpace::fastPathEligible(Partial &partial) const
 {
-    // The fast path replays estimateFuncImpl's SEQUENTIAL composition
-    // and skips the memory/callee resource terms, and its soundness
-    // argument needs every cleanup pass to be band-local. That holds
-    // exactly when: the top function carries no pipeline/dataflow
-    // directive; the function body is bands + constants + return only
-    // (no flat-scope accesses or control flow — constants are
-    // latency-free and excluded from the compute account, so flat-scope
-    // cleanup cannot move the QoR); and no alloc (removeWriteOnlyBuffers
-    // is the one cross-band cleanup, and function-level memory
-    // accounting reads alloc types) or call (callee latency/resource
-    // instances) exists anywhere in the function.
+    // The fast path replays estimateFuncImpl's function-level
+    // composition (sequential dependence scheduling, or the dataflow
+    // stage overlap) and the memory account of OWNED local buffers, and
+    // its soundness argument needs every cleanup pass to be band-local.
+    // That holds exactly when: the top function carries no pipeline
+    // directive (a dataflow top is allowed — its composition is
+    // replayed — unless disabled for A/B comparison); the function body
+    // is bands + constants + allocs + return only (no flat-scope
+    // accesses, calls or control flow — constants are latency-free and
+    // excluded from the compute account, so flat-scope cleanup cannot
+    // move the QoR); and every alloc is OWNED (bandLocalAllocs): its
+    // users are plain loads/stores confined to bands, so the one
+    // cross-band cleanup — removeWriteOnlyBuffers — reduces to the
+    // per-buffer kept/dead verdict the ownership notes fold into each
+    // phase-1 band digest, and the function-level memory accounting can
+    // be replayed from the kept survivors. Calls anywhere would add
+    // callee latency/resource instances the composition does not model;
+    // flat-scope calls fail the body whitelist and in-band calls make
+    // their band undigestable (per-band mask).
     FuncDirective fd = getFuncDirective(partial.func);
-    if (fd.pipeline || fd.dataflow)
+    if (fd.pipeline)
+        return false;
+    if (fd.dataflow && !options_.dataflowFastPath)
         return false;
     for (auto &op : funcBody(partial.func)->ops()) {
         if (op->is(ops::AffineFor) || op->is(ops::Constant) ||
-            op->is(ops::Return))
+            op->is(ops::Alloc) || op->is(ops::Return))
             continue;
         return false;
     }
-    bool clean = true;
-    partial.func->walk([&](Operation *op) {
-        if (op->is(ops::Alloc) || op->is(ops::Call))
-            clean = false;
-    });
-    return clean;
+    partial.ownership =
+        bandLocalAllocs(partial.func, partial.bandRoots);
+    return partial.ownership.eligible(partial.dataflowTop);
+}
+
+bool
+DesignSpace::finalOwnershipMatches(const Partial &partial)
+{
+    // Cleanup never creates allocs, so every surviving alloc is one of
+    // the phase-1 ops (pointer identity holds for live ops). The
+    // prediction held iff the survivors are exactly the kept set: a
+    // kept buffer whose reads cleanup dissolved (erasing the alloc and
+    // its stores with it), or a dead buffer that somehow survived,
+    // falsifies the ownership notes baked into the phase-1 digests.
+    std::set<const Operation *> predicted;
+    for (const OwnedBuffer &buffer : partial.ownership.buffers)
+        if (buffer.kept)
+            predicted.insert(buffer.alloc);
+    std::vector<Operation *> final_allocs =
+        partial.func->collect(ops::Alloc);
+    if (final_allocs.size() != predicted.size())
+        return false;
+    for (const Operation *alloc : final_allocs)
+        if (!predicted.count(alloc))
+            return false;
+    return true;
 }
 
 std::unique_ptr<Operation>

@@ -25,6 +25,12 @@ struct DesignSpaceOptions
     int64_t maxTileSize = 64;      ///< Per-loop tile (unroll) cap.
     int64_t maxTotalUnroll = 512;  ///< Cap on the tile-size product PER BAND.
     int64_t maxII = 64;            ///< Largest candidate target II.
+    /** Band-incremental fast path on dataflow-top functions: replay the
+     * stage-overlap composition (interval = slowest stage, double-
+     * buffered channel memory) from cached per-band entries. Validated
+     * and bit-identical like the sequential fast path; off restricts the
+     * fast path to sequential tops (A/B comparison). */
+    bool dataflowFastPath = true;
 };
 
 /** The tunable design space of a kernel function with one or more
@@ -147,20 +153,41 @@ class DesignSpace
         Operation *func = nullptr;
         /** Top-level band roots of func, body order. */
         std::vector<Operation *> bandRoots;
-        /** True when the fast path may engage: sequential non-dataflow
-         * top function, body ops limited to bands/constants/return, no
-         * allocs or calls anywhere, every band digestable. Those are
-         * exactly the conditions under which the cleanup pipeline is
-         * band-local and the composed QoR replays the estimator
-         * bit-identically. */
+        /** Function-level fast-path preconditions hold: a sequential or
+         * dataflow (not pipelined) top whose body is bands, constants,
+         * allocs and the return only, with every local buffer owned
+         * (bandLocalAllocs) — exactly the conditions under which the
+         * cleanup pipeline is band-local, so per-band schedule entries
+         * keyed by phase-1 digests are publishable even when some bands
+         * are individually ineligible. */
+        bool funcEligible = false;
+        /** funcEligible AND every band digested: the whole-point fast
+         * path (composeScheduledQoR) may engage. */
         bool eligible = false;
-        /** Per-band phase-1 digests (filled only when eligible). */
-        std::vector<BandDigestInfo> bandDigests;
+        /** The function carries the dataflow directive (stage-overlap
+         * composition, double-buffered channels). */
+        bool dataflowTop = false;
+        /** Per-band phase-1 digests, aligned with bandRoots (filled when
+         * funcEligible): the per-band eligibility mask — a nullopt band
+         * (e.g. one containing a call) neither populates nor consumes
+         * the schedule tier, but its digestable siblings still do. */
+        std::vector<std::optional<BandDigestInfo>> bandDigests;
+        /** Ownership of the function's local buffers (valid when
+         * funcEligible). */
+        AllocOwnershipInfo ownership;
     };
     Partial beginMaterialize(const Point &point) const;
     /** Phase 2: function-wide cleanup + array partition, in place;
      * returns the finished module (nullptr when phase 1 failed). */
     std::unique_ptr<Operation> finishMaterialize(Partial &partial) const;
+
+    /** True when phase 2 preserved the phase-1 ownership prediction: the
+     * surviving allocs of the (finished) function are exactly the
+     * buffers the analysis predicted kept. Publishing schedule entries
+     * from a point whose cleanup diverged from the prediction would key
+     * band content the phase-1 digest does not determine; callers must
+     * check this before insertSchedule. */
+    static bool finalOwnershipMatches(const Partial &partial);
 
     /** Per-memref partition factors of a materialized design, formatted
      * like Table III ("A:[8, 16]"). */
@@ -179,8 +206,9 @@ class DesignSpace
     /** The deepest band (ties resolved to the first). */
     size_t primaryBandIndex() const;
 
-    /** The fast-path eligibility rule (see beginMaterialize). */
-    static bool fastPathEligible(const Partial &partial);
+    /** The function-level fast-path eligibility rule (see Partial);
+     * fills partial.ownership as a side effect. */
+    bool fastPathEligible(Partial &partial) const;
 
     std::unique_ptr<Operation> pristine_;
     DesignSpaceOptions options_;

@@ -32,6 +32,10 @@ DSEEngine::explore()
     size_t band_lookups_before =
         estimates ? estimates->bandLookups() : 0;
     size_t masked_before = estimates ? estimates->bandMaskedHits() : 0;
+    size_t schedule_hits_before =
+        estimates ? estimates->scheduleHits() : 0;
+    size_t schedule_lookups_before =
+        estimates ? estimates->scheduleLookups() : 0;
 
     EvaluatorOptions evaluator_options;
     evaluator_options.bandCache = options_.bandLevelCache;
@@ -72,6 +76,11 @@ DSEEngine::explore()
         estimates ? estimates->bandLookups() - band_lookups_before : 0;
     band_masked_hits_ =
         estimates ? estimates->bandMaskedHits() - masked_before : 0;
+    schedule_hits_ =
+        estimates ? estimates->scheduleHits() - schedule_hits_before : 0;
+    schedule_lookups_ =
+        estimates ? estimates->scheduleLookups() - schedule_lookups_before
+                  : 0;
 
     // Return the frontier sorted by latency. frontierIndices is already
     // ascending (latency, area, index); stable_sort keeps tie groups in
@@ -172,6 +181,8 @@ runDSE(Operation *module, const ResourceBudget &budget,
     result.estimateLookups = engine.numEstimateLookups();
     result.bandEstimateHits = engine.numBandEstimateHits();
     result.bandEstimateLookups = engine.numBandEstimateLookups();
+    result.scheduleHits = engine.numScheduleHits();
+    result.scheduleLookups = engine.numScheduleLookups();
     result.fullMaterializations = engine.numFullMaterializations();
     result.fastPathHits = engine.numFastPathHits();
     result.bandMaskedHits = engine.numBandMaskedHits();

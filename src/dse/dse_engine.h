@@ -143,6 +143,12 @@ class DSEEngine
     /** Band-tier traffic of the last explore (same sharing caveat). */
     size_t numBandEstimateHits() const { return band_hits_; }
     size_t numBandEstimateLookups() const { return band_lookups_; }
+    /** Schedule-tier (phase-1 digest) traffic of the last explore (same
+     * sharing caveat). Lookups come from fast-path probes; hits count
+     * per-band entry reuse, so one fast-path-composed point scores one
+     * hit per band. */
+    size_t numScheduleHits() const { return schedule_hits_; }
+    size_t numScheduleLookups() const { return schedule_lookups_; }
     /** Cache misses that ran the FULL pipeline (cleanup + partition +
      * estimator walk) in the last explore. */
     size_t numFullMaterializations() const
@@ -166,6 +172,8 @@ class DSEEngine
     size_t estimate_lookups_ = 0;
     size_t band_hits_ = 0;
     size_t band_lookups_ = 0;
+    size_t schedule_hits_ = 0;
+    size_t schedule_lookups_ = 0;
     size_t full_materializations_ = 0;
     size_t fast_path_hits_ = 0;
     size_t band_masked_hits_ = 0;
@@ -197,6 +205,8 @@ struct DSEResult
     size_t estimateLookups = 0;
     size_t bandEstimateHits = 0;
     size_t bandEstimateLookups = 0;
+    size_t scheduleHits = 0;
+    size_t scheduleLookups = 0;
     /** Materialization-side stats: misses that paid the full pipeline
      * vs. misses composed by the band-incremental fast path, and
      * band-tier hits only the partition-aware keying could score. */

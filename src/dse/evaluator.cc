@@ -17,19 +17,22 @@ CachingEvaluator::evaluateScheduled(const DesignSpace::Partial &partial)
     // copies) and compose only when EVERY band hit.
     std::vector<BandScheduleEntry> entries;
     entries.reserve(partial.bandDigests.size());
-    for (const BandDigestInfo &digest : partial.bandDigests) {
-        auto entry = estimates_->lookupSchedule(digest.digest);
+    for (const auto &digest : partial.bandDigests) {
+        auto entry = estimates_->lookupSchedule(digest->digest);
         if (!entry)
             return std::nullopt;
         entries.push_back(std::move(*entry));
     }
 
-    std::vector<ScheduledBand> bands;
-    bands.reserve(entries.size());
+    ScheduledFunction function;
+    function.dataflow = partial.dataflowTop;
+    function.bands.reserve(entries.size());
     for (size_t i = 0; i < entries.size(); ++i)
-        bands.push_back(
-            {&entries[i], &partial.bandDigests[i].externals});
-    return composeScheduledQoR(bands);
+        function.bands.push_back(
+            {&entries[i], &partial.bandDigests[i]->externals});
+    for (const OwnedBuffer &buffer : partial.ownership.buffers)
+        function.allocs.push_back({buffer.memref, buffer.kept});
+    return composeScheduledQoR(function);
 }
 
 void
@@ -39,19 +42,26 @@ CachingEvaluator::insertScheduleEntries(
     // The cleanup pipeline may have erased bands (e.g. emptied bodies);
     // entries are only replayable when the phase-1 bands map 1:1 onto
     // the final ones (cleanup never reorders or splits top-level loops).
+    // Likewise, a cleanup outcome that falsified the phase-1 ownership
+    // prediction (a kept buffer dissolved, a dead one survived) would
+    // publish band content the phase-1 digests do not determine.
     auto final_bands = getLoopBands(partial.func);
     if (final_bands.size() != partial.bandDigests.size())
         return;
+    if (!DesignSpace::finalOwnershipMatches(partial))
+        return;
     const auto &band_estimates = estimator.lastBandEstimates();
     for (size_t i = 0; i < final_bands.size(); ++i) {
+        if (!partial.bandDigests[i])
+            continue; // Masked band (e.g. contains a call).
         auto it = band_estimates.find(final_bands[i].front());
         if (it == band_estimates.end())
             continue; // Function-tier hit skipped the band walk.
         auto entry = buildBandScheduleEntry(
             final_bands[i].front(), it->second,
-            partial.bandDigests[i].externals);
+            partial.bandDigests[i]->externals);
         if (entry)
-            estimates_->insertSchedule(partial.bandDigests[i].digest,
+            estimates_->insertSchedule(partial.bandDigests[i]->digest,
                                        *entry);
     }
 }
@@ -106,7 +116,10 @@ CachingEvaluator::evaluateFresh(const DesignSpace::Point &point,
                            options_.bandCache,
                            options_.partitionAwareKeys);
     result = finalize(estimator.estimateModule());
-    if (incremental && partial.eligible)
+    // funcEligible (not the all-band `eligible`): a mixed function whose
+    // call-carrying bands are masked out still publishes entries for its
+    // digestable bands.
+    if (incremental && partial.funcEligible)
         insertScheduleEntries(partial, estimator);
     if (module_out)
         *module_out = std::move(module);

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/buffer_analysis.h"
 #include "analysis/memory_analysis.h"
 #include "dialect/ops.h"
 
@@ -89,13 +90,18 @@ class TreeSerializer
     /** @p relevance (band mode with @p mask_partitions only): per-dim
      * partition relevance of the band's accessed memrefs; external
      * memref layouts are digested per dim and masked along irrelevant
-     * dims (see bandEstimateDigestInfo). */
+     * dims (see bandEstimateDigestInfo). @p ownership (band mode only):
+     * folds each external alloc's kept/dead note into the digest — the
+     * write-only-buffer cleanup's per-buffer verdict, which the band's
+     * own subtree cannot determine (see AllocOwnershipInfo). */
     TreeSerializer(Digest128 &digest, Mode mode,
                    bool mask_partitions = false,
                    const std::map<Value *, std::vector<bool>> *relevance =
-                       nullptr)
+                       nullptr,
+                   const AllocOwnershipInfo *ownership = nullptr)
         : digest_(digest), mode_(mode),
-          mask_partitions_(mask_partitions), relevance_(relevance)
+          mask_partitions_(mask_partitions), relevance_(relevance),
+          ownership_(ownership)
     {}
 
     /** False when band mode found content the digest cannot determine
@@ -213,6 +219,8 @@ class TreeSerializer
             digest_.feed(def->attr(kValue).toString());
         } else if (def->is(ops::Alloc)) {
             digest_.feed("alloc");
+            if (ownership_)
+                digest_.feed(ownership_->digestNote(value));
         } else {
             cacheable_ = false;
         }
@@ -223,6 +231,7 @@ class TreeSerializer
     Mode mode_;
     bool mask_partitions_ = false;
     const std::map<Value *, std::vector<bool>> *relevance_ = nullptr;
+    const AllocOwnershipInfo *ownership_ = nullptr;
     bool cacheable_ = true;
     bool partition_masked_ = false;
     std::map<const Value *, unsigned> ids_;
@@ -278,18 +287,20 @@ addFuncEstimateDigests(Operation *func, Operation *module,
 }
 
 std::optional<BandDigestInfo>
-bandEstimateDigestInfo(Operation *band_root, bool mask_partitions)
+bandEstimateDigestInfo(Operation *band_root, bool mask_partitions,
+                       const AllocOwnershipInfo *ownership)
 {
     Digest128 digest;
-    // Domain-separate from function digests AND between the two keying
-    // schemes — masked and partition-sensitive keys must never alias
-    // when both feed one cache.
+    // Domain-separate from function digests AND between the keying
+    // schemes — masked, partition-sensitive and ownership-annotated keys
+    // must never alias when several feed one cache.
     digest.feed(mask_partitions ? "band-masked" : "band");
+    digest.feed(ownership ? "owned" : "plain");
     std::map<Value *, std::vector<bool>> relevance;
     if (mask_partitions)
         relevance = partitionRelevantDims(band_root);
     TreeSerializer serializer(digest, TreeSerializer::Mode::Band,
-                              mask_partitions, &relevance);
+                              mask_partitions, &relevance, ownership);
     serializer.serialize(band_root);
     if (!serializer.cacheable())
         return std::nullopt;

@@ -748,8 +748,21 @@ canonicalPlan(const PartitionPlan &plan, const std::vector<int64_t> &shape)
 } // namespace
 
 std::optional<QoRResult>
-composeScheduledQoR(const std::vector<ScheduledBand> &bands)
+composeScheduledQoR(const ScheduledFunction &function)
 {
+    const std::vector<ScheduledBand> &bands = function.bands;
+
+    // The function's owned local buffers and their phase-1 kept/dead
+    // verdicts. Entries carry the FINAL access pattern of digest-equal
+    // bands, so any disagreement with the prediction (an entry touching
+    // a buffer cleanup should have erased, or no entry reading a buffer
+    // predicted kept — the creating points' cleanup behaved differently)
+    // means the composition cannot be trusted: fall back.
+    std::map<Value *, bool> owned_kept;
+    for (const ScheduledFunction::OwnedAlloc &alloc : function.allocs)
+        owned_kept.emplace(alloc.memref, alloc.kept);
+    std::set<Value *> read_buffers;
+
     // Re-derive the function-wide partition plans from the entries'
     // per-band contributions — the exact analyzeFunc/mergedPlans rule:
     // bands in body order, strictly-greater factor wins a dim, the first
@@ -765,6 +778,12 @@ composeScheduledQoR(const std::vector<ScheduledBand> &bands)
             Value *v = (*band.externals)[m.extId];
             if (!v || !v->type().isMemRef())
                 return std::nullopt;
+            if (auto it = owned_kept.find(v); it != owned_kept.end()) {
+                if (!it->second)
+                    return std::nullopt; // Entry touches an erased buffer.
+                if (m.read)
+                    read_buffers.insert(v);
+            }
             unsigned rank = v->type().rank();
             if (m.relevant.size() != rank ||
                 m.contribution.factors.size() != rank ||
@@ -782,6 +801,9 @@ composeScheduledQoR(const std::vector<ScheduledBand> &bands)
             }
         }
     }
+    for (const auto &[buffer, kept] : owned_kept)
+        if (kept && !read_buffers.count(buffer))
+            return std::nullopt; // No entry reads a kept buffer.
 
     // Validate: an entry's estimate transfers only if the layout it was
     // computed under agrees with the would-be merged layout on every dim
@@ -801,57 +823,100 @@ composeScheduledQoR(const std::vector<ScheduledBand> &bands)
         }
     }
 
-    // Replay estimateBlock over the function body: constants finish at
-    // cycle 0, so only the memory-dependence chain between bands (a
-    // write waits for all prior accesses of the memref; any access waits
-    // for the last prior write) schedules them.
-    int64_t max_finish = 0;
+    QoRResult result;
     bool feasible = true;
-    std::map<Value *, int64_t> last_write;
-    std::map<Value *, std::vector<int64_t>> accesses;
-    for (const ScheduledBand &band : bands) {
-        int64_t start = 0;
-        for (const auto &m : band.entry->memrefs) {
-            if (!m.read && !m.write)
-                continue;
-            Value *v = (*band.externals)[m.extId];
-            if (auto it = last_write.find(v); it != last_write.end())
-                start = std::max(start, it->second);
-            if (m.write)
-                for (int64_t finish : accesses[v])
-                    start = std::max(start, finish);
+    if (function.dataflow) {
+        // Replay estimateFuncImpl's dataflow composition: stages execute
+        // overlapped across frames — the interval is the slowest stage,
+        // a single frame pays the summed latency. Allocs and constants
+        // in the body are latency-free, so only the bands contribute.
+        int64_t total = 0;
+        int64_t max_stage = 1;
+        for (const ScheduledBand &band : bands) {
+            int64_t latency = band.entry->estimate.latency;
+            if (!band.entry->estimate.feasible) {
+                feasible = false;
+                latency = 1;
+            }
+            total += latency;
+            max_stage = std::max(max_stage, latency);
         }
-        int64_t latency = band.entry->estimate.latency;
-        if (!band.entry->estimate.feasible) {
-            // opLatency's infeasible marker: latency 1 in the schedule,
-            // feasibility propagated.
-            feasible = false;
-            latency = 1;
+        result.latency = total + 2;
+        result.interval = max_stage;
+        result.feasible = feasible;
+    } else {
+        // Replay estimateBlock over the function body: constants and
+        // allocs finish at cycle 0, so only the memory-dependence chain
+        // between bands (a write waits for all prior accesses of the
+        // memref; any access waits for the last prior write) schedules
+        // them.
+        int64_t max_finish = 0;
+        std::map<Value *, int64_t> last_write;
+        std::map<Value *, std::vector<int64_t>> accesses;
+        for (const ScheduledBand &band : bands) {
+            int64_t start = 0;
+            for (const auto &m : band.entry->memrefs) {
+                if (!m.read && !m.write)
+                    continue;
+                Value *v = (*band.externals)[m.extId];
+                if (auto it = last_write.find(v); it != last_write.end())
+                    start = std::max(start, it->second);
+                if (m.write)
+                    for (int64_t finish : accesses[v])
+                        start = std::max(start, finish);
+            }
+            int64_t latency = band.entry->estimate.latency;
+            if (!band.entry->estimate.feasible) {
+                // opLatency's infeasible marker: latency 1 in the
+                // schedule, feasibility propagated.
+                feasible = false;
+                latency = 1;
+            }
+            int64_t finish = start + latency;
+            max_finish = std::max(max_finish, finish);
+            for (const auto &m : band.entry->memrefs) {
+                if (!m.read && !m.write)
+                    continue;
+                Value *v = (*band.externals)[m.extId];
+                accesses[v].push_back(finish);
+                if (m.write)
+                    last_write[v] = finish;
+            }
         }
-        int64_t finish = start + latency;
-        max_finish = std::max(max_finish, finish);
-        for (const auto &m : band.entry->memrefs) {
-            if (!m.read && !m.write)
-                continue;
-            Value *v = (*band.externals)[m.extId];
-            accesses[v].push_back(finish);
-            if (m.write)
-                last_write[v] = finish;
-        }
+        result.latency = max_finish + 2;
+        result.interval = result.latency;
+        result.feasible = feasible;
     }
 
-    QoRResult result;
-    result.latency = max_finish + 2;
-    result.interval = result.latency;
-    result.feasible = feasible;
-
     // The operator-sharing merge — the identical arithmetic
-    // funcResources runs, minus the memory/callee terms an eligible
-    // function cannot have.
+    // funcResources runs, minus the callee terms an eligible function
+    // cannot have.
     BandResourceMerge resources;
     for (const ScheduledBand &band : bands)
         resources.add(band.entry->estimate);
     result.resources = resources.finish(false, 1);
+
+    // The kept-buffer memory account funcResources reads off the final
+    // allocs: each surviving buffer under the re-derived merged plan
+    // (the exact type applyArrayPartition would leave — non-trivial
+    // plans round-trip through the layout codec, trivial ones leave the
+    // phase-1 type untouched), double buffered under a dataflow top
+    // (ping-pong channels duplicate storage, not LUT fabric).
+    for (const ScheduledFunction::OwnedAlloc &alloc : function.allocs) {
+        if (!alloc.kept)
+            continue;
+        Type type = alloc.memref->type();
+        if (auto it = merged.find(alloc.memref);
+            it != merged.end() && !it->second.isTrivial())
+            type = type.withLayout(
+                buildPartitionMap(it->second, type.shape()));
+        ResourceUsage mem = memrefResource(type);
+        if (function.dataflow) {
+            mem.bram18k *= 2;
+            mem.memoryBits *= 2;
+        }
+        result.resources += mem;
+    }
     return result;
 }
 

@@ -15,6 +15,7 @@
 #include <set>
 #include <string>
 
+#include "analysis/buffer_analysis.h"
 #include "analysis/memory_analysis.h"
 #include "estimate/resource_model.h"
 
@@ -98,9 +99,17 @@ struct BandDigestInfo
  * serializer's point of view — it contains a func.call (the estimate
  * would depend on callee bodies) or references an external value with an
  * unrecognized defining op — in which case the band must not be shared
- * through the cache. */
+ * through the cache.
+ *
+ * @p ownership (optional) folds each external local buffer's ownership
+ * note (kept/dead, see AllocOwnershipInfo::digestNote) into the digest.
+ * Phase-1 (schedule-tier) digests of alloc-carrying functions need this:
+ * whether the write-only-buffer cleanup erases a buffer — and with it
+ * the band's stores — depends on the buffer's users in OTHER bands,
+ * which the band's own subtree cannot see. */
 std::optional<BandDigestInfo> bandEstimateDigestInfo(
-    Operation *band_root, bool mask_partitions = true);
+    Operation *band_root, bool mask_partitions = true,
+    const AllocOwnershipInfo *ownership = nullptr);
 
 /** Digest-only convenience wrapper over bandEstimateDigestInfo. */
 std::optional<std::string> bandEstimateDigest(
@@ -185,6 +194,31 @@ struct ScheduledBand
 {
     const BandScheduleEntry *entry = nullptr;
     const std::vector<Value *> *externals = nullptr;
+};
+
+/** A whole fast-path point resolved against its cached schedule entries:
+ * the bands in function body order, the function-level composition mode
+ * (sequential dependence scheduling vs dataflow stage overlap), and the
+ * function's owned local buffers (phase-1 ownership), whose kept
+ * survivors the composed resource account must charge for — with
+ * ping-pong double buffering under a dataflow top. */
+struct ScheduledFunction
+{
+    std::vector<ScheduledBand> bands;
+    /** The function carries the dataflow directive: interval = slowest
+     * stage, latency = summed stages, double-buffered channel memory. */
+    bool dataflow = false;
+
+    /** One owned local buffer of the function under evaluation. */
+    struct OwnedAlloc
+    {
+        Value *memref = nullptr;
+        /** Phase-1 prediction: cleanup keeps the buffer (some user
+         * reads it) — kept buffers are charged to the memory account
+         * under the re-derived merged partition plan. */
+        bool kept = false;
+    };
+    std::vector<OwnedAlloc> allocs;
 };
 
 /** Latency / throughput / resource estimate of a design. */
@@ -391,17 +425,21 @@ class BandResourceMerge
 
 /** Compose the whole-function QoR of a fast-path point from its bands'
  * cached schedule entries, replaying exactly what estimateFuncImpl does
- * on a fast-path-eligible function (no callees, no allocs, no flat-scope
- * accesses, sequential composition): the function-body dependence
- * scheduling over band latencies and the operator-sharing resource
- * merge. First re-derives the function-wide partition plans from the
- * entries' contributions (the same max-factor merge applyArrayPartition
- * would run) and validates every entry's `assumed` plan against them on
- * partition-relevant dims; returns nullopt — caller falls back to the
- * full slow path — when any entry fails validation or cannot be
- * resolved. A returned QoR is bit-identical to the slow path's. */
+ * on a fast-path-eligible function (no callees, no flat-scope accesses,
+ * every local buffer owned): the function-body composition over band
+ * latencies — sequential dependence scheduling, or the dataflow stage
+ * overlap (interval = max over stages) under a dataflow top — plus the
+ * operator-sharing resource merge and the kept-buffer memory account
+ * (double buffered under dataflow). First re-derives the function-wide
+ * partition plans from the entries' contributions (the same max-factor
+ * merge applyArrayPartition would run) and validates every entry's
+ * `assumed` plan against them on partition-relevant dims, and the
+ * entries' buffer accesses against the phase-1 ownership prediction;
+ * returns nullopt — caller falls back to the full slow path — when any
+ * validation fails or an entry cannot be resolved. A returned QoR is
+ * bit-identical to the slow path's. */
 std::optional<QoRResult> composeScheduledQoR(
-    const std::vector<ScheduledBand> &bands);
+    const ScheduledFunction &function);
 
 /** Build the schedule entry of @p band_root (a top-level band of a fully
  * materialized, fast-path-eligible function) from its final estimate and

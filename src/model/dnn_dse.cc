@@ -1,0 +1,88 @@
+#include "model/dnn_dse.h"
+
+#include <set>
+
+#include "analysis/loop_analysis.h"
+#include "api/scalehls.h"
+#include "estimate/qor_estimator.h"
+#include "model/graph_builder.h"
+
+namespace scalehls {
+
+std::unique_ptr<Operation>
+buildLoweredDNN(const std::string &model, int graph_level)
+{
+    auto module = createModule();
+    if (model == "resnet18")
+        buildResNet18(module.get());
+    else if (model == "vgg16")
+        buildVGG16(module.get());
+    else if (model == "mobilenet")
+        buildMobileNet(module.get());
+    else
+        return nullptr;
+    Compiler compiler(std::move(module));
+    // Graph opt + bufferization only: the schedule (tiling, pipelining,
+    // partitioning) is the DSE's to assign, so the loop/directive levels
+    // of the fixed flow are intentionally NOT applied here.
+    compiler.applyGraphOpt(graph_level).lowerToLoops();
+    return compiler.takeModule();
+}
+
+std::vector<DNNKernel>
+extractDNNKernels(Operation *lowered, size_t max_kernels)
+{
+    std::vector<DNNKernel> kernels;
+    for (auto &op : lowered->region(0).front().ops()) {
+        if (!op->is(ops::Func) || getLoopBands(op.get()).empty())
+            continue;
+        if (max_kernels != 0 && kernels.size() >= max_kernels)
+            break;
+        Operation *func = op.get();
+
+        // The kernel plus its transitive callee closure (stage functions
+        // are usually leaf functions, but the closure keeps any callee
+        // estimable), mirroring optimizeFunctions' reduced clones.
+        std::set<Operation *> needed;
+        std::vector<Operation *> worklist = {func};
+        while (!worklist.empty()) {
+            Operation *current = worklist.back();
+            worklist.pop_back();
+            if (!needed.insert(current).second)
+                continue;
+            for (Operation *callee :
+                 collectDistinctCallees(current, lowered))
+                worklist.push_back(callee);
+        }
+
+        DNNKernel kernel;
+        kernel.name = funcName(func);
+        kernel.module = createModule();
+        Block &body = kernel.module->region(0).front();
+        for (auto &candidate : lowered->region(0).front().ops()) {
+            if (!candidate->is(ops::Func) || !needed.count(candidate.get()))
+                continue;
+            Operation *copy = body.pushBack(candidate->clone());
+            setTopFunc(copy, candidate.get() == func);
+        }
+        Operation *top = getTopFunc(kernel.module.get());
+        kernel.numBands = getLoopBands(top).size();
+        top->walk([&](Operation *nested) {
+            kernel.numAllocs += nested->is(ops::Alloc) ? 1 : 0;
+        });
+        kernels.push_back(std::move(kernel));
+    }
+    return kernels;
+}
+
+std::vector<DNNKernel>
+buildDNNKernelModules(const std::string &model, int graph_level,
+                      size_t max_kernels)
+{
+    auto lowered = buildLoweredDNN(model, graph_level);
+    if (!lowered)
+        return {};
+    return extractDNNKernels(lowered.get(), max_kernels);
+}
+
+} // namespace scalehls

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/buffer_analysis.h"
 #include "analysis/memory_analysis.h"
 #include "frontend/irgen.h"
 #include "model/polybench.h"
@@ -184,6 +185,188 @@ TEST(MemoryAnalysis, NoRecurrenceWhenAllDimsUsed)
     Operation *func = getTopFunc(module.get());
     auto band = getLoopBands(func)[0];
     EXPECT_TRUE(findRecurrences(band).empty());
+}
+
+/** Band roots of a function (analysis entry points). */
+std::vector<Operation *>
+bandRootsOf(Operation *func)
+{
+    std::vector<Operation *> roots;
+    for (auto &band : getLoopBands(func))
+        roots.push_back(band.front());
+    return roots;
+}
+
+TEST(BufferAnalysis, BandLocalAlloc)
+{
+    // tmp's defs and uses are confined to the single band: band-local,
+    // read somewhere, so cleanup keeps it.
+    auto module = affineModule("void k(float A[16], float B[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++) {\n"
+                               "    tmp[i] = A[i] * 2.0;\n"
+                               "    B[i] = tmp[i] + 1.0;\n"
+                               "  }\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    const OwnedBuffer &tmp = info.buffers[0];
+    EXPECT_EQ(tmp.ownership, BufferOwnership::BandLocal);
+    EXPECT_EQ(tmp.owner, 0);
+    EXPECT_TRUE(tmp.kept);
+    EXPECT_FALSE(tmp.writeOnly);
+    EXPECT_TRUE(info.allOwned);
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/false));
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/true));
+}
+
+TEST(BufferAnalysis, WriteOnlyBandLocalAllocIsDead)
+{
+    // A buffer only ever stored to: still band-local, but cleanup's
+    // write-only-buffer elimination erases it (kept == false), which is
+    // what the digest note and the composed memory account key off.
+    auto module = affineModule("void k(float A[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = A[i];\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    EXPECT_EQ(info.buffers[0].ownership, BufferOwnership::BandLocal);
+    EXPECT_TRUE(info.buffers[0].writeOnly);
+    EXPECT_FALSE(info.buffers[0].kept);
+    EXPECT_EQ(info.digestNote(info.buffers[0].memref), "dead");
+}
+
+TEST(BufferAnalysis, SingleEdgeDataflowBuffer)
+{
+    // Producer band stores only, consumer band loads: exactly one
+    // producer->consumer dataflow edge — a legal dataflow channel.
+    auto module = affineModule("void k(float A[16], float B[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = A[i] * 2.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    B[i] = tmp[i] + 1.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    const OwnedBuffer &tmp = info.buffers[0];
+    EXPECT_EQ(tmp.ownership, BufferOwnership::DataflowEdge);
+    EXPECT_EQ(tmp.owner, 0);
+    EXPECT_EQ(tmp.consumer, 1);
+    EXPECT_TRUE(tmp.kept);
+    EXPECT_EQ(info.digestNote(tmp.memref), "kept");
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/false));
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/true));
+}
+
+TEST(BufferAnalysis, CrossBandSharedBuffer)
+{
+    // The lowered-DNN chain pattern: init-write, accumulate
+    // (read+write), consume (read) across three bands. Owned — cleanup
+    // stays band-determined — but NOT a single dataflow edge, so a
+    // dataflow top must fall back while a sequential top may compose.
+    auto module = affineModule("void k(float A[16], float B[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = 0.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = tmp[i] + A[i];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    B[i] = tmp[i];\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    const OwnedBuffer &tmp = info.buffers[0];
+    EXPECT_EQ(tmp.ownership, BufferOwnership::SharedChain);
+    EXPECT_EQ(tmp.bands, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(tmp.kept);
+    EXPECT_TRUE(info.allOwned);
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/false));
+    EXPECT_FALSE(info.eligible(/*dataflow_top=*/true));
+}
+
+TEST(BufferAnalysis, ReversedTwoBandPairIsNotAnEdge)
+{
+    // Read-before-write across two bands (an anti-dependence, not a
+    // producer->consumer edge) must not classify as DataflowEdge.
+    auto module = affineModule("void k(float A[16], float B[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    B[i] = tmp[i];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = A[i];\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    EXPECT_EQ(info.buffers[0].ownership, BufferOwnership::SharedChain);
+}
+
+TEST(BufferAnalysis, EscapingPointerIneligible)
+{
+    // Passing the buffer to a call: a non-load/store user escapes
+    // band-local reasoning — the function must take the slow path.
+    auto module = affineModule("void k(float A[16], float B[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = A[i] * 2.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    B[i] = tmp[i] + 1.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    Value *tmp = func->collect(ops::Alloc)[0]->result(0);
+    auto bands = getLoopBands(func);
+    Block *leaf = AffineForOp(getLoopNest(bands[1][0]).back()).body();
+    OpBuilder builder(leaf, leaf->front());
+    builder.create(std::string(ops::Call), {}, {tmp},
+                   {{kCallee, Attribute(std::string("sink"))}});
+
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    EXPECT_EQ(info.buffers[0].ownership, BufferOwnership::Escaping);
+    EXPECT_FALSE(info.allOwned);
+    EXPECT_FALSE(info.eligible(/*dataflow_top=*/false));
+    EXPECT_FALSE(info.eligible(/*dataflow_top=*/true));
+}
+
+TEST(BufferAnalysis, FlatScopeUserEscapes)
+{
+    // A store outside every band (here: a scalar's flat-scope init)
+    // also escapes band-local reasoning.
+    auto module = affineModule("void k(float A[16]) {\n"
+                               "  float s = 3.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    A[i] = A[i] + s;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    EXPECT_EQ(info.buffers[0].ownership, BufferOwnership::Escaping);
+    EXPECT_FALSE(info.allOwned);
+}
+
+TEST(BufferAnalysis, DeadAllocHasNoOwner)
+{
+    auto module = affineModule("void k(float A[16]) {\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    A[i] = A[i] * 2.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    Block *body = funcBody(func);
+    OpBuilder builder(body, body->back());
+    createAlloc(builder, Type::memref({8}, Type::f32()));
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    EXPECT_EQ(info.buffers[0].ownership, BufferOwnership::Dead);
+    EXPECT_FALSE(info.buffers[0].kept);
+    EXPECT_TRUE(info.allOwned);
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/true));
 }
 
 /** Property: partition factors never exceed the dimension size. */

@@ -12,6 +12,7 @@
 #include "dse/dse_engine.h"
 #include "dse/pca.h"
 #include "frontend/irgen.h"
+#include "model/dnn_dse.h"
 #include "model/polybench.h"
 
 namespace scalehls {
@@ -697,6 +698,189 @@ TEST(Evaluator, BatchDedupMaterializesDuplicatesOnce)
     EXPECT_EQ(results[0].latency, results[1].latency);
     EXPECT_EQ(results[0].latency, results[3].latency);
     EXPECT_EQ(results[2].latency, results[4].latency);
+}
+
+/** Field-by-field QoR equality (shared by the fast-path tests below). */
+void
+expectIdenticalQoR(const QoRResult &a, const QoRResult &b,
+                   const char *label)
+{
+    EXPECT_EQ(a.latency, b.latency) << label;
+    EXPECT_EQ(a.interval, b.interval) << label;
+    EXPECT_EQ(a.feasible, b.feasible) << label;
+    EXPECT_EQ(a.resources.dsp, b.resources.dsp) << label;
+    EXPECT_EQ(a.resources.lut, b.resources.lut) << label;
+    EXPECT_EQ(a.resources.bram18k, b.resources.bram18k) << label;
+    EXPECT_EQ(a.resources.memoryBits, b.resources.memoryBits) << label;
+}
+
+/** The II cross-product of a space's first two bands, border points
+ * (first appearance of each band variant) before interior points. */
+std::vector<DesignSpace::Point>
+iiCrossProduct(const DesignSpace &space, int dials)
+{
+    std::vector<DesignSpace::Point> border;
+    std::vector<DesignSpace::Point> interior;
+    DesignSpace::Point zero(space.numDims(), 0);
+    for (int a = 0; a < dials; ++a)
+        for (int b = 0; b < dials; ++b) {
+            DesignSpace::Point p = zero;
+            p[space.dimTargetII(0)] = a;
+            p[space.dimTargetII(1)] = b;
+            (a == 0 || b == 0 ? border : interior)
+                .push_back(std::move(p));
+        }
+    border.insert(border.end(), interior.begin(), interior.end());
+    return border;
+}
+
+TEST(Evaluator, DataflowFastPathMatchesSlowPath)
+{
+    // A two-stage dataflow kernel whose channel buffer is a LOCAL alloc
+    // crossing exactly one producer->consumer edge: the fast path must
+    // replay the stage-overlap composition (interval = slowest stage)
+    // and the double-buffered channel memory bit-identically.
+    const char *source = "void pipe(float A[16][16], float B[16][16]) {\n"
+                         "  float tmp[16][16];\n"
+                         "  for (int i = 0; i < 16; i++)\n"
+                         "    for (int j = 0; j < 16; j++)\n"
+                         "      tmp[i][j] = A[i][j] * 2.0;\n"
+                         "  for (int i = 0; i < 16; i++)\n"
+                         "    for (int j = 0; j < 16; j++)\n"
+                         "      B[i][j] = tmp[i][j] + 1.0;\n"
+                         "}\n";
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    Operation *func = getTopFunc(module.get());
+    FuncDirective fd = getFuncDirective(func);
+    fd.dataflow = true;
+    setFuncDirective(func, fd);
+
+    DesignSpace space(module.get());
+    ASSERT_EQ(space.numBands(), 2u);
+    auto points = iiCrossProduct(space, 3);
+
+    CachingEvaluator reference(space); // No cache: always full path.
+    EstimateCache cache;
+    CachingEvaluator incremental(space, nullptr, &cache);
+    for (const auto &p : points) {
+        QoRResult ref = reference.evaluate(p);
+        QoRResult fast = incremental.evaluate(p);
+        // Dataflow semantics reached the estimate: the interval is the
+        // slowest stage, strictly below the sequential latency.
+        EXPECT_LT(ref.interval, ref.latency);
+        expectIdenticalQoR(ref, fast, "dataflow");
+    }
+    EXPECT_GT(incremental.numFastPathHits(), 0u);
+    EXPECT_LT(incremental.numFullMaterializations(), points.size());
+
+    // Ablation: -dse-dataflow-fastpath=0 pins every point to the slow
+    // path and still produces identical results.
+    DesignSpaceOptions no_dataflow;
+    no_dataflow.dataflowFastPath = false;
+    DesignSpace space_off(module.get(), no_dataflow);
+    EstimateCache cache_off;
+    CachingEvaluator disabled(space_off, nullptr, &cache_off);
+    for (const auto &p : points)
+        expectIdenticalQoR(reference.evaluate(p), disabled.evaluate(p),
+                           "dataflow-disabled");
+    EXPECT_EQ(disabled.numFastPathHits(), 0u);
+    EXPECT_EQ(disabled.numFullMaterializations(), points.size());
+}
+
+TEST(Evaluator, AllocCarryingChainFastPathMatchesSlowPath)
+{
+    // A sequential function with the lowered-DNN chain pattern: a local
+    // accumulator buffer written by an init band, updated by a compute
+    // band and consumed by an output band. The ownership analysis
+    // classifies it SharedChain; the fast path must still compose
+    // bit-identically, including the kept-buffer memory account under
+    // the re-derived partition plans.
+    const char *source = "void stage(float A[16][16], float B[16][16]) {\n"
+                         "  float acc[16][16];\n"
+                         "  for (int i = 0; i < 16; i++)\n"
+                         "    for (int j = 0; j < 16; j++)\n"
+                         "      acc[i][j] = 0.0;\n"
+                         "  for (int i = 0; i < 16; i++)\n"
+                         "    for (int j = 0; j < 16; j++)\n"
+                         "      for (int k = 0; k < 16; k++)\n"
+                         "        acc[i][j] = acc[i][j] + A[i][k];\n"
+                         "  for (int i = 0; i < 16; i++)\n"
+                         "    for (int j = 0; j < 16; j++)\n"
+                         "      B[i][j] = acc[i][j];\n"
+                         "}\n";
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    ASSERT_EQ(space.numBands(), 3u);
+    auto points = iiCrossProduct(space, 3);
+
+    CachingEvaluator reference(space);
+    EstimateCache cache;
+    CachingEvaluator incremental(space, nullptr, &cache);
+    for (const auto &p : points)
+        expectIdenticalQoR(reference.evaluate(p),
+                           incremental.evaluate(p), "alloc-chain");
+    EXPECT_GT(incremental.numFastPathHits(), 0u);
+    EXPECT_LT(incremental.numFullMaterializations(), points.size());
+    // The local buffer's memory reached the composed account.
+    QoRResult zero = incremental.evaluate(
+        DesignSpace::Point(space.numDims(), 0));
+    EXPECT_GT(zero.resources.memoryBits, 0);
+}
+
+TEST(Evaluator, MixedFunctionStillPopulatesScheduleTier)
+{
+    // One band carries a call (undigestable, masked out); the other is
+    // clean. The whole-point fast path must never engage, but the clean
+    // band must still publish schedule entries — the per-band
+    // eligibility mask at work.
+    std::string source = polybenchSource("2mm", 8) + "\n" +
+                         polybenchSource("gemm", 8);
+    auto module = parseCToModule(source, "k2mm");
+    raiseScfToAffine(module.get());
+    Operation *func = lookupFunc(module.get(), "k2mm");
+    ASSERT_NE(func, nullptr);
+    auto bands = getLoopBands(func);
+    ASSERT_EQ(bands.size(), 2u);
+    Block *leaf = AffineForOp(getLoopNest(bands[1][0]).back()).body();
+    OpBuilder builder(leaf, leaf->front());
+    builder.create(std::string(ops::Call), {}, {},
+                   {{kCallee, Attribute(std::string("gemm"))}});
+
+    DesignSpace space(module.get());
+    EstimateCache cache;
+    CachingEvaluator evaluator(space, nullptr, &cache);
+    auto points = iiCrossProduct(space, 2);
+    CachingEvaluator reference(space);
+    for (const auto &p : points)
+        expectIdenticalQoR(reference.evaluate(p), evaluator.evaluate(p),
+                           "mixed");
+    EXPECT_EQ(evaluator.numFastPathHits(), 0u);
+    EXPECT_GT(cache.scheduleStats().entries, 0u);
+}
+
+TEST(Evaluator, DNNKernelFastPathMatchesSlowPath)
+{
+    // The acceptance scenario in miniature: a resnet18 graph-level-4
+    // dataflow stage (intermediate feature maps as local allocs) swept
+    // over an II cross-product must engage the fast path and stay
+    // bit-identical to the slow path.
+    auto kernels = buildDNNKernelModules("resnet18", 4, 1);
+    ASSERT_EQ(kernels.size(), 1u);
+    EXPECT_GT(kernels[0].numAllocs, 0u);
+    DesignSpace space(kernels[0].module.get());
+    ASSERT_GE(space.numBands(), 2u);
+    auto points = iiCrossProduct(space, 2);
+
+    CachingEvaluator reference(space);
+    EstimateCache cache;
+    CachingEvaluator incremental(space, nullptr, &cache);
+    for (const auto &p : points)
+        expectIdenticalQoR(reference.evaluate(p),
+                           incremental.evaluate(p), "dnn-kernel");
+    EXPECT_GT(incremental.numFastPathHits(), 0u);
+    EXPECT_LT(incremental.numFullMaterializations(), points.size());
 }
 
 TEST(DSEEngine, FinalizedModuleIsVerifiedAgainstCachedQoR)

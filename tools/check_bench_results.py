@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Fail (exit 1) when any bench recorded in a run_benches.sh results.json
+exited nonzero. Shared by the CI bench jobs so the results.json schema
+knowledge lives next to run_benches.sh, which owns the format."""
+
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "bench-results/results.json"
+with open(path) as f:
+    results = json.load(f)
+bad = [b["name"] for b in results["benches"] if b["exit_code"] != 0]
+if bad:
+    sys.exit("bench self-checks failed: %s" % ", ".join(bad))
+print("all bench self-checks passed (%d benches)" % len(results["benches"]))

@@ -1,21 +1,90 @@
 #!/usr/bin/env bash
-# Run the experiment/bench binaries and dump a JSON index of the results.
+# Run the experiment/bench binaries and dump a JSON index of the results,
+# or compare two distilled bench JSON files.
 #
 # Usage: tools/run_benches.sh [build-dir] [output-dir]
+#        tools/run_benches.sh --compare old.json new.json
 #   build-dir   where the bench binaries live (default: build)
 #   output-dir  where per-bench logs + results.json land
 #               (default: bench-results)
 #   BENCHES     (env) space-separated subset of benches to run
-#               (default: all)
+#               (default: all). An entry may carry arguments after a
+#               colon, e.g. "bench_estimator:--dnn".
 #
 # Every bench's stdout+stderr goes to <output-dir>/<bench>.txt; the JSON
 # index records exit codes and wall-clock seconds, plus any machine
 # readable "JSON {...}" lines the bench itself emitted. The performance
-# records CI tracks (points/sec, per-tier estimate-cache hit rates,
-# materializations per evaluated point) are additionally distilled into
-# <output-dir>/BENCH_pr4.json for artifact upload.
+# records CI tracks are additionally distilled into
+# <output-dir>/BENCH_pr4.json (throughput, per-tier estimate-cache hit
+# rates, materializations per point) and <output-dir>/BENCH_pr5.json
+# (the DNN fast-path sweep) for artifact upload.
+#
+# --compare exits nonzero when any points-per-second record of new.json
+# regresses more than 15% below old.json, or any pinned hit-rate field
+# drops. Only fields present in BOTH matched records are compared, so a
+# committed baseline may carry just the deterministic fields (hit rates,
+# materializations per point) while artifact-vs-artifact comparisons
+# also gate throughput.
 
 set -u
+
+if [ "${1:-}" = "--compare" ]; then
+    if [ $# -ne 3 ]; then
+        echo "usage: $0 --compare old.json new.json" >&2
+        exit 2
+    fi
+    python3 - "$2" "$3" <<'EOF'
+import json, sys
+
+RATE_DROP = 0.15  # points/sec may regress at most 15%.
+
+def records(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for section, recs in data.items():
+        for rec in recs or []:
+            key_fields = {k: v for k, v in rec.items()
+                          if isinstance(v, (str, bool))}
+            for k in ("threads", "kernels", "points", "reps"):
+                if k in rec:
+                    key_fields[k] = rec[k]
+            key = (section, json.dumps(key_fields, sort_keys=True))
+            out[key] = rec
+    return out
+
+old, new = records(sys.argv[1]), records(sys.argv[2])
+failures = []
+for key, old_rec in sorted(old.items()):
+    new_rec = new.get(key)
+    if new_rec is None:
+        failures.append("missing record: %s %s" % key)
+        continue
+    for field, old_value in old_rec.items():
+        if field not in new_rec:
+            continue
+        new_value = new_rec[field]
+        if not isinstance(old_value, (int, float)) or isinstance(
+                old_value, bool):
+            continue
+        if "points_per_second" in field:
+            if new_value < (1.0 - RATE_DROP) * old_value:
+                failures.append(
+                    "%s %s: %s regressed %.1f -> %.1f (>15%%)"
+                    % (key[0], key[1], field, old_value, new_value))
+        elif field.endswith("hit_rate"):
+            if new_value < old_value - 1e-9:
+                failures.append(
+                    "%s %s: %s dropped %.3f -> %.3f"
+                    % (key[0], key[1], field, old_value, new_value))
+for failure in failures:
+    print("REGRESSION:", failure)
+if failures:
+    sys.exit(1)
+print("compare: no regressions (%d records matched)" % len(old))
+EOF
+    exit $?
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
@@ -29,16 +98,20 @@ json="$OUT_DIR/results.json"
 printf '{\n  "benches": [\n' > "$json"
 first=1
 
-for bench in "${BENCHES[@]}"; do
+for spec in "${BENCHES[@]}"; do
+    bench="${spec%%:*}"
+    args="${spec#"$bench"}"
+    args="${args#:}"
     bin="$BUILD_DIR/$bench"
     log="$OUT_DIR/$bench.txt"
     if [ ! -x "$bin" ]; then
         echo "skip: $bench (not built)"
         continue
     fi
-    echo "running $bench ..."
+    echo "running $bench ${args:+($args) }..."
     start=$(date +%s.%N)
-    "$bin" > "$log" 2>&1
+    # shellcheck disable=SC2086
+    "$bin" $args > "$log" 2>&1
     code=$?
     end=$(date +%s.%N)
     secs=$(echo "$end $start" | awk '{printf "%.2f", $1 - $2}')
@@ -58,16 +131,17 @@ done
 printf '\n  ]\n}\n' >> "$json"
 echo "wrote $json"
 
-# Distill the PR 4 performance records (throughput, per-tier cache hit
-# rates, materializations per point) into one machine-readable file for
-# the CI artifact.
-pr4="$OUT_DIR/BENCH_pr4.json"
 collect() {
     # collect <log> <bench-name-filter>
     [ -f "$1" ] || return 0
     grep '^JSON ' "$1" | sed 's/^JSON //' |
         grep "\"bench\":\"$2\"" | paste -sd, -
 }
+
+# Distill the PR 4 performance records (throughput, per-tier cache hit
+# rates, materializations per point) into one machine-readable file for
+# the CI artifact.
+pr4="$OUT_DIR/BENCH_pr4.json"
 dse_records=$(collect "$OUT_DIR/bench_parallel_dse.txt" "parallel_dse")
 est_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator")
 band_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_band_cache")
@@ -83,3 +157,14 @@ key_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_band_keys")
     printf '}\n'
 } > "$pr4"
 echo "wrote $pr4"
+
+# Distill the PR 5 DNN fast-path records (fast-path hit rate on DNN
+# points, materializations per point, points/sec) for the dnn-bench job.
+pr5="$OUT_DIR/BENCH_pr5.json"
+dnn_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_dnn")
+{
+    printf '{\n'
+    printf '  "dnn_fast_path": [%s]\n' "${dnn_records}"
+    printf '}\n'
+} > "$pr5"
+echo "wrote $pr5"

@@ -69,6 +69,13 @@ usage()
            "                    tier skip cleanup/partition/estimation\n"
            "                    entirely (default 1; validated, results\n"
            "                    bit-identical)\n"
+           "  -dse-dataflow-fastpath=<0|1>  extend the band-incremental\n"
+           "                    fast path to dataflow-top and\n"
+           "                    alloc-carrying functions (DNN stages):\n"
+           "                    stage-overlap interval composition and\n"
+           "                    double-buffered channel memory are\n"
+           "                    replayed from cached per-band entries\n"
+           "                    (default 1; validated, bit-identical)\n"
            "  -dse-cache-cap=<n>  max entries per estimate-cache tier\n"
            "                    (coarse FIFO eviction; default 0 =\n"
            "                    unbounded) so long sweeps stay bounded\n";
@@ -124,6 +131,7 @@ main(int argc, char **argv)
     bool run_dse = false;
     bool run_dse_funcs = false;
     DSEOptions dse_options;
+    DesignSpaceOptions space_options;
     PassManager pm;
 
     auto value_of = [](const std::string &arg) {
@@ -172,6 +180,9 @@ main(int argc, char **argv)
         } else if (name == "-dse-cache-cap") {
             dse_options.estimateCacheCap =
                 parseUnsignedArg(name, value);
+        } else if (name == "-dse-dataflow-fastpath") {
+            space_options.dataflowFastPath =
+                parseUnsignedArg(name, value) != 0;
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -277,7 +288,8 @@ main(int argc, char **argv)
         };
 
         if (run_dse) {
-            auto result = compiler.optimize(xc7z020(), {}, dse_options);
+            auto result = compiler.optimize(xc7z020(), space_options,
+                                            dse_options);
             if (!result) {
                 std::cerr << "DSE found no feasible design\n";
                 return 1;
@@ -294,8 +306,8 @@ main(int argc, char **argv)
             report_cache();
         }
         if (run_dse_funcs) {
-            auto results =
-                compiler.optimizeFunctions(xc7z020(), {}, dse_options);
+            auto results = compiler.optimizeFunctions(
+                xc7z020(), space_options, dse_options);
             bool any_feasible = false;
             for (const auto &r : results) {
                 std::cerr << "DSE " << r.func << ": ";
