@@ -7,9 +7,12 @@
  * function-tier-only configuration against the band-level cache tier,
  * a band-incremental materialization section (fast-path composition vs
  * the full cleanup+partition+estimate pipeline, materializations per
- * evaluated point pinned strictly below 1.0), and a partition-aware
+ * evaluated point pinned strictly below 1.0), a partition-aware
  * band-key section (masked vs partition-sensitive keying on a
- * tile-retuning sweep, masked hits pinned strictly above).
+ * tile-retuning sweep, masked hits pinned strictly above), and a
+ * plan-first probe section (full materializations per point pinned at
+ * <= 0.25 with zero-IR composition of warm points; `--probe` runs it
+ * alone).
  * Self-check (the repo's determinism guarantee extended to the
  * estimator): parallel and cached estimation — any tier, either
  * materialization path — must produce bit-identical QoR to the
@@ -467,6 +470,133 @@ runPartitionKeySection(const std::vector<unsigned> &configs, bool smoke)
     return ok;
 }
 
+/** Plan-first point evaluation: the same border-first II cross-product
+ * as the materialization section, but measuring the plan -> probe ->
+ * overlay-materialize -> publish pipeline. Border points materialize
+ * only their schedule-missing bands through copy-on-write overlays
+ * (never the full pipeline), interior points compose from the PLAN tier
+ * with zero IR built, and a warm-cache replay through a FRESH evaluator
+ * must not create a single Operation (checked via the global creation
+ * counter). Hard checks per kernel and thread count: zero full
+ * materializations (mat/point <= 0.25, vs ~0.44 for the PR 5 fast
+ * path whose border points ran the full pipeline), zero prediction
+ * mismatches, the zero-clone replay, the counter partition
+ * full + overlay + composed + infeasible == points, bit-identity with
+ * the sequential uncached reference, and — on 3mm, whose first two
+ * stages are symmetric gemms — schedule entries shared ACROSS bands by
+ * the canonicalizing digest (crossBandHits > 0). */
+bool
+runProbeSection(const std::vector<unsigned> &configs, bool smoke)
+{
+    std::printf("=== Plan-first evaluation (plan -> probe -> overlay -> "
+                "publish) ===\n\n");
+
+    struct ProbeSpec
+    {
+        const char *kernel;
+        bool expectCrossBand;
+    };
+    std::vector<ProbeSpec> specs = {{"2mm", false}};
+    if (!smoke)
+        specs.push_back({"3mm", true});
+    const int size = smoke ? 8 : 16;
+    const int dials = smoke ? 3 : 4;
+
+    bool ok = true;
+    for (const ProbeSpec &spec : specs) {
+        auto module = parseCToModule(polybenchSource(spec.kernel, size));
+        raiseScfToAffine(module.get());
+        DesignSpace space(module.get());
+
+        std::vector<DesignSpace::Point> border;
+        std::vector<DesignSpace::Point> interior;
+        DesignSpace::Point zero(space.numDims(), 0);
+        for (int a = 0; a < dials; ++a)
+            for (int b = 0; b < dials; ++b) {
+                DesignSpace::Point p = zero;
+                p[space.dimTargetII(0)] = a;
+                p[space.dimTargetII(1)] = b;
+                (a == 0 || b == 0 ? border : interior)
+                    .push_back(std::move(p));
+            }
+        std::vector<DesignSpace::Point> all = border;
+        all.insert(all.end(), interior.begin(), interior.end());
+
+        // Sequential uncached reference.
+        std::vector<QoRResult> reference;
+        {
+            CachingEvaluator evaluator(space);
+            reference = evaluator.evaluateBatch(all);
+        }
+        std::printf("--- %s-%d: %zu points (%zu border + %zu interior) "
+                    "---\n",
+                    spec.kernel, size, all.size(), border.size(),
+                    interior.size());
+        std::printf("%-10s %-9s %-9s %-10s %-11s %-11s %-11s %s\n",
+                    "Threads", "FullMat", "Overlay", "Composed",
+                    "Mat/Point", "XBandHits", "ZeroClone", "Identical");
+
+        for (unsigned threads : configs) {
+            ThreadPool pool(threads);
+            EstimateCache cache;
+            CachingEvaluator evaluator(space, &pool, &cache);
+            auto first = evaluator.evaluateBatch(border);
+            auto second = evaluator.evaluateBatch(interior);
+            first.insert(first.end(), second.begin(), second.end());
+            bool matches = first.size() == reference.size();
+            for (size_t i = 0; matches && i < first.size(); ++i)
+                matches = identical(first[i], reference[i]);
+
+            size_t full = evaluator.numFullMaterializations();
+            size_t overlay = evaluator.numOverlayMaterializations();
+            size_t composed = evaluator.numPlanComposed();
+            size_t infeasible = evaluator.numPlanInfeasible();
+            size_t mismatches = evaluator.numPlanMismatches();
+            double per_point = static_cast<double>(full) /
+                               static_cast<double>(all.size());
+
+            // Warm-cache replay through a FRESH evaluator (empty memo):
+            // every point must come out of the plan tier, creating ZERO
+            // Operations.
+            CachingEvaluator replay(space, &pool, &cache);
+            size_t created_before = Operation::createdCount();
+            auto replayed = replay.evaluateBatch(all);
+            bool zero_clone =
+                Operation::createdCount() == created_before;
+            for (size_t i = 0; matches && i < replayed.size(); ++i)
+                matches = identical(replayed[i], reference[i]);
+
+            bool structural =
+                matches && mismatches == 0 && full == 0 &&
+                per_point <= 0.25 && zero_clone && composed > 0 &&
+                full + overlay + composed + infeasible == all.size();
+            if (spec.expectCrossBand)
+                structural &= cache.crossBandHits() > 0;
+            ok &= structural;
+            std::printf(
+                "%-10u %-9zu %-9zu %-10zu %-11.3f %-11zu %-11s %s\n",
+                threads, full, overlay, composed, per_point,
+                cache.crossBandHits(), zero_clone ? "yes" : "NO",
+                structural ? "yes" : "NO (BUG)");
+            std::printf(
+                "JSON {\"bench\":\"estimator_probe\","
+                "\"design\":\"%s-%d\",\"threads\":%u,\"points\":%zu,"
+                "\"full_materializations\":%zu,"
+                "\"overlay_materializations\":%zu,"
+                "\"plan_composed\":%zu,\"plan_infeasible\":%zu,"
+                "\"plan_mismatches\":%zu,\"cross_band_hits\":%zu,"
+                "\"materializations_per_point\":%.3f,"
+                "\"zero_clone_compose\":%s,\"identical\":%s}\n",
+                spec.kernel, size, threads, all.size(), full, overlay,
+                composed, infeasible, mismatches, cache.crossBandHits(),
+                per_point, zero_clone ? "true" : "false",
+                matches ? "true" : "false");
+        }
+        std::printf("\n");
+    }
+    return ok;
+}
+
 /** DNN per-kernel fast-path sweep: the flagship workload class. Each
  * model is lowered at graph level 4 (multi-layer dataflow stages whose
  * intermediate feature maps are LOCAL allocs in the init / accumulate /
@@ -606,9 +736,11 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool dnn_only = false;
+    bool probe_only = false;
     for (int i = 1; i < argc; ++i) {
         smoke |= std::strcmp(argv[i], "--smoke") == 0;
         dnn_only |= std::strcmp(argv[i], "--dnn") == 0;
+        probe_only |= std::strcmp(argv[i], "--probe") == 0;
     }
 
     unsigned hw = defaultThreadCount();
@@ -621,13 +753,16 @@ main(int argc, char **argv)
         configs.push_back(hw);
 
     bool ok = true;
-    if (!dnn_only) {
+    if (!dnn_only && !probe_only) {
         ok &= runScalingSection(configs, smoke);
         ok &= runBandCacheSection(configs);
         ok &= runMaterializationSection(configs, smoke);
         ok &= runPartitionKeySection(configs, smoke);
     }
-    ok &= runDNNSection(configs, smoke);
+    if (!dnn_only)
+        ok &= runProbeSection(configs, smoke);
+    if (!probe_only)
+        ok &= runDNNSection(configs, smoke);
 
     if (!ok) {
         std::printf("SELF-CHECK FAILED: parallel/cached estimation "

@@ -60,7 +60,8 @@ sameFrontier(const std::vector<EvaluatedPoint> &a,
     if (a.size() != b.size())
         return false;
     for (size_t i = 0; i < a.size(); ++i)
-        if (a[i].point != b[i].point || a[i].qor.latency != b[i].qor.latency ||
+        if (a[i].point != b[i].point ||
+            a[i].qor.latency != b[i].qor.latency ||
             a[i].qor.resources.dsp != b[i].qor.resources.dsp)
             return false;
     return true;

@@ -105,6 +105,21 @@ classify(Operation *alloc, const std::vector<Operation *> &band_roots)
             return buffer;
         }
     }
+    if (per_band.size() > 2) {
+        // One store-only producer feeding load-only reader stages is a
+        // broadcast channel (MultiConsumer); any later band that also
+        // writes makes it a SharedChain instead.
+        const auto &producer = per_band.begin()->second;
+        bool broadcast = !producer.first && producer.second;
+        for (auto it = std::next(per_band.begin());
+             broadcast && it != per_band.end(); ++it)
+            broadcast = it->second.first && !it->second.second;
+        if (broadcast) {
+            buffer.ownership = BufferOwnership::MultiConsumer;
+            buffer.owner = buffer.bands[0];
+            return buffer;
+        }
+    }
     buffer.ownership = BufferOwnership::SharedChain;
     return buffer;
 }

@@ -30,6 +30,12 @@ enum class BufferOwnership
      * earlier band only stores, the later band loads (a dataflow channel
      * buffer, or the equivalent RAW edge of a sequential function). */
     DataflowEdge,
+    /** One producer band, SEVERAL reader stages: the first band only
+     * stores, every later band only loads (a broadcast channel — e.g.
+     * one feature map consumed by two downstream layers). Still a legal
+     * dataflow channel: the later stages cannot write back, so no
+     * WAR/WAW hazard crosses the stage overlap. */
+    MultiConsumer,
     /** Users are plain loads/stores confined to bands, but span a longer
      * producer/consumer chain (the init → accumulate → consume pattern
      * of lowered DNN layers). */
@@ -46,7 +52,8 @@ struct OwnedBuffer
     Operation *alloc = nullptr;
     Value *memref = nullptr;
     BufferOwnership ownership = BufferOwnership::Escaping;
-    /** BandLocal: the owning band. DataflowEdge: the producer band. */
+    /** BandLocal: the owning band. DataflowEdge/MultiConsumer: the
+     * producer band. */
     int owner = -1;
     /** DataflowEdge: the consumer band. */
     int consumer = -1;
@@ -77,9 +84,10 @@ struct AllocOwnershipInfo
 
     /** True when every buffer is eligible for band-local cleanup
      * reasoning under the given top-level composition: sequential
-     * functions admit Dead/BandLocal/DataflowEdge/SharedChain; a
-     * dataflow top additionally requires every inter-band buffer to be a
-     * single producer→consumer edge (a legal dataflow channel). */
+     * functions admit Dead/BandLocal/DataflowEdge/MultiConsumer/
+     * SharedChain; a dataflow top additionally requires every inter-band
+     * buffer to be a legal channel — one producer feeding one consumer
+     * (DataflowEdge) or several read-only stages (MultiConsumer). */
     bool eligible(bool dataflow_top) const;
 
     /** The digest annotation of @p memref's ownership ("kept"/"dead"),

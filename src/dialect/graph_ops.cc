@@ -83,7 +83,8 @@ createDWConv2D(OpBuilder &b, Value *input, Value *weight, int64_t stride,
     const auto &in = input->type().shape();
     const auto &w = weight->type().shape();
     assert(in.size() == 4 && w.size() == 4);
-    assert(in[1] == w[0] && w[1] == 1 && "depthwise weight must be [C,1,k,k]");
+    assert(in[1] == w[0] && w[1] == 1 &&
+           "depthwise weight must be [C,1,k,k]");
     std::vector<int64_t> out = {in[0], in[1],
                                 convOutSize(in[2], w[2], stride, pad),
                                 convOutSize(in[3], w[3], stride, pad)};

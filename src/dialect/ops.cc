@@ -231,7 +231,8 @@ AffineForOp::upperBoundOperands() const
 }
 
 void
-AffineForOp::setLowerBound(AffineMap map, const std::vector<Value *> &operands)
+AffineForOp::setLowerBound(AffineMap map,
+                           const std::vector<Value *> &operands)
 {
     auto ub_operands = upperBoundOperands();
     std::vector<Value *> all = operands;
@@ -242,7 +243,8 @@ AffineForOp::setLowerBound(AffineMap map, const std::vector<Value *> &operands)
 }
 
 void
-AffineForOp::setUpperBound(AffineMap map, const std::vector<Value *> &operands)
+AffineForOp::setUpperBound(AffineMap map,
+                           const std::vector<Value *> &operands)
 {
     auto lb_operands = lowerBoundOperands();
     std::vector<Value *> all = lb_operands;

@@ -81,6 +81,21 @@ inline constexpr const char *kDataflowStage = "hlscpp.dataflow_stage";
 inline constexpr const char *kPointLoop = "hlscpp.point_loop";
 ///@}
 
+/** Two-operand region-free ops whose operand order is irrelevant to
+ * estimation: latency, dependence edges and resource kind are symmetric
+ * in the operands. The canonicalizing band digest (operand refs fed in
+ * sorted order) and commutative-aware CSE must agree on this exact set —
+ * the digest treats swapped-operand ops as equal, so CSE must merge them
+ * too, or two digest-equal bands could clean up differently. */
+inline bool
+isCommutativeOp(const Operation *op)
+{
+    return op->numOperands() == 2 && op->numRegions() == 0 &&
+           (op->is(ops::AddF) || op->is(ops::MulF) ||
+            op->is(ops::MaxF) || op->is(ops::MinF) ||
+            op->is(ops::AddI) || op->is(ops::MulI));
+}
+
 /** Integer/float comparison predicates (subset of MLIR's). */
 enum class CmpPredicate { EQ, NE, LT, LE, GT, GE };
 

@@ -193,6 +193,15 @@ class DesignSpace
      * like Table III ("A:[8, 16]"). */
     static std::string partitionSummary(Operation *module);
 
+    /** The pristine (untransformed) module every materialization clones.
+     * Callers must treat it as immutable — the plan-first evaluator
+     * reads it concurrently from every DSE worker. */
+    Operation *pristineModule() const { return pristine_.get(); }
+
+    /** The option set the space was built with (the planner must mirror
+     * the materializer's eligibility rules, e.g. dataflowFastPath). */
+    const DesignSpaceOptions &spaceOptions() const { return options_; }
+
   private:
     /** The tunable sub-space of one top-level band. */
     struct BandSpace

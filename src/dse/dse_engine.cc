@@ -36,12 +36,14 @@ DSEEngine::explore()
         estimates ? estimates->scheduleHits() : 0;
     size_t schedule_lookups_before =
         estimates ? estimates->scheduleLookups() : 0;
+    size_t cross_band_before = estimates ? estimates->crossBandHits() : 0;
 
     EvaluatorOptions evaluator_options;
     evaluator_options.bandCache = options_.bandLevelCache;
     evaluator_options.partitionAwareKeys =
         options_.partitionAwareBandKeys;
     evaluator_options.incremental = options_.incrementalMaterialize;
+    evaluator_options.planFirst = options_.planFirstEvaluation;
     evaluator_ = std::make_unique<CachingEvaluator>(
         space_, pool_.get(), estimates, evaluator_options);
     // Keep the winning module so finalization does not re-materialize
@@ -66,6 +68,12 @@ DSEEngine::explore()
     materializations_ = evaluator.numMaterializations();
     full_materializations_ = evaluator.numFullMaterializations();
     fast_path_hits_ = evaluator.numFastPathHits();
+    plan_composed_ = evaluator.numPlanComposed();
+    overlay_materializations_ = evaluator.numOverlayMaterializations();
+    plan_infeasible_ = evaluator.numPlanInfeasible();
+    plan_mismatches_ = evaluator.numPlanMismatches();
+    cross_band_hits_ =
+        estimates ? estimates->crossBandHits() - cross_band_before : 0;
     cache_hits_ = evaluator.numCacheHits();
     estimate_hits_ = estimates ? estimates->hits() - hits_before : 0;
     estimate_lookups_ =
@@ -186,6 +194,11 @@ runDSE(Operation *module, const ResourceBudget &budget,
     result.fullMaterializations = engine.numFullMaterializations();
     result.fastPathHits = engine.numFastPathHits();
     result.bandMaskedHits = engine.numBandMaskedHits();
+    result.planComposed = engine.numPlanComposed();
+    result.overlayMaterializations = engine.numOverlayMaterializations();
+    result.planInfeasible = engine.numPlanInfeasible();
+    result.planMismatches = engine.numPlanMismatches();
+    result.crossBandHits = engine.numCrossBandHits();
     result.moduleReused = engine.moduleReused();
     result.qorVerified = engine.qorVerified();
     result.seconds = std::chrono::duration<double>(

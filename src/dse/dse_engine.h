@@ -63,6 +63,15 @@ struct DSEOptions
      * from cached per-band entries (validated, bit-identical). Requires
      * the band cache. */
     bool incrementalMaterialize = true;
+    /** Plan-first evaluation: predict each band's phase-1 digest from
+     * the pristine kernel and the decoded choice through the PLAN cache
+     * tier, compose fully predicted points with ZERO IR built, and
+     * materialize partial misses through copy-on-write overlays that
+     * rebuild only the missed bands. Predictions are validated against
+     * every overlay materialization (mismatches fall back to the full
+     * pipeline), so results never change. Requires
+     * incrementalMaterialize + the band cache. */
+    bool planFirstEvaluation = true;
     /** Max entries PER TIER of the engine-owned estimate cache (coarse
      * FIFO eviction; 0 = unbounded). Bounds memory on week-long sweeps
      * without changing results; external sharedEstimates caches are the
@@ -161,6 +170,24 @@ class DSEEngine
      * partition-sensitive keying would have missed; sharing caveat as
      * numEstimateHits). */
     size_t numBandMaskedHits() const { return band_masked_hits_; }
+    /** Fast-path hits composed with ZERO IR built (plan-first). */
+    size_t numPlanComposed() const { return plan_composed_; }
+    /** Cache misses materialized through a copy-on-write overlay (only
+     * the schedule-missing bands were built). */
+    size_t numOverlayMaterializations() const
+    {
+        return overlay_materializations_;
+    }
+    /** Points proved infeasible by the planner with zero IR. */
+    size_t numPlanInfeasible() const { return plan_infeasible_; }
+    /** Plan predictions contradicted by an overlay materialization (the
+     * point fell back to the validated full pipeline). */
+    size_t numPlanMismatches() const { return plan_mismatches_; }
+    /** Schedule-tier hits served by an entry another band (or function)
+     * recorded — the canonicalizing digest sharing entries across
+     * symmetric bands, e.g. 3mm's stages (sharing caveat as
+     * numEstimateHits). */
+    size_t numCrossBandHits() const { return cross_band_hits_; }
 
   private:
     DesignSpace &space_;
@@ -177,6 +204,11 @@ class DSEEngine
     size_t full_materializations_ = 0;
     size_t fast_path_hits_ = 0;
     size_t band_masked_hits_ = 0;
+    size_t plan_composed_ = 0;
+    size_t overlay_materializations_ = 0;
+    size_t plan_infeasible_ = 0;
+    size_t plan_mismatches_ = 0;
+    size_t cross_band_hits_ = 0;
     std::optional<ResourceBudget> finalize_budget_;
     bool module_reused_ = false;
     bool qor_verified_ = false;
@@ -213,6 +245,15 @@ struct DSEResult
     size_t fullMaterializations = 0;
     size_t fastPathHits = 0;
     size_t bandMaskedHits = 0;
+    /** Plan-first stats: zero-IR compositions, overlay (partial)
+     * materializations, zero-IR infeasibility verdicts, validated
+     * digest-prediction mismatches (fallbacks, never wrong answers), and
+     * schedule-tier hits on entries born in another band/function. */
+    size_t planComposed = 0;
+    size_t overlayMaterializations = 0;
+    size_t planInfeasible = 0;
+    size_t planMismatches = 0;
+    size_t crossBandHits = 0;
     /** True when the finalized module was the one retained during
      * exploration (no re-materialization). */
     bool moduleReused = false;

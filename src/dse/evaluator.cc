@@ -15,10 +15,13 @@ CachingEvaluator::evaluateScheduled(const DesignSpace::Partial &partial)
 
     // Hold the looked-up entries by value (the sharded cache returns
     // copies) and compose only when EVERY band hit.
+    std::string func_name = funcName(partial.func);
     std::vector<BandScheduleEntry> entries;
     entries.reserve(partial.bandDigests.size());
-    for (const auto &digest : partial.bandDigests) {
-        auto entry = estimates_->lookupSchedule(digest->digest);
+    for (size_t i = 0; i < partial.bandDigests.size(); ++i) {
+        auto entry = estimates_->lookupSchedule(
+            partial.bandDigests[i]->digest,
+            func_name + "#" + std::to_string(i));
         if (!entry)
             return std::nullopt;
         entries.push_back(std::move(*entry));
@@ -60,9 +63,12 @@ CachingEvaluator::insertScheduleEntries(
         auto entry = buildBandScheduleEntry(
             final_bands[i].front(), it->second,
             partial.bandDigests[i]->externals);
-        if (entry)
+        if (entry) {
+            entry->origin =
+                funcName(partial.func) + "#" + std::to_string(i);
             estimates_->insertSchedule(partial.bandDigests[i]->digest,
                                        *entry);
+        }
     }
 }
 
@@ -87,6 +93,37 @@ CachingEvaluator::evaluateFresh(const DesignSpace::Point &point,
         }
         return qor;
     };
+
+    if (planner_) {
+        BandPlanner::Outcome planned = planner_->evaluate(point);
+        switch (planned.kind) {
+          case BandPlanner::Outcome::Kind::Composed:
+            if (planned.usedOverlay) {
+                overlay_materializations_.fetch_add(
+                    1, std::memory_order_relaxed);
+            } else {
+                // Zero IR built: count it as a fast-path hit too — it is
+                // the same validated band-incremental composition, minus
+                // even the phase-1 transforms.
+                fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+                plan_composed_.fetch_add(1, std::memory_order_relaxed);
+            }
+            return finalize(planned.qor);
+          case BandPlanner::Outcome::Kind::Infeasible:
+            // Exactly what the legacy path returns for a point whose
+            // materialization fails — minus the clone and transforms.
+            plan_infeasible_.fetch_add(1, std::memory_order_relaxed);
+            result.latency = kInfeasibleQoR;
+            result.interval = kInfeasibleQoR;
+            result.feasible = false;
+            return result;
+          case BandPlanner::Outcome::Kind::Fallback:
+            if (planned.mismatched)
+                plan_mismatches_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            break; // Run the validated legacy pipeline below.
+        }
+    }
 
     DesignSpace::Partial partial;
     if (incremental) {

@@ -17,7 +17,9 @@
 #define SCALEHLS_DSE_EVALUATOR_H
 
 #include <atomic>
+#include <memory>
 
+#include "dse/band_plan.h"
 #include "dse/design_space.h"
 #include "estimate/estimate_cache.h"
 #include "support/concurrent_cache.h"
@@ -63,6 +65,15 @@ struct EvaluatorOptions
      * estimate cache with the band tier on; results are always
      * bit-identical to the full path. */
     bool incremental = true;
+    /** Plan-first evaluation (requires `incremental` + the band tier +
+     * an estimate cache): predict each band's phase-1 digest from the
+     * pristine kernel and the decoded choice (the PLAN cache tier, no
+     * IR built), compose fully predicted points with zero clones, and
+     * materialize partial misses through a copy-on-write overlay that
+     * rebuilds only the missed bands. Predictions are validated against
+     * every overlay materialization (mismatches fall back to the full
+     * pipeline and are counted), so results stay bit-identical. */
+    bool planFirst = true;
 };
 
 /** The default evaluator: materialize + estimate behind a sharded memo
@@ -93,7 +104,15 @@ class CachingEvaluator : public Evaluator
                               EvaluatorOptions options = {})
         : space_(space), pool_(pool), estimates_(estimates),
           options_(options)
-    {}
+    {
+        if (options_.planFirst && estimates_ && options_.incremental &&
+            options_.bandCache) {
+            planner_ = std::make_unique<BandPlanner>(
+                space_, estimates_, options_.partitionAwareKeys);
+            if (!planner_->enabled())
+                planner_.reset();
+        }
+    }
 
     QoRResult evaluate(const DesignSpace::Point &point) override;
     std::vector<QoRResult>
@@ -126,8 +145,26 @@ class CachingEvaluator : public Evaluator
         return full_materializations_.load();
     }
     /** Uncached evaluations served by the band-incremental fast path
-     * (every band hit the schedule tier and validated). */
+     * (every band hit the schedule tier and validated) — including the
+     * plan-composed ones, which additionally built zero IR. */
     size_t numFastPathHits() const { return fast_path_hits_.load(); }
+    /** Fast-path hits decided entirely from the PLAN + SCHEDULE tiers:
+     * no clone, no transform, no IR of any kind. */
+    size_t numPlanComposed() const { return plan_composed_.load(); }
+    /** Uncached evaluations that materialized through a copy-on-write
+     * overlay (only the schedule-tier misses among the point's bands
+     * were built; the rest composed from cache). */
+    size_t numOverlayMaterializations() const
+    {
+        return overlay_materializations_.load();
+    }
+    /** Points the planner proved infeasible with zero IR (unroll cap, or
+     * a cached per-band transform failure). */
+    size_t numPlanInfeasible() const { return plan_infeasible_.load(); }
+    /** Overlay materializations whose actual phase-1 digest contradicted
+     * the PLAN tier's prediction; such points fell back to the full
+     * pipeline, so a nonzero count costs time, never correctness. */
+    size_t numPlanMismatches() const { return plan_mismatches_.load(); }
     /** Number of evaluations served from the cache. */
     size_t numCacheHits() const { return cache_hits_.load(); }
     /** Duplicate in-batch slots served from their sibling's result. */
@@ -157,11 +194,18 @@ class CachingEvaluator : public Evaluator
     ThreadPool *pool_;
     EstimateCache *estimates_ = nullptr;
     EvaluatorOptions options_;
+    /** Plan-first evaluation over the PLAN cache tier (null when
+     * disabled by options or by the kernel's shape). */
+    std::unique_ptr<BandPlanner> planner_;
     ConcurrentCache<DesignSpace::Point, QoRResult, OrdinalVectorHash>
         cache_;
     std::atomic<size_t> materializations_{0};
     std::atomic<size_t> full_materializations_{0};
     std::atomic<size_t> fast_path_hits_{0};
+    std::atomic<size_t> plan_composed_{0};
+    std::atomic<size_t> overlay_materializations_{0};
+    std::atomic<size_t> plan_infeasible_{0};
+    std::atomic<size_t> plan_mismatches_{0};
     std::atomic<size_t> cache_hits_{0};
     std::atomic<size_t> batch_dedups_{0};
 

@@ -129,8 +129,29 @@ class TreeSerializer
             digest_.feed(name);
             digest_.feed(attr.toString());
         }
-        for (Value *operand : op->operands())
-            digest_.feed(operand ? refOf(operand) : std::string("null"));
+        if (isCommutativeOp(op)) {
+            // Canonicalize commutative noise: resolve the refs in operand
+            // order (first-reference registration must stay deterministic)
+            // but feed them sorted, so `a+b` and `b+a` digest equally.
+            // Sound because estimation is operand-order symmetric for
+            // these ops and CSE merges swapped duplicates (see
+            // isCommutativeOp); symmetric bands — 3mm's identical stages
+            // with operand-order drift — then share schedule entries.
+            std::string lhs = op->operand(0)
+                                  ? refOf(op->operand(0))
+                                  : std::string("null");
+            std::string rhs = op->operand(1)
+                                  ? refOf(op->operand(1))
+                                  : std::string("null");
+            if (rhs < lhs)
+                std::swap(lhs, rhs);
+            digest_.feed(lhs);
+            digest_.feed(rhs);
+        } else {
+            for (Value *operand : op->operands())
+                digest_.feed(operand ? refOf(operand)
+                                     : std::string("null"));
+        }
         for (Value *result : op->results()) {
             define(result);
             digest_.feed(result->type().toString());
@@ -309,6 +330,52 @@ bandEstimateDigestInfo(Operation *band_root, bool mask_partitions,
     info.partitionMasked = serializer.partitionMasked();
     info.externals = serializer.externals();
     return info;
+}
+
+std::optional<BandPlanSeed>
+bandPlanSeed(Operation *band_root, const AllocOwnershipInfo *ownership)
+{
+    Digest128 digest;
+    // Own domain: plan keys must never alias the band/schedule digests
+    // (they hash PRISTINE content plus a BandChoice, not transformed
+    // content). Ownership notes are REQUIRED key material — the zero-IR
+    // compose path consumes plan outcomes without ever materializing the
+    // band, so nothing downstream would catch an ownership mismatch.
+    digest.feed("plan");
+    digest.feed(ownership ? "owned" : "plain");
+    TreeSerializer serializer(digest, TreeSerializer::Mode::Band,
+                              /*mask_partitions=*/false, nullptr,
+                              ownership);
+    serializer.serialize(band_root);
+    if (!serializer.cacheable())
+        return std::nullopt;
+    BandPlanSeed seed;
+    seed.laneA = digest.lane_a;
+    seed.laneB = digest.lane_b;
+    seed.externals = serializer.externals();
+    return seed;
+}
+
+std::string
+bandPlanKey(const BandPlanSeed &seed, bool loop_perfectization,
+            bool remove_variable_bound, const std::vector<unsigned> &perm,
+            const std::vector<int64_t> &tiles, int64_t target_ii)
+{
+    Digest128 digest;
+    digest.lane_a = seed.laneA;
+    digest.lane_b = seed.laneB;
+    digest.feed("choice");
+    digest.feed(loop_perfectization ? "lp1" : "lp0");
+    digest.feed(remove_variable_bound ? "rvb1" : "rvb0");
+    digest.feed("perm");
+    for (unsigned p : perm)
+        digest.feed(std::to_string(p));
+    digest.feed("tile");
+    for (int64_t t : tiles)
+        digest.feed(std::to_string(t));
+    digest.feed("ii");
+    digest.feed(std::to_string(target_ii));
+    return digest.hex();
 }
 
 std::optional<std::string>

@@ -23,7 +23,36 @@
 
 namespace scalehls {
 
-/** Thread-safe three-tier estimate cache shared across concurrently
+/** The cached outcome of planning one (pristine band, BandChoice) pair —
+ * the PLAN tier's value type. A plan outcome predicts, without building
+ * any IR, what the per-band structural transforms of beginMaterialize
+ * would produce for this band:
+ *
+ *  - `materializable` false: the transforms fail (e.g. pipelining cannot
+ *    legalize the band) — any point selecting this choice is infeasible,
+ *    decided with zero IR.
+ *  - `digest`: the band's phase-1 (schedule-tier) digest.
+ *  - `extMap`: phase-1 external id -> BandPlanSeed external index. The
+ *    transforms permute the first-reference order of external values, so
+ *    a schedule entry's ids must be translated onto the pristine table
+ *    before composing.
+ *  - `composable` false: the digest or extMap could not be established
+ *    (an external of the transformed band has no pristine counterpart);
+ *    the band must be materialized on every evaluation.
+ *
+ * Outcomes are recorded from an actual overlay materialization of the
+ * band (never predicted blind), so a cached outcome is exact; the
+ * digest-mismatch fallback in the planner double-checks this invariant
+ * whenever an outcome and a materialization meet. */
+struct BandPlanOutcome
+{
+    bool materializable = false;
+    bool composable = false;
+    std::string digest;
+    std::vector<unsigned> extMap;
+};
+
+/** Thread-safe four-tier estimate cache shared across concurrently
  * evaluating design points:
  *
  *  - the FUNCTION tier maps (function name, digest) keys to whole-
@@ -38,7 +67,11 @@ namespace scalehls {
  *    materialization fast path: a point whose bands all hit this tier
  *    skips the function-wide cleanup, array partition AND the estimator
  *    walk entirely (composeScheduledQoR re-validates the cross-band
- *    partition coupling before trusting an entry).
+ *    partition coupling before trusting an entry);
+ *  - the PLAN tier maps (pristine band, BandChoice) keys — bandPlanKey,
+ *    no IR built — to BandPlanOutcome values, which predict the phase-1
+ *    digest analytically: a point whose bands all hit PLAN and (through
+ *    the predicted digests) SCHEDULE composes its QoR with zero IR.
  *
  * All tiers are content-keyed (the schedule tier additionally validated
  * at use): hits are value-identical to recomputation at any thread
@@ -92,12 +125,21 @@ class EstimateCache
     }
     ///@}
 
-    /** @name Schedule tier (incremental materialization) */
+    /** @name Schedule tier (incremental materialization)
+     * @p origin (optional, "func#bandIndex") identifies the consumer: a
+     * hit on an entry recorded under a DIFFERENT origin is counted in
+     * crossBandHits() — a symmetric band reusing a sibling's (or another
+     * function's) entry. Purely statistical. */
     ///@{
     std::optional<BandScheduleEntry>
-    lookupSchedule(const std::string &phase1_digest) const
+    lookupSchedule(const std::string &phase1_digest,
+                   const std::string &origin = std::string()) const
     {
-        return schedules_.lookup(phase1_digest);
+        auto result = schedules_.lookup(phase1_digest);
+        if (result && !origin.empty() && !result->origin.empty() &&
+            result->origin != origin)
+            cross_band_hits_.fetch_add(1, std::memory_order_relaxed);
+        return result;
     }
 
     void
@@ -105,6 +147,21 @@ class EstimateCache
                    const BandScheduleEntry &entry)
     {
         schedules_.insert(phase1_digest, entry);
+    }
+    ///@}
+
+    /** @name Plan tier (plan-first evaluation) */
+    ///@{
+    std::optional<BandPlanOutcome>
+    lookupPlan(const std::string &plan_key) const
+    {
+        return plans_.lookup(plan_key);
+    }
+
+    void
+    insertPlan(const std::string &plan_key, const BandPlanOutcome &outcome)
+    {
+        plans_.insert(plan_key, outcome);
     }
     ///@}
 
@@ -118,6 +175,7 @@ class EstimateCache
         cache_.setMaxEntries(max_entries_per_tier);
         bands_.setMaxEntries(max_entries_per_tier);
         schedules_.setMaxEntries(max_entries_per_tier);
+        plans_.setMaxEntries(max_entries_per_tier);
     }
 
     /** @name Statistics (delegated to the sharded tiers).
@@ -150,6 +208,16 @@ class EstimateCache
     size_t scheduleHits() const { return schedules_.hits(); }
     size_t scheduleLookups() const { return schedules_.lookups(); }
     CacheStats scheduleStats() const { return schedules_.stats(); }
+    /** Schedule-tier hits whose entry was recorded under a different
+     * origin than the consumer's — entry sharing across symmetric bands
+     * or functions, enabled by the canonicalizing digest. */
+    size_t crossBandHits() const
+    {
+        return cross_band_hits_.load(std::memory_order_relaxed);
+    }
+    size_t planHits() const { return plans_.hits(); }
+    size_t planLookups() const { return plans_.lookups(); }
+    CacheStats planStats() const { return plans_.stats(); }
     ///@}
 
     void
@@ -158,14 +226,18 @@ class EstimateCache
         cache_.clear();
         bands_.clear();
         schedules_.clear();
+        plans_.clear();
         masked_band_hits_.store(0, std::memory_order_relaxed);
+        cross_band_hits_.store(0, std::memory_order_relaxed);
     }
 
   private:
     ConcurrentCache<std::string, QoRResult> cache_;
     ConcurrentCache<std::string, BandEstimate> bands_;
     ConcurrentCache<std::string, BandScheduleEntry> schedules_;
+    ConcurrentCache<std::string, BandPlanOutcome> plans_;
     mutable std::atomic<size_t> masked_band_hits_{0};
+    mutable std::atomic<size_t> cross_band_hits_{0};
 };
 
 } // namespace scalehls

@@ -10,10 +10,12 @@
 #ifndef SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H
 #define SCALEHLS_ESTIMATE_QOR_ESTIMATOR_H
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "analysis/buffer_analysis.h"
 #include "analysis/memory_analysis.h"
@@ -115,6 +117,40 @@ std::optional<BandDigestInfo> bandEstimateDigestInfo(
 std::optional<std::string> bandEstimateDigest(
     Operation *band_root, bool mask_partitions = true);
 
+/** The reusable half of a band's PLAN key (plan-first evaluation): the
+ * digest state of the PRISTINE band's serialization — including
+ * ownership notes, which the zero-IR consumer cannot re-validate — plus
+ * the pristine external-value table. Computed once per band at planner
+ * construction; bandPlanKey() then extends the snapshot with a concrete
+ * BandChoice in O(choice) per evaluated point, no IR walk. */
+struct BandPlanSeed
+{
+    uint64_t laneA = 0;
+    uint64_t laneB = 0;
+    /** The pristine band's externals in first-reference order. Phase-1
+     * external ids are translated onto this table through
+     * BandPlanOutcome::extMap. */
+    std::vector<Value *> externals;
+};
+
+/** Seed the plan key of @p band_root (a PRISTINE top-level band).
+ * Returns nullopt when the band is not content-determined (same rule as
+ * bandEstimateDigestInfo) — such bands cannot be planned. */
+std::optional<BandPlanSeed> bandPlanSeed(
+    Operation *band_root, const AllocOwnershipInfo *ownership);
+
+/** The full plan key of one (pristine band, BandChoice) pair: the seed
+ * extended with the per-band structural-transform parameters. Two equal
+ * keys denote band variants whose phase-1 content is provably identical
+ * — the transforms are deterministic functions of (pristine subtree,
+ * choice). */
+std::string bandPlanKey(const BandPlanSeed &seed,
+                        bool loop_perfectization,
+                        bool remove_variable_bound,
+                        const std::vector<unsigned> &perm,
+                        const std::vector<int64_t> &tiles,
+                        int64_t target_ii);
+
 /** Self-contained estimate of one top-level loop band (the unit of the
  * band-level cache tier). Latency/interval/feasibility come from the
  * band's loop composition; the resource side is kept DECOMPOSED — the
@@ -185,6 +221,14 @@ struct BandScheduleEntry
         PartitionPlan assumed;
     };
     std::vector<MemrefInfo> memrefs;
+
+    /** Provenance label ("func#bandIndex") of the materialization that
+     * built the entry. Purely statistical: a consumer passing its own
+     * origin to EstimateCache::lookupSchedule counts hits against
+     * entries born elsewhere (the crossBandHits stat — e.g. 3mm's
+     * symmetric stages sharing one entry). Never part of the key and
+     * never affects the replayed QoR. */
+    std::string origin;
 };
 
 /** A band of the point under evaluation, resolved against its cached

@@ -198,8 +198,9 @@ AffineExpr::evaluate(const std::vector<int64_t> &dims,
 }
 
 AffineExpr
-AffineExpr::replaceDimsAndSymbols(const std::vector<AffineExpr> &dims,
-                                  const std::vector<AffineExpr> &symbols) const
+AffineExpr::replaceDimsAndSymbols(
+    const std::vector<AffineExpr> &dims,
+    const std::vector<AffineExpr> &symbols) const
 {
     switch (kind()) {
       case AffineExprKind::Constant:

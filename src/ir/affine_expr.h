@@ -3,8 +3,9 @@
  * Affine expressions: the arithmetic language used for loop bounds, memory
  * subscripts, partition layout maps and if-conditions.
  *
- * An AffineExpr is an immutable tree over dimension identifiers (d0, d1, ...),
- * symbol identifiers (s0, s1, ...) and integer constants, combined with
+ * An AffineExpr is an immutable tree over dimension identifiers
+ * (d0, d1, ...), symbol identifiers (s0, s1, ...) and integer
+ * constants, combined with
  * + , * , mod, floordiv and ceildiv. Construction performs local
  * simplification (constant folding, identity elimination, canonical
  * constant-on-the-right ordering) so that structurally equal expressions

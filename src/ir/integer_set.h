@@ -33,7 +33,10 @@ class IntegerSet
 
     unsigned numDims() const { return numDims_; }
     unsigned numConstraints() const { return constraints_.size(); }
-    const std::vector<AffineExpr> &constraints() const { return constraints_; }
+    const std::vector<AffineExpr> &constraints() const
+    {
+        return constraints_;
+    }
     AffineExpr constraint(unsigned i) const { return constraints_[i]; }
     bool isEq(unsigned i) const { return eqFlags_[i]; }
     const std::vector<bool> &eqFlags() const { return eqFlags_; }

@@ -1,6 +1,7 @@
 #include "ir/ir.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "support/utils.h"
@@ -29,11 +30,24 @@ Value::replaceAllUsesWith(Value *other)
 // Operation
 //
 
+namespace {
+/** Relaxed is enough: readers only ever diff two snapshots taken on the
+ * same thread around the measured code path. */
+std::atomic<size_t> created_count{0};
+} // namespace
+
+size_t
+Operation::createdCount()
+{
+    return created_count.load(std::memory_order_relaxed);
+}
+
 std::unique_ptr<Operation>
 Operation::create(std::string name, std::vector<Type> result_types,
                   std::vector<Value *> operands, AttrMap attrs,
                   unsigned num_regions)
 {
+    created_count.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<Operation> op(new Operation());
     op->name_ = std::move(name);
     op->attrs_ = std::move(attrs);
@@ -405,7 +419,7 @@ Operation::countValues() const
 }
 
 std::unique_ptr<Operation>
-Operation::cloneImpl(ValueRemap &remap) const
+Operation::cloneImpl(ValueRemap &remap, bool *complete) const
 {
     std::vector<Type> result_types;
     result_types.reserve(results_.size());
@@ -416,6 +430,12 @@ Operation::cloneImpl(ValueRemap &remap) const
     new_operands.reserve(operands_.size());
     for (Value *v : operands_) {
         Value *mapped = v ? remap.get(v) : nullptr;
+        if (!mapped && v && complete) {
+            // Strict mode: never alias the original value (that would
+            // mutate its use list — the shared base of an overlay).
+            *complete = false;
+            v = nullptr;
+        }
         new_operands.push_back(mapped ? mapped : v);
     }
 
@@ -434,7 +454,7 @@ Operation::cloneImpl(ValueRemap &remap) const
                 remap.set(arg.get(), new_arg);
             }
             for (auto &op : block->ops_)
-                new_block->pushBack(op->cloneImpl(remap));
+                new_block->pushBack(op->cloneImpl(remap, complete));
         }
         cloned->regions_.push_back(std::move(new_region));
     }
@@ -457,6 +477,19 @@ Operation::clone() const
 {
     ValueRemap remap(countValues());
     return cloneImpl(remap);
+}
+
+std::unique_ptr<Operation>
+Operation::cloneStrict(std::unordered_map<Value *, Value *> &mapping,
+                       bool &complete) const
+{
+    complete = true;
+    ValueRemap remap(mapping.size() + countValues());
+    for (const auto &[from, to] : mapping)
+        remap.set(from, to);
+    auto cloned = cloneImpl(remap, &complete);
+    remap.forEach([&](Value *from, Value *to) { mapping[from] = to; });
+    return cloned;
 }
 
 //

@@ -105,6 +105,12 @@ class Operation
                                              AttrMap attrs = {},
                                              unsigned num_regions = 0);
 
+    /** Process-wide count of operations ever created (relaxed counter).
+     * Deltas around a code path measure its IR construction cost: a
+     * zero delta proves the path built no IR at all (module clones are
+     * create() storms, so "zero creations" implies "zero clones"). */
+    static size_t createdCount();
+
     const std::string &name() const { return name_; }
     bool is(std::string_view n) const { return name_ == n; }
     /** Dialect prefix, e.g. "affine" for "affine.for". */
@@ -202,6 +208,16 @@ class Operation
      * the tree's value count up front, so cloning never rehashes. */
     std::unique_ptr<Operation> clone() const;
 
+    /** Strict deep-clone for copy-on-write overlays: like clone(), but a
+     * use of a value that is neither in @p mapping nor defined inside the
+     * cloned tree becomes a NULL operand and clears @p complete, instead
+     * of falling back to the original value. The fallback would register
+     * the clone on the original value's use list — a write to the shared
+     * base that races concurrent overlay builds over one pristine module.
+     * An incomplete strict clone must be discarded by the caller. */
+    std::unique_ptr<Operation> cloneStrict(
+        std::unordered_map<Value *, Value *> &mapping, bool &complete) const;
+
     /** Number of values (op results + block arguments) defined inside
      * this op's tree, i.e. the number of remap entries a clone records. */
     size_t countValues() const;
@@ -210,8 +226,12 @@ class Operation
     Operation() = default;
     friend class Block;
 
-    /** Shared clone core over the pre-sized remap table. */
-    std::unique_ptr<Operation> cloneImpl(ValueRemap &remap) const;
+    /** Shared clone core over the pre-sized remap table. With @p complete
+     * non-null, unmapped external uses become null operands and clear it
+     * (the strict mode of cloneStrict); with it null, they fall back to
+     * the original value (the classic clone semantics). */
+    std::unique_ptr<Operation> cloneImpl(ValueRemap &remap,
+                                         bool *complete = nullptr) const;
 
     std::string name_;
     std::vector<Value *> operands_;

@@ -256,8 +256,16 @@ applyCSE(Operation *scope)
             return;
         std::ostringstream key;
         key << op->parentBlock() << "|" << op->name();
-        for (Value *operand : op->operands())
-            key << "|" << operand;
+        if (isCommutativeOp(op) && op->operand(1) < op->operand(0)) {
+            // Commutative ops key operands in a canonical order so
+            // swapped-operand duplicates merge — the canonicalizing band
+            // digest treats them as equal, and digest-equal bands must
+            // clean up identically (see isCommutativeOp).
+            key << "|" << op->operand(1) << "|" << op->operand(0);
+        } else {
+            for (Value *operand : op->operands())
+                key << "|" << operand;
+        }
         for (const auto &[name, attr] : op->attrs())
             key << "|" << name << "=" << attr.toString();
         auto [it, inserted] = table.emplace(key.str(), op);

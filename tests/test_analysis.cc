@@ -264,6 +264,57 @@ TEST(BufferAnalysis, SingleEdgeDataflowBuffer)
     EXPECT_TRUE(info.eligible(/*dataflow_top=*/true));
 }
 
+TEST(BufferAnalysis, MultiConsumerBroadcastChannel)
+{
+    // One store-only producer band feeding TWO load-only reader bands:
+    // a broadcast channel. Legal under a dataflow top (readers cannot
+    // write back, so no WAR/WAW hazard crosses the stage overlap).
+    auto module = affineModule("void k(float A[16], float B[16],\n"
+                               "       float C[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = A[i] * 2.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    B[i] = tmp[i] + 1.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    C[i] = tmp[i] * 3.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    const OwnedBuffer &tmp = info.buffers[0];
+    EXPECT_EQ(tmp.ownership, BufferOwnership::MultiConsumer);
+    EXPECT_EQ(tmp.owner, 0);
+    EXPECT_EQ(tmp.bands, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(tmp.kept);
+    EXPECT_EQ(info.digestNote(tmp.memref), "kept");
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/false));
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/true));
+}
+
+TEST(BufferAnalysis, MultiConsumerRequiresReadOnlyReaders)
+{
+    // A later stage that also WRITES the channel is not a broadcast
+    // reader: the buffer degrades to SharedChain, which a dataflow top
+    // must reject.
+    auto module = affineModule("void k(float A[16], float B[16],\n"
+                               "       float C[16]) {\n"
+                               "  float tmp[16];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = A[i] * 2.0;\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    tmp[i] = tmp[i] + B[i];\n"
+                               "  for (int i = 0; i < 16; i++)\n"
+                               "    C[i] = tmp[i] * 3.0;\n"
+                               "}");
+    Operation *func = getTopFunc(module.get());
+    auto info = bandLocalAllocs(func, bandRootsOf(func));
+    ASSERT_EQ(info.buffers.size(), 1u);
+    EXPECT_EQ(info.buffers[0].ownership, BufferOwnership::SharedChain);
+    EXPECT_TRUE(info.eligible(/*dataflow_top=*/false));
+    EXPECT_FALSE(info.eligible(/*dataflow_top=*/true));
+}
+
 TEST(BufferAnalysis, CrossBandSharedBuffer)
 {
     // The lowered-DNN chain pattern: init-write, accumulate

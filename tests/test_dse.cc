@@ -292,6 +292,10 @@ TEST(DSEEngine, MultiBandBandCacheDoesNotChangeResults)
         options.maxIterations = 30;
         options.numThreads = 2;
         options.bandLevelCache = band_cache;
+        // Plan-first would serve most points from the PLAN + SCHEDULE
+        // tiers; this test A/Bs the band tier specifically, so keep the
+        // estimator walks (and their band-tier traffic) in play.
+        options.planFirstEvaluation = false;
         DSEEngine engine(space, options);
         auto frontier = engine.explore();
         if (band_cache) {
@@ -663,14 +667,20 @@ TEST(Evaluator, IncrementalFastPathMatchesSlowPath)
                 << kernel;
         }
         // Interior points skipped phase 2 entirely: strictly fewer full
-        // materializations than evaluated points.
+        // materializations than evaluated points. Every uncached point
+        // is served by exactly one of: the full pipeline, the (plan or
+        // schedule-tier) fast path, an overlay materialization, or a
+        // zero-IR infeasibility verdict.
         EXPECT_GT(incremental.numFastPathHits(), 0u) << kernel;
         EXPECT_LT(incremental.numFullMaterializations(), points.size())
             << kernel;
         EXPECT_EQ(incremental.numFullMaterializations() +
-                      incremental.numFastPathHits(),
+                      incremental.numFastPathHits() +
+                      incremental.numOverlayMaterializations() +
+                      incremental.numPlanInfeasible(),
                   points.size())
             << kernel;
+        EXPECT_EQ(incremental.numPlanMismatches(), 0u) << kernel;
         EXPECT_EQ(reference.numFullMaterializations(), points.size())
             << kernel;
     }
@@ -786,6 +796,105 @@ TEST(Evaluator, DataflowFastPathMatchesSlowPath)
                            "dataflow-disabled");
     EXPECT_EQ(disabled.numFastPathHits(), 0u);
     EXPECT_EQ(disabled.numFullMaterializations(), points.size());
+}
+
+TEST(Evaluator, MultiConsumerDataflowFastPathMatchesSlowPath)
+{
+    // A broadcast channel under a dataflow top: one producer stage
+    // writes tmp, TWO reader stages consume it. The ownership analysis
+    // admits the MultiConsumer channel, so the fast path (and the
+    // plan-first planner) must engage and still match the slow path
+    // bit-for-bit, including the stage-overlap interval and the
+    // double-buffered channel memory.
+    const char *source =
+        "void fanout(float A[16][16], float B[16][16],\n"
+        "            float C[16][16]) {\n"
+        "  float tmp[16][16];\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    for (int j = 0; j < 16; j++)\n"
+        "      tmp[i][j] = A[i][j] * 2.0;\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    for (int j = 0; j < 16; j++)\n"
+        "      B[i][j] = tmp[i][j] + 1.0;\n"
+        "  for (int i = 0; i < 16; i++)\n"
+        "    for (int j = 0; j < 16; j++)\n"
+        "      C[i][j] = tmp[i][j] * 3.0;\n"
+        "}\n";
+    auto module = parseCToModule(source);
+    raiseScfToAffine(module.get());
+    Operation *func = getTopFunc(module.get());
+    FuncDirective fd = getFuncDirective(func);
+    fd.dataflow = true;
+    setFuncDirective(func, fd);
+
+    DesignSpace space(module.get());
+    ASSERT_EQ(space.numBands(), 3u);
+    auto points = iiCrossProduct(space, 3);
+
+    CachingEvaluator reference(space); // No cache: always full path.
+    EstimateCache cache;
+    CachingEvaluator incremental(space, nullptr, &cache);
+    for (const auto &p : points) {
+        QoRResult ref = reference.evaluate(p);
+        QoRResult fast = incremental.evaluate(p);
+        EXPECT_LT(ref.interval, ref.latency);
+        expectIdenticalQoR(ref, fast, "multi-consumer");
+    }
+    EXPECT_GT(incremental.numFastPathHits(), 0u);
+    EXPECT_LT(incremental.numFullMaterializations(), points.size());
+    EXPECT_EQ(incremental.numPlanMismatches(), 0u);
+}
+
+TEST(Evaluator, PlanFirstComposesWarmPointsWithZeroIR)
+{
+    // Warm the PLAN and SCHEDULE tiers with one evaluator, then replay
+    // the sweep through a FRESH evaluator (empty memo cache) sharing the
+    // estimate cache: every point's QoR comes out of the plan tier
+    // bit-identically without creating a single Operation — the
+    // materializations-per-point floor of plan-first evaluation.
+    auto module = parseCToModule(polybenchSource("2mm", 8));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    auto points = iiCrossProduct(space, 3);
+
+    EstimateCache cache;
+    CachingEvaluator warmup(space, nullptr, &cache);
+    std::vector<QoRResult> expected;
+    for (const auto &p : points)
+        expected.push_back(warmup.evaluate(p));
+
+    CachingEvaluator fresh(space, nullptr, &cache);
+    size_t created_before = Operation::createdCount();
+    for (size_t i = 0; i < points.size(); ++i)
+        expectIdenticalQoR(expected[i], fresh.evaluate(points[i]),
+                           "plan-replay");
+    EXPECT_EQ(Operation::createdCount(), created_before);
+    EXPECT_EQ(fresh.numFullMaterializations(), 0u);
+    EXPECT_EQ(fresh.numOverlayMaterializations(), 0u);
+    EXPECT_EQ(fresh.numPlanComposed() + fresh.numPlanInfeasible(),
+              points.size());
+    EXPECT_EQ(fresh.numPlanMismatches(), 0u);
+}
+
+TEST(Evaluator, CanonicalDigestSharesEntriesAcrossSymmetricBands)
+{
+    // 3mm's first two stages are structurally identical gemms over
+    // different arrays: the canonicalizing digest keys them to the SAME
+    // schedule-tier entries, so one band's variants hit entries another
+    // band recorded (crossBandHits) instead of materializing their own.
+    auto module = parseCToModule(polybenchSource("3mm", 8));
+    raiseScfToAffine(module.get());
+    DesignSpace space(module.get());
+    auto points = iiCrossProduct(space, 3);
+
+    EstimateCache cache;
+    CachingEvaluator reference(space); // No cache: always full path.
+    CachingEvaluator incremental(space, nullptr, &cache);
+    for (const auto &p : points)
+        expectIdenticalQoR(reference.evaluate(p),
+                           incremental.evaluate(p), "3mm-cross-band");
+    EXPECT_GT(cache.crossBandHits(), 0u);
+    EXPECT_EQ(incremental.numPlanMismatches(), 0u);
 }
 
 TEST(Evaluator, AllocCarryingChainFastPathMatchesSlowPath)

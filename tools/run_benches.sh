@@ -20,11 +20,13 @@
 # (the DNN fast-path sweep) for artifact upload.
 #
 # --compare exits nonzero when any points-per-second record of new.json
-# regresses more than 15% below old.json, or any pinned hit-rate field
-# drops. Only fields present in BOTH matched records are compared, so a
-# committed baseline may carry just the deterministic fields (hit rates,
-# materializations per point) while artifact-vs-artifact comparisons
-# also gate throughput.
+# regresses more than 15% below old.json, any pinned hit-rate field
+# drops, or any materializations-per-point field RISES (the plan-first
+# pipeline drives it toward zero; more IR built per point is a
+# regression even when results stay identical). Only fields present in
+# BOTH matched records are compared, so a committed baseline may carry
+# just the deterministic fields (hit rates, materializations per point)
+# while artifact-vs-artifact comparisons also gate throughput.
 
 set -u
 
@@ -76,6 +78,11 @@ for key, old_rec in sorted(old.items()):
             if new_value < old_value - 1e-9:
                 failures.append(
                     "%s %s: %s dropped %.3f -> %.3f"
+                    % (key[0], key[1], field, old_value, new_value))
+        elif "materializations_per_point" in field:
+            if new_value > old_value + 1e-9:
+                failures.append(
+                    "%s %s: %s rose %.3f -> %.3f"
                     % (key[0], key[1], field, old_value, new_value))
 for failure in failures:
     print("REGRESSION:", failure)
@@ -168,3 +175,15 @@ dnn_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_dnn")
     printf '}\n'
 } > "$pr5"
 echo "wrote $pr5"
+
+# Distill the PR 6 plan-first probe records (full/overlay
+# materializations per point, zero-clone composition, prediction
+# mismatches, cross-band schedule sharing) for the probe compare gate.
+pr6="$OUT_DIR/BENCH_pr6.json"
+probe_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_probe")
+{
+    printf '{\n'
+    printf '  "probe": [%s]\n' "${probe_records}"
+    printf '}\n'
+} > "$pr6"
+echo "wrote $pr6"
