@@ -597,6 +597,180 @@ runProbeSection(const std::vector<unsigned> &configs, bool smoke)
     return ok;
 }
 
+/** Audit-mode overhead and coverage: the probe sweep (2mm) and a DNN
+ * kernel sweep run twice on fresh caches — auditing off, then on — and
+ * a warm replay through a fresh evaluator drives the audited fast paths
+ * (plan compose / overlay / schedule compose). Hard checks per design
+ * and thread count: the auditors actually engage (checks > 0), they find
+ * NOTHING on a healthy run (violations == 0), both configurations stay
+ * bit-identical to the sequential uncached reference, and audited
+ * throughput keeps at least half the unaudited rate (the documented
+ * audit-mode overhead budget; generous slack because the timed runs are
+ * short and CI runners are noisy). */
+bool
+runAuditedSweep(const char *design, DesignSpace &space,
+                const std::vector<DesignSpace::Point> &border,
+                const std::vector<DesignSpace::Point> &interior,
+                const std::vector<QoRResult> &reference,
+                const std::vector<unsigned> &configs)
+{
+    std::vector<DesignSpace::Point> all = border;
+    all.insert(all.end(), interior.begin(), interior.end());
+    std::printf("--- %s: %zu points (%zu border + %zu interior) ---\n",
+                design, all.size(), border.size(), interior.size());
+    std::printf("%-10s %-10s %-12s %-12s %-12s %-10s %s\n", "Threads",
+                "Checks", "Violations", "PlainPts/s", "AuditPts/s",
+                "Relative", "Identical");
+
+    bool ok = true;
+    for (unsigned threads : configs) {
+        ThreadPool pool(threads);
+
+        auto timed_run = [&](bool audit, size_t *checks,
+                             size_t *violations, bool *out_identical) {
+            EstimateCache cache;
+            EvaluatorOptions options;
+            options.audit = audit;
+            CachingEvaluator evaluator(space, &pool, &cache, options);
+            auto start = std::chrono::steady_clock::now();
+            auto first = evaluator.evaluateBatch(border);
+            auto second = evaluator.evaluateBatch(interior);
+            // Warm replay through a FRESH evaluator (empty memo): every
+            // point re-decides through the fast paths, which is where
+            // the L3/L4 auditors live.
+            CachingEvaluator replay(space, &pool, &cache, options);
+            auto replayed = replay.evaluateBatch(all);
+            double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start)
+                                 .count();
+            first.insert(first.end(), second.begin(), second.end());
+            bool matches = first.size() == reference.size();
+            for (size_t i = 0; matches && i < first.size(); ++i)
+                matches = identical(first[i], reference[i]);
+            for (size_t i = 0; matches && i < replayed.size(); ++i)
+                matches = identical(replayed[i], reference[i]);
+            *out_identical = matches;
+            *checks = evaluator.numAuditChecks() +
+                      replay.numAuditChecks();
+            *violations = evaluator.numAuditViolations() +
+                          replay.numAuditViolations();
+            return seconds;
+        };
+
+        size_t plain_checks = 0, plain_violations = 0;
+        bool plain_identical = false;
+        double plain_seconds = timed_run(false, &plain_checks,
+                                         &plain_violations,
+                                         &plain_identical);
+        size_t checks = 0, violations = 0;
+        bool audit_identical = false;
+        double audit_seconds =
+            timed_run(true, &checks, &violations, &audit_identical);
+
+        double plain_rate = 2 * all.size() / plain_seconds;
+        double audit_rate = 2 * all.size() / audit_seconds;
+        double relative = plain_rate > 0 ? audit_rate / plain_rate : 0;
+        bool structural = plain_identical && audit_identical &&
+                          plain_checks == 0 && checks > 0 &&
+                          violations == 0 && relative >= 0.5;
+        ok &= structural;
+        std::printf("%-10u %-10zu %-12zu %-12.1f %-12.1f %-10.2f %s\n",
+                    threads, checks, violations, plain_rate, audit_rate,
+                    relative, structural ? "yes" : "NO (BUG)");
+        std::printf(
+            "JSON {\"bench\":\"estimator_audit\",\"design\":\"%s\","
+            "\"threads\":%u,\"points\":%zu,\"audit_checks\":%zu,"
+            "\"audit_violations\":%zu,\"plain_points_per_second\":%.1f,"
+            "\"audit_points_per_second\":%.1f,"
+            "\"audit_relative_throughput\":%.3f,\"identical\":%s}\n",
+            design, threads, all.size(), checks, violations, plain_rate,
+            audit_rate, relative,
+            plain_identical && audit_identical ? "true" : "false");
+    }
+    std::printf("\n");
+    return ok;
+}
+
+/** The `--audit` section driver: audited probe sweep (2mm) plus an
+ * audited DNN kernel sweep (resnet18 at graph level 4). */
+bool
+runAuditSection(const std::vector<unsigned> &configs, bool smoke)
+{
+    std::printf("=== Audit mode (L3 overlay aliasing + L4 cache "
+                "coherence at every fast-path decision) ===\n\n");
+
+    bool ok = true;
+    {
+        const int size = smoke ? 8 : 16;
+        const int dials = smoke ? 3 : 4;
+        auto module = parseCToModule(polybenchSource("2mm", size));
+        raiseScfToAffine(module.get());
+        DesignSpace space(module.get());
+        std::vector<DesignSpace::Point> border;
+        std::vector<DesignSpace::Point> interior;
+        DesignSpace::Point zero(space.numDims(), 0);
+        for (int a = 0; a < dials; ++a)
+            for (int b = 0; b < dials; ++b) {
+                DesignSpace::Point p = zero;
+                p[space.dimTargetII(0)] = a;
+                p[space.dimTargetII(1)] = b;
+                (a == 0 || b == 0 ? border : interior)
+                    .push_back(std::move(p));
+            }
+        std::vector<DesignSpace::Point> all = border;
+        all.insert(all.end(), interior.begin(), interior.end());
+        std::vector<QoRResult> reference;
+        {
+            CachingEvaluator evaluator(space);
+            reference = evaluator.evaluateBatch(all);
+        }
+        char design[32];
+        std::snprintf(design, sizeof(design), "2mm-%d", size);
+        ok &= runAuditedSweep(design, space, border, interior, reference,
+                              configs);
+    }
+
+    // One DNN kernel: the alloc-carrying dataflow-stage workload whose
+    // fast path goes through evaluateScheduled (the L4 band-coherence
+    // and entry-shape audits) rather than the planner.
+    {
+        auto kernels = buildDNNKernelModules("resnet18", 4, 1);
+        if (kernels.empty()) {
+            std::printf("UNEXPECTED: no DSE kernels extracted from "
+                        "resnet18\n");
+            return false;
+        }
+        DesignSpace space(kernels[0].module.get());
+        const int dials = smoke ? 2 : 3;
+        std::vector<DesignSpace::Point> border;
+        std::vector<DesignSpace::Point> interior;
+        DesignSpace::Point zero(space.numDims(), 0);
+        for (int a = 0; a < dials; ++a)
+            for (int b = 0; b < dials; ++b) {
+                DesignSpace::Point p = zero;
+                p[space.dimTargetII(0)] = a;
+                if (space.numBands() > 1)
+                    p[space.dimTargetII(1)] = b;
+                else if (b > 0)
+                    continue;
+                (a == 0 || b == 0 ? border : interior)
+                    .push_back(std::move(p));
+            }
+        std::vector<DesignSpace::Point> all = border;
+        all.insert(all.end(), interior.begin(), interior.end());
+        std::vector<QoRResult> reference;
+        {
+            CachingEvaluator evaluator(space);
+            reference = evaluator.evaluateBatch(all);
+        }
+        std::string design = kernels[0].name + "-g4";
+        ok &= runAuditedSweep(design.c_str(), space, border, interior,
+                              reference, configs);
+    }
+    return ok;
+}
+
 /** DNN per-kernel fast-path sweep: the flagship workload class. Each
  * model is lowered at graph level 4 (multi-layer dataflow stages whose
  * intermediate feature maps are LOCAL allocs in the init / accumulate /
@@ -737,10 +911,12 @@ main(int argc, char **argv)
     bool smoke = false;
     bool dnn_only = false;
     bool probe_only = false;
+    bool audit_only = false;
     for (int i = 1; i < argc; ++i) {
         smoke |= std::strcmp(argv[i], "--smoke") == 0;
         dnn_only |= std::strcmp(argv[i], "--dnn") == 0;
         probe_only |= std::strcmp(argv[i], "--probe") == 0;
+        audit_only |= std::strcmp(argv[i], "--audit") == 0;
     }
 
     unsigned hw = defaultThreadCount();
@@ -753,22 +929,29 @@ main(int argc, char **argv)
         configs.push_back(hw);
 
     bool ok = true;
-    if (!dnn_only && !probe_only) {
-        ok &= runScalingSection(configs, smoke);
-        ok &= runBandCacheSection(configs);
-        ok &= runMaterializationSection(configs, smoke);
-        ok &= runPartitionKeySection(configs, smoke);
+    if (audit_only) {
+        ok &= runAuditSection(configs, smoke);
+    } else {
+        if (!dnn_only && !probe_only) {
+            ok &= runScalingSection(configs, smoke);
+            ok &= runBandCacheSection(configs);
+            ok &= runMaterializationSection(configs, smoke);
+            ok &= runPartitionKeySection(configs, smoke);
+        }
+        if (!dnn_only)
+            ok &= runProbeSection(configs, smoke);
+        if (!probe_only)
+            ok &= runDNNSection(configs, smoke);
+        if (!dnn_only && !probe_only)
+            ok &= runAuditSection(configs, smoke);
     }
-    if (!dnn_only)
-        ok &= runProbeSection(configs, smoke);
-    if (!probe_only)
-        ok &= runDNNSection(configs, smoke);
 
     if (!ok) {
         std::printf("SELF-CHECK FAILED: parallel/cached estimation "
                     "diverged from the sequential path, a cache tier "
-                    "underperformed its baseline, or the DNN fast path "
-                    "failed to engage\n");
+                    "underperformed its baseline, the DNN fast path "
+                    "failed to engage, or the audit sweep found a "
+                    "violation / exceeded its overhead budget\n");
         return 1;
     }
     return 0;

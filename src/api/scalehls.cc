@@ -264,6 +264,8 @@ Compiler::optimizeFunctions(const ResourceBudget &budget,
         out.point = result->point;
         out.qor = result->qor;
         out.evaluations = result->evaluations;
+        out.auditChecks = result->auditChecks;
+        out.auditViolations = result->auditViolations;
         optimized[i] = std::move(result->module);
     });
 

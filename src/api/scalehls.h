@@ -79,6 +79,9 @@ class Compiler
         DesignSpace::Point point;  ///< Chosen design point.
         QoRResult qor;
         size_t evaluations = 0;
+        /** Audit-mode counters (zero unless DSEOptions::auditMode). */
+        size_t auditChecks = 0;
+        size_t auditViolations = 0;
     };
 
     /** Multi-kernel DSE: run an independent design-space exploration for

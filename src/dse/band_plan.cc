@@ -4,15 +4,18 @@
 
 #include "analysis/loop_analysis.h"
 #include "analysis/memory_analysis.h"
+#include "estimate/coherence_audit.h"
 #include "ir/overlay.h"
+#include "ir/printer.h"
 #include "transform/pass.h"
 
 namespace scalehls {
 
 BandPlanner::BandPlanner(const DesignSpace &space,
-                         EstimateCache *estimates, bool masked_band_keys)
+                         EstimateCache *estimates, bool masked_band_keys,
+                         bool audit)
     : space_(space), estimates_(estimates),
-      masked_band_keys_(masked_band_keys)
+      masked_band_keys_(masked_band_keys), audit_(audit)
 {
     if (!estimates_)
         return;
@@ -99,7 +102,8 @@ BandPlanner::debugPlanKey(const DesignSpace::Point &point,
 std::optional<QoRResult>
 BandPlanner::composeAll(
     const std::vector<BandScheduleEntry> &entries,
-    const std::vector<const std::vector<unsigned> *> &ext_maps) const
+    const std::vector<const std::vector<unsigned> *> &ext_maps,
+    Outcome *audit_out) const
 {
     // Resolve every entry's externals onto the PRISTINE value table:
     // phase-1 external i of band b is pristine external extMap[i]. The
@@ -114,6 +118,22 @@ BandPlanner::composeAll(
                 return std::nullopt;
             resolved[b].push_back(seeds_[b].externals[index]);
         }
+    }
+    if (audit_ && audit_out) {
+        // L4 shape audit of every consumed entry against the resolved
+        // value table — covers the zero-IR path, where no other code
+        // would ever look at the entries' internals before trusting them.
+        bool bad = false;
+        for (size_t b = 0; b < entries.size(); ++b) {
+            ++audit_out->auditChecks;
+            auto findings =
+                auditScheduleEntry(entries[b], resolved[b], originOf(b));
+            bad |= !findings.empty();
+            for (auto &f : findings)
+                audit_out->auditFindings.push_back(std::move(f));
+        }
+        if (bad)
+            return std::nullopt;
     }
     ScheduledFunction function;
     function.dataflow = dataflow_top_;
@@ -198,7 +218,7 @@ BandPlanner::evaluate(const DesignSpace::Point &point) const
             entries.push_back(std::move(*inputs.entries[b]));
             ext_maps.push_back(&inputs.plans[b]->extMap);
         }
-        if (auto composed = composeAll(entries, ext_maps)) {
+        if (auto composed = composeAll(entries, ext_maps, &out)) {
             out.kind = Outcome::Kind::Composed;
             out.qor = *composed;
             return out;
@@ -226,7 +246,18 @@ BandPlanner::overlayEvaluate(const DesignSpace::Decoded &d,
             skip.insert(roots_[b]);
     OverlayClone ov = overlayClone(func_, skip);
     if (!ov.op || !ov.complete)
-        return out;
+        return out; // Benign: the band shapes defeated the overlay.
+    if (audit_) {
+        // L3: prove the overlay shares nothing mutable with the pristine
+        // base before any transform runs on it. A finding here means a
+        // transform COULD have scribbled on IR other workers are reading.
+        ++out.auditChecks;
+        auto findings = auditOverlayAliasing(ov, func_);
+        if (!findings.empty()) {
+            out.auditFindings = std::move(findings);
+            return out;
+        }
+    }
 
     // The pristine ownership verdicts, translated onto overlay values
     // (transforms preserve them; see the class comment).
@@ -311,6 +342,19 @@ BandPlanner::overlayEvaluate(const DesignSpace::Decoded &d,
             // it, fall back to the validated full pipeline.
             if (!outcome.composable ||
                 inputs.plans[b]->digest != outcome.digest) {
+                if (audit_) {
+                    // L4: the cache's claimed digest does not match the
+                    // materialized band — the same divergence the
+                    // seeded-corruption tests plant deliberately.
+                    ++out.auditChecks;
+                    out.auditFindings.push_back(
+                        {VerifyKind::StaleScheduleEntry,
+                         opPath(current[b]),
+                         "PLAN tier predicted phase-1 digest '" +
+                             inputs.plans[b]->digest +
+                             "' but the overlay materialization "
+                             "produced '" + outcome.digest + "'"});
+                }
                 out.mismatched = true;
                 return out;
             }
@@ -433,6 +477,16 @@ BandPlanner::overlayEvaluate(const DesignSpace::Decoded &d,
                           Attribute(func_name_ + "!overlay"));
     auto overlay_module = createModule();
     overlay_module->region(0).front().pushBack(std::move(ov.op));
+    if (audit_) {
+        // L1+L2 over the transformed overlay: the phase-2 replay and the
+        // partition application must leave valid IR behind — entries
+        // built from invalid IR must never reach the cache.
+        ++out.auditChecks;
+        for (VerifyError &e : verifyErrors(overlay_module.get()))
+            out.auditFindings.push_back(std::move(e));
+        if (!out.auditFindings.empty())
+            return out;
+    }
     QoREstimator estimator(overlay_module.get(), nullptr, estimates_,
                            /*band_cache=*/true, masked_band_keys_);
     estimator.estimateFunc(overlay_func);
@@ -459,7 +513,7 @@ BandPlanner::overlayEvaluate(const DesignSpace::Decoded &d,
         fresh[b] = true;
     }
 
-    auto composed = composeAll(entries, ext_maps);
+    auto composed = composeAll(entries, ext_maps, &out);
     if (!composed)
         return out;
     // Publication is gated on composition success: the compose-time

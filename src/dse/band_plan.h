@@ -22,6 +22,7 @@
 
 #include "dse/design_space.h"
 #include "estimate/estimate_cache.h"
+#include "ir/verifier.h"
 
 namespace scalehls {
 
@@ -65,13 +66,21 @@ class BandPlanner
         /** A cached plan's predicted digest contradicted the overlay
          * materialization (always Fallback; the caller counts these). */
         bool mismatched = false;
+        /** Audit-mode bookkeeping (zero / empty when auditing is off):
+         * how many auditor invocations this evaluation ran, and every
+         * finding they produced. Any finding forces Fallback — audited
+         * evaluations never answer from state an auditor rejected. */
+        size_t auditChecks = 0;
+        std::vector<VerifyError> auditFindings;
     };
 
     /** @p estimates (required, not owned) must outlive the planner.
      * @p masked_band_keys is forwarded to the overlay estimator's band
-     * tier (EvaluatorOptions::partitionAwareKeys). */
+     * tier (EvaluatorOptions::partitionAwareKeys). @p audit enables the
+     * L3/L4 auditors (overlay aliasing, schedule-entry shape, overlay IR
+     * verification) on every decision this planner takes. */
     BandPlanner(const DesignSpace &space, EstimateCache *estimates,
-                bool masked_band_keys);
+                bool masked_band_keys, bool audit = false);
 
     /** False when the pristine kernel is not plan-eligible; evaluate()
      * then always falls back. */
@@ -89,9 +98,12 @@ class BandPlanner
     struct OverlayInputs;
     Outcome overlayEvaluate(const DesignSpace::Decoded &decoded,
                             OverlayInputs &inputs) const;
+    /** @p audit_out (optional) collects schedule-entry shape audits when
+     * auditing is on; any finding fails the composition. */
     std::optional<QoRResult> composeAll(
         const std::vector<BandScheduleEntry> &entries,
-        const std::vector<const std::vector<unsigned> *> &ext_maps) const;
+        const std::vector<const std::vector<unsigned> *> &ext_maps,
+        Outcome *audit_out = nullptr) const;
     std::string originOf(size_t band) const;
     /** Index of @p base in band @p b's pristine external table; false
      * when absent. */
@@ -100,6 +112,7 @@ class BandPlanner
     const DesignSpace &space_;
     EstimateCache *estimates_ = nullptr;
     bool masked_band_keys_ = true;
+    bool audit_ = false;
     bool enabled_ = false;
 
     Operation *func_ = nullptr; ///< Pristine top function (read-only).

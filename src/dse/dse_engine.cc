@@ -44,6 +44,7 @@ DSEEngine::explore()
         options_.partitionAwareBandKeys;
     evaluator_options.incremental = options_.incrementalMaterialize;
     evaluator_options.planFirst = options_.planFirstEvaluation;
+    evaluator_options.audit = options_.auditMode;
     evaluator_ = std::make_unique<CachingEvaluator>(
         space_, pool_.get(), estimates, evaluator_options);
     // Keep the winning module so finalization does not re-materialize
@@ -72,6 +73,8 @@ DSEEngine::explore()
     overlay_materializations_ = evaluator.numOverlayMaterializations();
     plan_infeasible_ = evaluator.numPlanInfeasible();
     plan_mismatches_ = evaluator.numPlanMismatches();
+    audit_checks_ = evaluator.numAuditChecks();
+    audit_violations_ = evaluator.numAuditViolations();
     cross_band_hits_ =
         estimates ? estimates->crossBandHits() - cross_band_before : 0;
     cache_hits_ = evaluator.numCacheHits();
@@ -199,6 +202,8 @@ runDSE(Operation *module, const ResourceBudget &budget,
     result.planInfeasible = engine.numPlanInfeasible();
     result.planMismatches = engine.numPlanMismatches();
     result.crossBandHits = engine.numCrossBandHits();
+    result.auditChecks = engine.numAuditChecks();
+    result.auditViolations = engine.numAuditViolations();
     result.moduleReused = engine.moduleReused();
     result.qorVerified = engine.qorVerified();
     result.seconds = std::chrono::duration<double>(

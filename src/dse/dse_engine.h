@@ -72,6 +72,13 @@ struct DSEOptions
      * pipeline), so results never change. Requires
      * incrementalMaterialize + the band cache. */
     bool planFirstEvaluation = true;
+    /** Audit mode (`-dse-audit` / SCALEHLS_DSE_AUDIT): run the L3/L4
+     * auditors — overlay aliasing, overlay IR verification, band digest
+     * coherence, schedule-entry shape — at every fast-path decision of
+     * the evaluator. A finding is counted, reported on stderr, and
+     * forces the affected point onto the validated slow path, so an
+     * audited run can be slower but never wrong. */
+    bool auditMode = EvaluatorOptions::dseAuditEnvDefault();
     /** Max entries PER TIER of the engine-owned estimate cache (coarse
      * FIFO eviction; 0 = unbounded). Bounds memory on week-long sweeps
      * without changing results; external sharedEstimates caches are the
@@ -188,6 +195,12 @@ class DSEEngine
      * symmetric bands, e.g. 3mm's stages (sharing caveat as
      * numEstimateHits). */
     size_t numCrossBandHits() const { return cross_band_hits_; }
+    /** Auditor invocations of the last explore (0 unless auditMode). */
+    size_t numAuditChecks() const { return audit_checks_; }
+    /** Audit findings of the last explore. Each finding also forced the
+     * affected point onto the validated slow path, so a nonzero count
+     * flags a broken invariant without a wrong QoR having escaped. */
+    size_t numAuditViolations() const { return audit_violations_; }
 
   private:
     DesignSpace &space_;
@@ -209,6 +222,8 @@ class DSEEngine
     size_t plan_infeasible_ = 0;
     size_t plan_mismatches_ = 0;
     size_t cross_band_hits_ = 0;
+    size_t audit_checks_ = 0;
+    size_t audit_violations_ = 0;
     std::optional<ResourceBudget> finalize_budget_;
     bool module_reused_ = false;
     bool qor_verified_ = false;
@@ -254,6 +269,10 @@ struct DSEResult
     size_t planInfeasible = 0;
     size_t planMismatches = 0;
     size_t crossBandHits = 0;
+    /** Audit-mode bookkeeping (zero unless DSEOptions::auditMode): how
+     * many auditor invocations ran and how many findings they raised. */
+    size_t auditChecks = 0;
+    size_t auditViolations = 0;
     /** True when the finalized module was the one retained during
      * exploration (no re-materialization). */
     bool moduleReused = false;

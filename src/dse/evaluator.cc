@@ -1,10 +1,34 @@
 #include "dse/evaluator.h"
 
+#include <cstdlib>
+#include <iostream>
 #include <unordered_map>
 
 #include "dse/pareto.h"
+#include "estimate/coherence_audit.h"
 
 namespace scalehls {
+
+bool
+EvaluatorOptions::dseAuditEnvDefault()
+{
+    if (const char *env = std::getenv("SCALEHLS_DSE_AUDIT"))
+        return std::string_view(env) != "0";
+    return false;
+}
+
+bool
+CachingEvaluator::recordAuditFindings(
+    const std::vector<VerifyError> &findings)
+{
+    if (findings.empty())
+        return false;
+    audit_violations_.fetch_add(findings.size(),
+                                std::memory_order_relaxed);
+    for (const VerifyError &e : findings)
+        std::cerr << "dse-audit: " << e.str() << "\n";
+    return true;
+}
 
 std::optional<QoRResult>
 CachingEvaluator::evaluateScheduled(const DesignSpace::Partial &partial)
@@ -25,6 +49,28 @@ CachingEvaluator::evaluateScheduled(const DesignSpace::Partial &partial)
         if (!entry)
             return std::nullopt;
         entries.push_back(std::move(*entry));
+    }
+
+    if (options_.audit) {
+        // L4: re-derive each band's digest from the phase-1 IR and
+        // shape-check each entry against the external table that will
+        // resolve it. Any finding drops the point to the full pipeline.
+        std::vector<VerifyError> findings;
+        for (size_t i = 0; i < entries.size(); ++i) {
+            audit_checks_.fetch_add(1, std::memory_order_relaxed);
+            auto coherent = auditBandCoherence(
+                partial.bandRoots[i], partial.bandDigests[i]->digest,
+                &partial.ownership);
+            findings.insert(findings.end(), coherent.begin(),
+                            coherent.end());
+            auto shaped = auditScheduleEntry(
+                entries[i], partial.bandDigests[i]->externals,
+                func_name + "#" + std::to_string(i));
+            findings.insert(findings.end(), shaped.begin(),
+                            shaped.end());
+        }
+        if (recordAuditFindings(findings))
+            return std::nullopt;
     }
 
     ScheduledFunction function;
@@ -96,6 +142,10 @@ CachingEvaluator::evaluateFresh(const DesignSpace::Point &point,
 
     if (planner_) {
         BandPlanner::Outcome planned = planner_->evaluate(point);
+        if (planned.auditChecks)
+            audit_checks_.fetch_add(planned.auditChecks,
+                                    std::memory_order_relaxed);
+        recordAuditFindings(planned.auditFindings);
         switch (planned.kind) {
           case BandPlanner::Outcome::Kind::Composed:
             if (planned.usedOverlay) {

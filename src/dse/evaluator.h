@@ -74,6 +74,17 @@ struct EvaluatorOptions
      * every overlay materialization (mismatches fall back to the full
      * pipeline and are counted), so results stay bit-identical. */
     bool planFirst = true;
+    /** Audit mode (`-dse-audit` / SCALEHLS_DSE_AUDIT): run the L3/L4
+     * auditors (overlay aliasing, cache coherence, schedule-entry shape,
+     * overlay IR verification) at every fast-path decision. A finding is
+     * counted, reported, and forces the slow path — audited runs trade
+     * time for proof, never correctness. */
+    bool audit = dseAuditEnvDefault();
+
+    /** The env default for `audit`: set SCALEHLS_DSE_AUDIT (any value
+     * but "0") to audit every evaluator in the process — how the
+     * sanitizer CI legs switch whole test suites into audit mode. */
+    static bool dseAuditEnvDefault();
 };
 
 /** The default evaluator: materialize + estimate behind a sharded memo
@@ -108,7 +119,8 @@ class CachingEvaluator : public Evaluator
         if (options_.planFirst && estimates_ && options_.incremental &&
             options_.bandCache) {
             planner_ = std::make_unique<BandPlanner>(
-                space_, estimates_, options_.partitionAwareKeys);
+                space_, estimates_, options_.partitionAwareKeys,
+                options_.audit);
             if (!planner_->enabled())
                 planner_.reset();
         }
@@ -169,6 +181,12 @@ class CachingEvaluator : public Evaluator
     size_t numCacheHits() const { return cache_hits_.load(); }
     /** Duplicate in-batch slots served from their sibling's result. */
     size_t numBatchDedups() const { return batch_dedups_.load(); }
+    /** Audit-mode auditor invocations (0 when auditing is off). */
+    size_t numAuditChecks() const { return audit_checks_.load(); }
+    /** Audit findings. Every finding also forced the affected point onto
+     * the validated slow path, so a nonzero count flags a broken
+     * invariant without ever having produced a wrong QoR. */
+    size_t numAuditViolations() const { return audit_violations_.load(); }
 
   private:
     /** Uncached materialize + estimate of one point. @p module_out
@@ -185,6 +203,9 @@ class CachingEvaluator : public Evaluator
      * eligible point. */
     void insertScheduleEntries(const DesignSpace::Partial &partial,
                                const QoREstimator &estimator);
+    /** Count + report audit findings (audit mode only). Returns true
+     * when there was at least one finding. */
+    bool recordAuditFindings(const std::vector<VerifyError> &findings);
     /** Retention hook; called only from sequential merge paths. */
     void maybeRetain(const DesignSpace::Point &point,
                      const QoRResult &qor,
@@ -208,6 +229,8 @@ class CachingEvaluator : public Evaluator
     std::atomic<size_t> plan_mismatches_{0};
     std::atomic<size_t> cache_hits_{0};
     std::atomic<size_t> batch_dedups_{0};
+    std::atomic<size_t> audit_checks_{0};
+    std::atomic<size_t> audit_violations_{0};
 
     bool retention_enabled_ = false;
     std::optional<ResourceBudget> retention_budget_;

@@ -7,8 +7,19 @@
 #include "analysis/buffer_analysis.h"
 #include "analysis/memory_analysis.h"
 #include "dialect/ops.h"
+#include "estimate/coherence_audit.h"
 
 namespace scalehls {
+
+const std::set<std::string> &
+digestExcludedAttrs()
+{
+    // The serializer skips exactly this set, and the digest-coverage
+    // audit (estimate/coherence_audit) checks it against the registry of
+    // estimate-relevant attributes — one source of truth for both.
+    static const std::set<std::string> excluded = {kTopFunc};
+    return excluded;
+}
 
 namespace {
 
@@ -124,7 +135,7 @@ class TreeSerializer
         digest_.feed("op");
         digest_.feed(op->name());
         for (const auto &[name, attr] : op->attrs()) {
-            if (name == kTopFunc)
+            if (digestExcludedAttrs().count(name))
                 continue; // Estimation-irrelevant; see class comment.
             digest_.feed(name);
             digest_.feed(attr.toString());

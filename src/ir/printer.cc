@@ -331,4 +331,56 @@ printOp(Operation *op)
     return os.str();
 }
 
+namespace {
+
+/** One path component for @p op: short name + index among same-named
+ * siblings, with the module/band special cases of opPath(). */
+std::string
+pathComponent(Operation *op)
+{
+    if (op->is(ops::Module))
+        return "module";
+    std::string name = op->name();
+    auto dot = name.rfind('.');
+    std::string short_name =
+        dot == std::string::npos ? name : name.substr(dot + 1);
+    // A top-level loop directly under a func body is a BAND — the unit
+    // the DSE/cache layers reason about — so its component counts bands,
+    // not generic for-siblings, matching the cache diagnostics.
+    Operation *parent = op->parentOp();
+    bool is_band = op->is(ops::AffineFor) && isa(parent, ops::Func);
+    if (is_band)
+        short_name = "band";
+    int index = 0;
+    if (Block *block = op->parentBlock()) {
+        for (const auto &sibling : block->ops()) {
+            if (sibling.get() == op)
+                break;
+            if (is_band ? sibling->is(ops::AffineFor)
+                        : sibling->is(op->name()))
+                ++index;
+        }
+    }
+    return short_name + "@" + std::to_string(index);
+}
+
+} // namespace
+
+std::string
+opPath(Operation *op)
+{
+    if (!op)
+        return "<null>";
+    std::vector<std::string> components;
+    for (Operation *cur = op; cur; cur = cur->parentOp())
+        components.push_back(pathComponent(cur));
+    std::string path;
+    for (auto it = components.rbegin(); it != components.rend(); ++it) {
+        if (!path.empty())
+            path += '/';
+        path += *it;
+    }
+    return path;
+}
+
 } // namespace scalehls

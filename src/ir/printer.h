@@ -25,6 +25,16 @@ std::string printOp(Operation *op);
 std::string renderAffineExpr(const AffineExpr &expr,
                              const std::vector<std::string> &dim_names);
 
+/** A stable, human-readable path from the enclosing module (or the
+ * outermost detached ancestor) down to @p op, e.g.
+ * "module/func@2/band@0/for@1". Components are the op's short name
+ * (after the dialect dot) plus its index among same-named siblings in
+ * its block; a top-level affine.for directly under a func body is
+ * rendered "band@<k>" with k counting the function's bands in body
+ * order. The path depends only on IR structure, so diagnostics carry it
+ * as a location that survives re-parsing and cloning. */
+std::string opPath(Operation *op);
+
 } // namespace scalehls
 
 #endif // SCALEHLS_IR_PRINTER_H

@@ -1,6 +1,10 @@
 #include "transform/pass.h"
 
+#include <cstdlib>
 #include <sstream>
+
+#include "ir/verifier.h"
+#include "support/utils.h"
 
 namespace scalehls {
 
@@ -24,6 +28,18 @@ class LambdaPass : public Pass
 
 } // namespace
 
+bool
+PassManager::verifyEachDefault()
+{
+    if (const char *env = std::getenv("SCALEHLS_VERIFY_EACH"))
+        return std::string_view(env) != "0";
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
 void
 PassManager::run(Operation *op)
 {
@@ -35,6 +51,22 @@ PassManager::run(Operation *op)
         double seconds =
             std::chrono::duration<double>(end - start).count();
         timings_.emplace_back(pass->name(), seconds);
+        if (!verify_each_)
+            continue;
+        auto errors = verifyErrors(op);
+        if (errors.empty())
+            continue;
+        std::ostringstream os;
+        os << "IR verification failed after pass " << pass->name() << ":";
+        size_t shown = 0;
+        for (const VerifyError &e : errors) {
+            os << "\n  " << e.str();
+            if (++shown == 8) {
+                os << "\n  ... (" << errors.size() - shown << " more)";
+                break;
+            }
+        }
+        fatal(os.str());
     }
 }
 

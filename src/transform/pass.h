@@ -35,7 +35,14 @@ class Pass
 };
 
 /** Runs a pipeline of passes and records per-pass wall-clock timing
- * (mirrors MLIR's -pass-timing used for the paper's runtime column). */
+ * (mirrors MLIR's -pass-timing used for the paper's runtime column).
+ *
+ * With verify-each enabled — the default in Debug builds, forced on/off
+ * by setVerifyEach() or the SCALEHLS_VERIFY_EACH env var ("0" disables,
+ * anything else enables) — the layered verifier (ir/verifier.h, level
+ * Semantic) runs after every pass and a violation aborts with the pass
+ * name and the first diagnostics, so the transform that broke an
+ * invariant is named instead of a downstream consumer crashing on it. */
 class PassManager
 {
   public:
@@ -46,6 +53,14 @@ class PassManager
 
     /** Run all passes in order on @p op. */
     void run(Operation *op);
+
+    /** Override the verify-each default for this manager. */
+    void setVerifyEach(bool enable) { verify_each_ = enable; }
+    bool verifyEach() const { return verify_each_; }
+
+    /** The build/env default: on in Debug (!NDEBUG) builds, overridable
+     * either way via SCALEHLS_VERIFY_EACH. */
+    static bool verifyEachDefault();
 
     /** Per-pass timing in seconds, in execution order. */
     const std::vector<std::pair<std::string, double>> &timings() const
@@ -60,6 +75,7 @@ class PassManager
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
     std::vector<std::pair<std::string, double>> timings_;
+    bool verify_each_ = verifyEachDefault();
 };
 
 /** Wrap a callable into a Pass. */

@@ -4,9 +4,20 @@
 #include <gtest/gtest.h>
 
 #include "api/scalehls.h"
+#include "model/polybench.h"
 
 namespace scalehls {
 namespace {
+
+/** Render every structured diagnostic for a failure message. */
+std::string
+renderErrors(const std::vector<VerifyError> &errors)
+{
+    std::string out;
+    for (const VerifyError &e : errors)
+        out += e.str() + "\n";
+    return out;
+}
 
 /** Count graph ops of one kind in a function. */
 int
@@ -81,6 +92,67 @@ TEST(Models, LoweredModelsVerify)
             for (Value *result : op->results())
                 EXPECT_FALSE(result->type().isTensor());
         });
+    }
+}
+
+TEST(Models, GraphModulesVerifyBeforeLowering)
+{
+    // The pristine graph-level zoo passes BOTH verifier levels — the L2
+    // dialect checks tolerate tensors and graph ops by construction.
+    for (auto *build : {buildResNet18, buildVGG16, buildMobileNet}) {
+        auto module = createModule();
+        build(module.get());
+        auto errors = verifyErrors(module.get());
+        EXPECT_TRUE(errors.empty()) << renderErrors(errors);
+    }
+}
+
+TEST(Models, PolybenchKernelsVerifyThroughTheLoopFlow)
+{
+    for (const std::string &kernel : polybenchKernelNames()) {
+        auto module = parseCToModule(polybenchSource(kernel, 16));
+        auto errors = verifyErrors(module.get());
+        EXPECT_TRUE(errors.empty()) << kernel << ":\n"
+                                    << renderErrors(errors);
+
+        // And through the paper's full optimization pipeline, with the
+        // per-pass verifier armed: any transform leaving the IR broken
+        // fails loudly here instead of skewing a downstream estimate.
+        Compiler compiler(std::move(module));
+        PassManager pm;
+        pm.setVerifyEach(true);
+        pm.addPass(createRaiseScfToAffinePass());
+        pm.addPass(createLoopPerfectizationPass());
+        pm.addPass(createLoopOrderOptPass());
+        pm.addPass(createLoopTilePass({2, 2}));
+        pm.addPass(createLoopPipeliningPass(1));
+        pm.addPass(createCanonicalizePass());
+        pm.addPass(createSimplifyAffineIfPass());
+        pm.addPass(createAffineStoreForwardPass());
+        pm.addPass(createSimplifyMemrefAccessPass());
+        pm.addPass(createArrayPartitionPass());
+        pm.addPass(createCSEPass());
+        pm.run(compiler.module());
+        auto after = verifyErrors(compiler.module());
+        EXPECT_TRUE(after.empty()) << kernel << ":\n"
+                                   << renderErrors(after);
+    }
+}
+
+TEST(Models, OptimizedDnnPipelineOutputVerifies)
+{
+    // The multi-level DNN flow ends in split dataflow functions with
+    // directives everywhere — exactly what the L2 checks police.
+    for (auto *build : {buildResNet18, buildVGG16, buildMobileNet}) {
+        auto module = createModule();
+        build(module.get());
+        Compiler compiler(std::move(module));
+        compiler.applyGraphOpt(7)
+            .lowerToLoops()
+            .applyLoopOpt(2)
+            .applyDirectiveOpt(1);
+        auto errors = verifyErrors(compiler.module());
+        EXPECT_TRUE(errors.empty()) << renderErrors(errors);
     }
 }
 

@@ -21,12 +21,15 @@
 #
 # --compare exits nonzero when any points-per-second record of new.json
 # regresses more than 15% below old.json, any pinned hit-rate field
-# drops, or any materializations-per-point field RISES (the plan-first
+# drops, any materializations-per-point field RISES (the plan-first
 # pipeline drives it toward zero; more IR built per point is a
-# regression even when results stay identical). Only fields present in
-# BOTH matched records are compared, so a committed baseline may carry
-# just the deterministic fields (hit rates, materializations per point)
-# while artifact-vs-artifact comparisons also gate throughput.
+# regression even when results stay identical), or any *violations
+# field RISES (the audit sweeps pin zero L3/L4 findings on healthy
+# runs; a single new violation is a correctness bug, not noise). Only
+# fields present in BOTH matched records are compared, so a committed
+# baseline may carry just the deterministic fields (hit rates,
+# materializations per point, audit violations) while
+# artifact-vs-artifact comparisons also gate throughput.
 
 set -u
 
@@ -83,6 +86,11 @@ for key, old_rec in sorted(old.items()):
             if new_value > old_value + 1e-9:
                 failures.append(
                     "%s %s: %s rose %.3f -> %.3f"
+                    % (key[0], key[1], field, old_value, new_value))
+        elif field.endswith("violations"):
+            if new_value > old_value:
+                failures.append(
+                    "%s %s: %s rose %d -> %d (audit findings!)"
                     % (key[0], key[1], field, old_value, new_value))
 for failure in failures:
     print("REGRESSION:", failure)
@@ -187,3 +195,15 @@ probe_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_probe")
     printf '}\n'
 } > "$pr6"
 echo "wrote $pr6"
+
+# Distill the PR 7 audit-mode records (L3/L4 audit checks + violations
+# and audit-on vs audit-off throughput on probe + DNN sweeps) for the
+# zero-findings compare gate.
+pr7="$OUT_DIR/BENCH_pr7.json"
+audit_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_audit")
+{
+    printf '{\n'
+    printf '  "audit": [%s]\n' "${audit_records}"
+    printf '}\n'
+} > "$pr7"
+echo "wrote $pr7"

@@ -78,7 +78,18 @@ usage()
            "                    (default 1; validated, bit-identical)\n"
            "  -dse-cache-cap=<n>  max entries per estimate-cache tier\n"
            "                    (coarse FIFO eviction; default 0 =\n"
-           "                    unbounded) so long sweeps stay bounded\n";
+           "                    unbounded) so long sweeps stay bounded\n"
+           "  -verify-each      verify the IR after every pass (always\n"
+           "                    on in debug builds; SCALEHLS_VERIFY_EACH\n"
+           "                    overrides either way)\n"
+           "  -dse-audit[=<0|1>]  audit every DSE fast-path decision:\n"
+           "                    overlay aliasing, overlay IR, band\n"
+           "                    digest coherence and schedule-entry\n"
+           "                    shape are re-derived from the IR; any\n"
+           "                    finding is reported and exits nonzero\n"
+           "                    (findings fall back to the slow path,\n"
+           "                    so results stay correct regardless).\n"
+           "                    SCALEHLS_DSE_AUDIT sets the default\n";
 }
 
 unsigned
@@ -183,6 +194,11 @@ main(int argc, char **argv)
         } else if (name == "-dse-dataflow-fastpath") {
             space_options.dataflowFastPath =
                 parseUnsignedArg(name, value) != 0;
+        } else if (arg == "-verify-each") {
+            pm.setVerifyEach(true);
+        } else if (name == "-dse-audit") {
+            dse_options.auditMode =
+                value.empty() || parseUnsignedArg(name, value) != 0;
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -287,6 +303,8 @@ main(int argc, char **argv)
             std::cerr << "\n";
         };
 
+        size_t audit_checks = 0;
+        size_t audit_violations = 0;
         if (run_dse) {
             auto result = compiler.optimize(xc7z020(), space_options,
                                             dse_options);
@@ -303,6 +321,8 @@ main(int argc, char **argv)
                       << ", QoR "
                       << (result->qorVerified ? "verified" : "MISMATCH")
                       << "\n";
+            audit_checks += result->auditChecks;
+            audit_violations += result->auditViolations;
             report_cache();
         }
         if (run_dse_funcs) {
@@ -319,6 +339,8 @@ main(int argc, char **argv)
                 } else {
                     std::cerr << "no feasible design\n";
                 }
+                audit_checks += r.auditChecks;
+                audit_violations += r.auditViolations;
             }
             report_cache();
             if (!any_feasible) {
@@ -326,6 +348,12 @@ main(int argc, char **argv)
                              "kernel function\n";
                 return 1;
             }
+        }
+        if (dse_options.auditMode && (run_dse || run_dse_funcs)) {
+            std::cerr << "dse-audit: " << audit_checks << " checks, "
+                      << audit_violations << " violations\n";
+            if (audit_violations != 0)
+                return 1;
         }
 
         auto errors = verify(compiler.module());
