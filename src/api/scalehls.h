@@ -14,6 +14,7 @@
 #include <string>
 
 #include "dse/dse_engine.h"
+#include "dse/global_alloc.h"
 #include "emit/hlscpp_emitter.h"
 #include "estimate/qor_estimator.h"
 #include "frontend/irgen.h"
@@ -78,6 +79,11 @@ class Compiler
         std::string func;          ///< Function symbol name.
         DesignSpace::Point point;  ///< Chosen design point.
         QoRResult qor;
+        /** The kernel's full evaluated Pareto frontier (ascending
+         * latency), retained with decoded schedules and decomposed
+         * resources so whole-model composition can re-finalize under a
+         * different budget than the per-kernel share. */
+        std::vector<FrontierPoint> frontier;
         size_t evaluations = 0;
         /** Audit-mode counters (zero unless DSEOptions::auditMode). */
         size_t auditChecks = 0;
@@ -92,6 +98,67 @@ class Compiler
      * untouched. Results come back in module function order and are
      * deterministic for a fixed seed at any thread count. */
     std::vector<FuncDSEResult> optimizeFunctions(
+        const ResourceBudget &budget,
+        DesignSpaceOptions space_options = {}, DSEOptions options = {});
+
+    /** Per-stage outcome of optimizeModel: one entry per call in the
+     * dataflow top's body, in body order. */
+    struct ModelStageResult
+    {
+        std::string func; ///< Stage function symbol name.
+        /** True when the stage was explored (banded, uniquely called);
+         * false stages keep their baseline design. */
+        bool kernel = false;
+        /** Chosen frontier index (kernel stages; npos otherwise). */
+        size_t chosen = static_cast<size_t>(-1);
+        /** The chosen stage design's QoR (callee-level — the call-site
+         * +1 overhead is NOT included here). */
+        QoRResult qor;
+        /** Kernel stages: the retained frontier the allocator chose
+         * from. Empty for fixed stages. */
+        std::vector<FrontierPoint> frontier;
+        size_t evaluations = 0;
+    };
+
+    /** Whole-model outcome of optimizeModel. */
+    struct ModelDSEResult
+    {
+        std::vector<ModelStageResult> stages;
+        /** The exchange-refined latency-balancing allocation. */
+        GlobalAllocation allocation;
+        /** The naive uniform-budget-split baseline (for comparison; the
+         * module is stitched from `allocation`, never from this). */
+        GlobalAllocation uniform;
+        /** Composed QoR predicted from the retained frontiers (glue and
+         * fixed shares derived from the baseline estimate). */
+        QoRResult composed;
+        /** QoR measured by re-estimating the stitched module with the
+         * real estimator — the authoritative number. */
+        QoRResult measured;
+        /** True when composed == measured bit-identically (latency,
+         * interval, feasibility and all four resource fields). */
+        bool composedVerified = false;
+        /** True when the stitched module passed the IR verifier and
+         * every materialized stage re-estimated to its frontier QoR. */
+        bool verified = false;
+        size_t evaluations = 0; ///< Total across all kernel stages.
+        double seconds = 0;
+    };
+
+    /** Whole-model graph-level DSE (paper Section VII-B): explore every
+     * kernel stage of the module's dataflow top concurrently (the
+     * optimizeFunctions per-kernel stage, but retaining full frontiers
+     * instead of finalizing against an even split), then allocate the
+     * GLOBAL device budget across stages with the latency-balancing
+     * knapsack (dse/global_alloc.h), stitch the chosen designs back and
+     * re-verify: the composed module runs through the IR verifier and
+     * the real QoREstimator, so the reported QoR is measured, never
+     * merely summed. The module must carry a dataflow top function with
+     * at least one call. Returns nullopt on structural failure; an
+     * in-budget-infeasible model comes back with
+     * `allocation.feasible == false` and the module untouched.
+     * Deterministic for a fixed seed at any thread count. */
+    std::optional<ModelDSEResult> optimizeModel(
         const ResourceBudget &budget,
         DesignSpaceOptions space_options = {}, DSEOptions options = {});
 

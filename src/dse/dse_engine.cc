@@ -108,6 +108,22 @@ DSEEngine::explore()
     return result;
 }
 
+std::vector<FrontierPoint>
+retainFrontier(const DesignSpace &space,
+               const std::vector<EvaluatedPoint> &frontier)
+{
+    std::vector<FrontierPoint> retained;
+    retained.reserve(frontier.size());
+    for (const EvaluatedPoint &e : frontier) {
+        FrontierPoint fp;
+        fp.point = e.point;
+        fp.bands = space.decode(e.point).bands;
+        fp.qor = e.qor;
+        retained.push_back(std::move(fp));
+    }
+    return retained;
+}
+
 std::optional<EvaluatedPoint>
 DSEEngine::finalize(const std::vector<EvaluatedPoint> &frontier,
                     const ResourceBudget &budget)
@@ -181,6 +197,7 @@ runDSE(Operation *module, const ResourceBudget &budget,
     DSEResult result;
     result.point = chosen->point;
     result.qor = chosen->qor;
+    result.frontier = retainFrontier(space, frontier);
     result.module = engine.materializeEvaluated(*chosen);
     if (result.module && !engine.qorVerified()) {
         // Should not happen (asserted in debug builds); in release,

@@ -237,6 +237,25 @@ class DSEEngine
     std::unique_ptr<CachingEvaluator> evaluator_;
 };
 
+/** One retained Pareto-frontier design: the encoded point, its decoded
+ * per-band schedule, and the FULL QoR — decomposed ResourceUsage, not
+ * just the scalar area — so a global allocator can trade stages against
+ * each other per resource. Re-materializing a frontier point is cheap
+ * through DSEEngine::materializeEvaluated while the engine (and its warm
+ * plan/schedule caches) is alive. */
+struct FrontierPoint
+{
+    DesignSpace::Point point;
+    /** Decoded per-band schedule (function body order). */
+    std::vector<DesignSpace::BandChoice> bands;
+    QoRResult qor;
+};
+
+/** Decode and retain @p frontier (an explore() result, ascending
+ * latency) as self-contained FrontierPoints. */
+std::vector<FrontierPoint> retainFrontier(
+    const DesignSpace &space, const std::vector<EvaluatedPoint> &frontier);
+
 /** Convenience: run the full flow on a C-level module — returns the
  * finalized optimized module plus its QoR, or nullopt if no feasible
  * design exists. */
@@ -245,6 +264,10 @@ struct DSEResult
     DesignSpace::Point point;
     QoRResult qor;
     std::unique_ptr<Operation> module;
+    /** The full evaluated Pareto frontier (ascending latency), retained
+     * beyond the winner so callers can re-finalize under a different
+     * budget or compose whole-model designs. */
+    std::vector<FrontierPoint> frontier;
     size_t evaluations = 0;
     /** Cross-point estimate-cache traffic of the exploration (see
      * DSEEngine::numEstimateHits for the shared-cache caveat). */

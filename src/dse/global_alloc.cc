@@ -1,0 +1,240 @@
+#include "dse/global_alloc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace scalehls {
+
+namespace {
+
+/** Per-stage feasible candidate indices, ascending (latency, index) —
+ * the working frontier the allocators walk. Candidates carrying the
+ * sentinel never enter the list. */
+std::vector<std::vector<size_t>>
+feasibleByLatency(const std::vector<StageFrontier> &stages)
+{
+    std::vector<std::vector<size_t>> feasible(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i) {
+        for (size_t j = 0; j < stages[i].candidates.size(); ++j) {
+            const StageCandidate &c = stages[i].candidates[j];
+            if (c.feasible && c.latency < kInfeasibleQoR)
+                feasible[i].push_back(j);
+        }
+        std::stable_sort(feasible[i].begin(), feasible[i].end(),
+                         [&](size_t a, size_t b) {
+                             return stages[i].candidates[a].latency <
+                                    stages[i].candidates[b].latency;
+                         });
+    }
+    return feasible;
+}
+
+} // namespace
+
+GlobalAllocation
+allocateGlobalBudget(const std::vector<StageFrontier> &stages,
+                     const ResourceBudget &budget,
+                     const ResourceUsage &fixed)
+{
+    GlobalAllocation out;
+    size_t n = stages.size();
+    out.choice.assign(n, 0);
+    if (n == 0) {
+        out.resources = fixed;
+        out.feasible = budget.fits(fixed);
+        out.bottleneck = out.feasible ? 1 : kInfeasibleQoR;
+        return out;
+    }
+
+    auto feasible = feasibleByLatency(stages);
+    for (const auto &f : feasible)
+        if (f.empty())
+            return out; // A stage with no feasible design poisons all.
+
+    // pos[i] indexes INTO feasible[i]; candidate/latency accessors.
+    auto cand = [&](size_t i, size_t p) -> const StageCandidate & {
+        return stages[i].candidates[feasible[i][p]];
+    };
+    std::vector<size_t> pos(n);
+    for (size_t i = 0; i < n; ++i)
+        pos[i] = feasible[i].size() - 1;
+    auto totalResources = [&] {
+        ResourceUsage usage = fixed;
+        for (size_t i = 0; i < n; ++i)
+            usage += cand(i, pos[i]).resources;
+        return usage;
+    };
+    auto bottleneck = [&] {
+        int64_t worst = 1;
+        for (size_t i = 0; i < n; ++i)
+            worst = std::max(worst, cand(i, pos[i]).latency);
+        return worst;
+    };
+
+    // Start at the cheap end of every frontier (ascending latency on a
+    // Pareto frontier means descending area, so the slowest candidate is
+    // the area-minimal one). If even that overruns the budget, no
+    // balanced selection will fit.
+    if (!budget.fits(totalResources()))
+        return out;
+
+    int64_t current = bottleneck();
+    while (true) {
+        // Promote EVERY stage sitting at the bottleneck to its slowest
+        // candidate that is strictly faster — the minimal promotion, so
+        // the resource bill of the iteration stays as small as possible.
+        std::vector<size_t> saved = pos;
+        bool promotable = true;
+        for (size_t i = 0; i < n && promotable; ++i) {
+            if (cand(i, pos[i]).latency != current)
+                continue;
+            size_t p = pos[i];
+            while (p > 0 && cand(i, p).latency >= current)
+                --p;
+            if (cand(i, p).latency >= current)
+                promotable = false;
+            else
+                pos[i] = p;
+        }
+        if (!promotable) {
+            pos = saved;
+            break;
+        }
+
+        // Exchange refinement: while over budget, demote the slack stage
+        // whose next-slower candidates free the largest fraction of the
+        // overrun — but only to latencies strictly below the OLD
+        // bottleneck, so an accepted iteration always improves it.
+        bool fits = budget.fits(totalResources());
+        while (!fits) {
+            ResourceUsage used = totalResources();
+            int64_t over_dsp = used.dsp - budget.dsp;
+            int64_t over_lut = used.lut - budget.lut;
+            int64_t over_mem = used.memoryBits - budget.memoryBits;
+            double best_score = 0;
+            size_t best_stage = n, best_pos = 0;
+            for (size_t i = 0; i < n; ++i) {
+                const ResourceUsage &have = cand(i, pos[i]).resources;
+                for (size_t q = pos[i] + 1; q < feasible[i].size(); ++q) {
+                    if (cand(i, q).latency >= current)
+                        break; // Ascending: the rest are no faster.
+                    const ResourceUsage &get = cand(i, q).resources;
+                    // Fractional relief of each overrun resource,
+                    // capped at 1 per resource so freeing far more than
+                    // needed of one cannot mask worsening another.
+                    auto relief = [](int64_t over, int64_t freed) {
+                        if (over <= 0)
+                            return 0.0;
+                        return std::min(1.0, double(freed) / double(over));
+                    };
+                    double score =
+                        relief(over_dsp, have.dsp - get.dsp) +
+                        relief(over_lut, have.lut - get.lut) +
+                        relief(over_mem,
+                               have.memoryBits - get.memoryBits);
+                    if (score > best_score) {
+                        best_score = score;
+                        best_stage = i;
+                        best_pos = q;
+                    }
+                }
+            }
+            if (best_stage == n)
+                break; // No slack left to trade.
+            pos[best_stage] = best_pos;
+            ++out.exchanges;
+            fits = budget.fits(totalResources());
+        }
+        if (!fits) {
+            pos = saved; // Undo the whole iteration.
+            break;
+        }
+        ++out.refinementSteps;
+        int64_t next = bottleneck();
+        assert(next < current &&
+               "accepted iteration must lower the bottleneck");
+        current = next;
+    }
+
+    for (size_t i = 0; i < n; ++i)
+        out.choice[i] = feasible[i][pos[i]];
+    out.bottleneck = bottleneck();
+    out.resources = totalResources();
+    out.feasible = budget.fits(out.resources);
+    assert(out.feasible && "loop invariant: selections stay in budget");
+    return out;
+}
+
+GlobalAllocation
+allocateUniformSplit(const std::vector<StageFrontier> &stages,
+                     const ResourceBudget &budget,
+                     const ResourceUsage &fixed)
+{
+    GlobalAllocation out;
+    size_t n = stages.size();
+    out.choice.assign(n, 0);
+    if (n == 0) {
+        out.resources = fixed;
+        out.feasible = budget.fits(fixed);
+        out.bottleneck = out.feasible ? 1 : kInfeasibleQoR;
+        return out;
+    }
+
+    // Each stage shops alone in 1/n of the post-fixed budget.
+    ResourceBudget share = budget;
+    share.dsp = std::max<int64_t>(0, budget.dsp - fixed.dsp) / n;
+    share.lut = std::max<int64_t>(0, budget.lut - fixed.lut) / n;
+    share.memoryBits =
+        std::max<int64_t>(0, budget.memoryBits - fixed.memoryBits) / n;
+
+    auto feasible = feasibleByLatency(stages);
+    int64_t worst = 1;
+    ResourceUsage used = fixed;
+    for (size_t i = 0; i < n; ++i) {
+        size_t found = stages[i].candidates.size();
+        for (size_t j : feasible[i]) {
+            if (share.fits(stages[i].candidates[j].resources)) {
+                found = j;
+                break; // Ascending latency: first fit is fastest.
+            }
+        }
+        if (found == stages[i].candidates.size())
+            return out; // This stage's share fits nothing.
+        out.choice[i] = found;
+        worst = std::max(worst, stages[i].candidates[found].latency);
+        used += stages[i].candidates[found].resources;
+    }
+    out.bottleneck = worst;
+    out.resources = used;
+    out.feasible = budget.fits(used);
+    return out;
+}
+
+QoRResult
+composeDataflowQoR(const std::vector<StageFrontier> &stages,
+                   const std::vector<size_t> &choice, int64_t glue_latency,
+                   const ResourceUsage &fixed)
+{
+    assert(choice.size() == stages.size());
+    QoRResult result;
+    result.latency = glue_latency;
+    result.interval = 1;
+    result.resources = fixed;
+    for (size_t i = 0; i < stages.size(); ++i) {
+        const StageCandidate &c = stages[i].candidates[choice[i]];
+        int64_t latency = c.feasible ? c.latency : kInfeasibleQoR;
+        result.latency = addQoRSaturating(result.latency, latency);
+        result.interval = std::max(result.interval, latency);
+        result.resources += c.resources;
+        result.feasible &= c.feasible;
+    }
+    if (!result.feasible || result.latency >= kInfeasibleQoR) {
+        result.feasible = false;
+        result.latency = kInfeasibleQoR;
+        result.interval = kInfeasibleQoR;
+    }
+    return result;
+}
+
+} // namespace scalehls

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Whole-model resource allocation (paper Section VII-B): pick one
+ * retained Pareto-frontier design per dataflow stage so the composed
+ * accelerator fits a global device budget. Under dataflow execution the
+ * throughput is set by the slowest stage (the initiation interval is the
+ * max stage latency), so the allocator is a latency-BALANCING knapsack:
+ * it spends DSP/LUT/BRAM where they shorten the bottleneck stage, not
+ * where they shorten an already-fast one.
+ *
+ * The algorithm starts every stage at the cheap end of its frontier and
+ * iteratively promotes all current bottleneck stages one strictly-faster
+ * step; when a promotion overruns the budget it exchange-refines —
+ * demotes slack stages (whose next-slower candidate still stays strictly
+ * under the old bottleneck) to free the overrun resources. An iteration
+ * is accepted only if the whole set ends budget-feasible; otherwise it is
+ * undone and the search stops, so every accepted step strictly lowers
+ * the bottleneck and termination is guaranteed.
+ */
+
+#ifndef SCALEHLS_DSE_GLOBAL_ALLOC_H
+#define SCALEHLS_DSE_GLOBAL_ALLOC_H
+
+#include <string>
+#include <vector>
+
+#include "dse/pareto.h"
+
+namespace scalehls {
+
+/** One candidate design of a stage, as seen from the dataflow top: the
+ * latency INCLUDES the call overhead (+1 cycle, mirroring the
+ * estimator's Call composition) and the resources are the callee's full
+ * decomposed usage charged at the call site. Infeasible candidates carry
+ * the kInfeasibleQoR sentinel and are never chosen. */
+struct StageCandidate
+{
+    int64_t latency = kInfeasibleQoR;
+    ResourceUsage resources;
+    bool feasible = false;
+};
+
+/** A stage's retained frontier, ascending latency. Non-explored stages
+ * (no loop band, or called more than once from the top) carry exactly
+ * one fixed baseline candidate. */
+struct StageFrontier
+{
+    std::string name;
+    std::vector<StageCandidate> candidates;
+};
+
+/** The composed design chosen by an allocator. */
+struct GlobalAllocation
+{
+    /** Chosen candidate index per stage (input order); meaningless when
+     * !feasible. */
+    std::vector<size_t> choice;
+    /** Max chosen stage latency (the dataflow interval, min 1); the
+     * kInfeasibleQoR sentinel when !feasible. */
+    int64_t bottleneck = kInfeasibleQoR;
+    /** Sum of chosen stage resources plus the fixed share. */
+    ResourceUsage resources;
+    bool feasible = false;
+    /** Accepted bottleneck-lowering iterations. */
+    size_t refinementSteps = 0;
+    /** Slack-stage demotions performed to keep iterations in budget. */
+    size_t exchanges = 0;
+};
+
+/** Latency-balancing knapsack under @p budget. @p fixed is the resource
+ * share of the composed top outside any stage (dataflow channel buffers,
+ * control logic) and is charged against the budget before the stages.
+ * Infeasible when some stage has no feasible candidate or even the
+ * cheapest selection overruns the budget. Deterministic. */
+GlobalAllocation allocateGlobalBudget(
+    const std::vector<StageFrontier> &stages, const ResourceBudget &budget,
+    const ResourceUsage &fixed = {});
+
+/** The naive baseline the refined allocator must beat: split the budget
+ * (minus @p fixed) evenly across stages and give every stage its fastest
+ * candidate fitting its own share — no stage may borrow another's slack,
+ * so unbalanced models leave budget stranded on fast stages. */
+GlobalAllocation allocateUniformSplit(
+    const std::vector<StageFrontier> &stages, const ResourceBudget &budget,
+    const ResourceUsage &fixed = {});
+
+/** Predict the composed QoR of @p choice exactly as the estimator
+ * composes a dataflow function: latency = glue + sum of stage latencies
+ * (sentinel-guarded), interval = max stage latency (min 1), resources =
+ * fixed + sum of stage resources. @p glue_latency is the top's latency
+ * share outside the stage calls (the +2 epilogue and any non-call body
+ * ops), derived by subtraction from a baseline whole-module estimate.
+ * One infeasible chosen candidate poisons latency and interval to the
+ * kInfeasibleQoR sentinel. */
+QoRResult composeDataflowQoR(const std::vector<StageFrontier> &stages,
+                             const std::vector<size_t> &choice,
+                             int64_t glue_latency,
+                             const ResourceUsage &fixed = {});
+
+} // namespace scalehls
+
+#endif // SCALEHLS_DSE_GLOBAL_ALLOC_H

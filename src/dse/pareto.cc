@@ -13,6 +13,17 @@ areaOf(const ResourceUsage &usage)
     return usage.dsp * 100000 + usage.lut / 10;
 }
 
+int64_t
+addQoRSaturating(int64_t a, int64_t b)
+{
+    if (a >= kInfeasibleQoR || b >= kInfeasibleQoR)
+        return kInfeasibleQoR;
+    // Both operands are below max/4, so the sum cannot overflow; it can
+    // only cross the sentinel, where it saturates.
+    int64_t sum = a + b;
+    return sum >= kInfeasibleQoR ? kInfeasibleQoR : sum;
+}
+
 bool
 dominates(const QoRPoint &a, const QoRPoint &b)
 {

@@ -33,6 +33,14 @@ struct QoRPoint
 /** Scalar area of a resource usage (DSP-dominated, as in paper Fig. 6). */
 int64_t areaOf(const ResourceUsage &usage);
 
+/** Sentinel-guarded addition for cross-kernel QoR composition. Any
+ * operand at or above kInfeasibleQoR poisons the sum to exactly
+ * kInfeasibleQoR (one infeasible stage makes the composed design
+ * infeasible — it must never overflow-add into a "valid" number), and a
+ * sum of feasible operands saturates at the sentinel instead of
+ * exceeding it. Operands must be non-negative. */
+int64_t addQoRSaturating(int64_t a, int64_t b);
+
 /** a dominates b: no worse in both objectives, strictly better in one.
  * Equal points (same latency AND same area) do not dominate each other —
  * paretoIndices mirrors exactly this definition, keeping every member of

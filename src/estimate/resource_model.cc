@@ -101,6 +101,41 @@ vu9pSlr()
     return budget;
 }
 
+std::optional<ResourceBudget>
+parseResourceBudget(const std::string &spec)
+{
+    if (spec == "xc7z020")
+        return xc7z020();
+    if (spec == "vu9p-slr")
+        return vu9pSlr();
+
+    // Custom "dsp:lut:bram18k" triple.
+    int64_t fields[3];
+    size_t begin = 0;
+    for (int i = 0; i < 3; ++i) {
+        size_t end = i < 2 ? spec.find(':', begin) : spec.size();
+        if (end == std::string::npos || end == begin)
+            return std::nullopt;
+        int64_t value = 0;
+        for (size_t pos = begin; pos < end; ++pos) {
+            char c = spec[pos];
+            if (c < '0' || c > '9')
+                return std::nullopt;
+            value = value * 10 + (c - '0');
+            if (value > (int64_t(1) << 40))
+                return std::nullopt;
+        }
+        fields[i] = value;
+        begin = end + 1;
+    }
+    ResourceBudget budget;
+    budget.name = spec;
+    budget.dsp = fields[0];
+    budget.lut = fields[1];
+    budget.memoryBits = fields[2] * 18 * 1024;
+    return budget;
+}
+
 ResourceUsage
 memrefResource(Type memref_type)
 {

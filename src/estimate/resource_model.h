@@ -9,6 +9,7 @@
 #define SCALEHLS_ESTIMATE_RESOURCE_MODEL_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "ir/ir.h"
@@ -74,6 +75,12 @@ ResourceBudget xc7z020();
 /** One SLR of a Xilinx VU9P (platform of Table V): 115.3 Mb, 2,280 DSP,
  * 394,080 LUT. */
 ResourceBudget vu9pSlr();
+
+/** Parse a device budget spec: the named profiles "xc7z020" and
+ * "vu9p-slr", or a custom "dsp:lut:bram18k" triple (non-negative
+ * integers; the BRAM18K count converts to memoryBits at 18 Kb per
+ * block). Returns nullopt on malformed specs. */
+std::optional<ResourceBudget> parseResourceBudget(const std::string &spec);
 
 /** BRAM/bit usage of one memref value under its partition layout. Each
  * bank is at least one BRAM18K once it exceeds the LUTRAM threshold. */

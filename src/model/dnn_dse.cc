@@ -1,5 +1,6 @@
 #include "model/dnn_dse.h"
 
+#include <map>
 #include <set>
 
 #include "analysis/loop_analysis.h"
@@ -8,6 +9,40 @@
 #include "model/graph_builder.h"
 
 namespace scalehls {
+
+std::vector<DNNStage>
+collectDNNStages(Operation *lowered)
+{
+    std::vector<DNNStage> stages;
+    Operation *top = getTopFunc(lowered);
+    if (!top)
+        return stages;
+
+    // A callee called twice from the top cannot carry two different
+    // frontier points; count call sites first so duplicates demote to
+    // fixed (non-kernel) stages.
+    std::map<Operation *, size_t> call_counts;
+    for (auto &op : funcBody(top)->ops()) {
+        if (!op->is(ops::Call))
+            continue;
+        Operation *callee =
+            lookupFunc(lowered, op->attr(kCallee).getString());
+        if (callee)
+            ++call_counts[callee];
+    }
+    for (auto &op : funcBody(top)->ops()) {
+        if (!op->is(ops::Call))
+            continue;
+        DNNStage stage;
+        stage.call = op.get();
+        stage.callee = lookupFunc(lowered, op->attr(kCallee).getString());
+        stage.kernel = stage.callee &&
+                       !getLoopBands(stage.callee).empty() &&
+                       call_counts[stage.callee] == 1;
+        stages.push_back(stage);
+    }
+    return stages;
+}
 
 std::unique_ptr<Operation>
 buildLoweredDNN(const std::string &model, int graph_level)

@@ -30,6 +30,23 @@ struct DNNKernel
     size_t numAllocs = 0;
 };
 
+/** One call of the lowered model's dataflow top, in body order — the
+ * unit the whole-model allocator assigns one frontier point to. */
+struct DNNStage
+{
+    Operation *call = nullptr;   ///< The call op in the top's body.
+    Operation *callee = nullptr; ///< The stage function it invokes.
+    /** True when the stage is explorable per-kernel DSE territory: the
+     * callee carries at least one loop band AND is called exactly once
+     * from the top (a callee shared by several calls cannot take two
+     * different frontier points at once, so it stays at its baseline). */
+    bool kernel = false;
+};
+
+/** The dataflow stages of @p lowered's top function, in body order.
+ * Empty when there is no top function. */
+std::vector<DNNStage> collectDNNStages(Operation *lowered);
+
 /** Build @p model ("resnet18", "vgg16" or "mobilenet"), lower it at
  * graph level @p graph_level, and return the whole lowered module. At
  * mid levels (e.g. 4) each dataflow stage spans several layers, so the

@@ -1014,5 +1014,292 @@ TEST(DSEEngine, FinalizedModuleIsVerifiedAgainstCachedQoR)
     EXPECT_TRUE(result->qor.feasible);
 }
 
+TEST(Pareto, SaturatingAddPoisonsSentinels)
+{
+    // One sentinel poisons the sum; TWO sentinel summands must yield the
+    // sentinel exactly, never a silent overflow into a "valid" number.
+    EXPECT_EQ(addQoRSaturating(kInfeasibleQoR, kInfeasibleQoR),
+              kInfeasibleQoR);
+    EXPECT_EQ(addQoRSaturating(kInfeasibleQoR, 0), kInfeasibleQoR);
+    EXPECT_EQ(addQoRSaturating(7, kInfeasibleQoR), kInfeasibleQoR);
+    // Feasible sums saturate at the sentinel instead of crossing it.
+    EXPECT_EQ(addQoRSaturating(kInfeasibleQoR - 1, 1), kInfeasibleQoR);
+    EXPECT_EQ(addQoRSaturating(kInfeasibleQoR - 1, kInfeasibleQoR - 1),
+              kInfeasibleQoR);
+    // Ordinary additions are exact.
+    EXPECT_EQ(addQoRSaturating(0, 0), 0);
+    EXPECT_EQ(addQoRSaturating(100, 23), 123);
+    EXPECT_EQ(addQoRSaturating(kInfeasibleQoR - 2, 1),
+              kInfeasibleQoR - 1);
+}
+
+namespace {
+
+StageCandidate
+makeCandidate(int64_t latency, int64_t dsp, int64_t lut = 0,
+              int64_t memory_bits = 0)
+{
+    StageCandidate c;
+    c.feasible = true;
+    c.latency = latency;
+    c.resources.dsp = dsp;
+    c.resources.lut = lut;
+    c.resources.memoryBits = memory_bits;
+    return c;
+}
+
+ResourceBudget
+makeBudget(int64_t dsp, int64_t lut = 1000000,
+           int64_t memory_bits = int64_t(1) << 40)
+{
+    ResourceBudget budget;
+    budget.name = "synthetic";
+    budget.dsp = dsp;
+    budget.lut = lut;
+    budget.memoryBits = memory_bits;
+    return budget;
+}
+
+} // namespace
+
+TEST(GlobalAlloc, InfeasibleStagePoisonsComposition)
+{
+    // Stage 0 has designs; stage 1's frontier holds only sentinel
+    // points. The allocation must be infeasible and the composed QoR —
+    // which would add TWO sentinels through stage latencies if both were
+    // chosen — must stay pinned at the sentinel.
+    std::vector<StageFrontier> stages(2);
+    stages[0].name = "ok";
+    stages[0].candidates = {makeCandidate(10, 4)};
+    stages[1].name = "poisoned";
+    StageCandidate bad;
+    bad.feasible = false;
+    bad.latency = kInfeasibleQoR;
+    stages[1].candidates = {bad, bad};
+
+    GlobalAllocation allocation =
+        allocateGlobalBudget(stages, makeBudget(1000));
+    EXPECT_FALSE(allocation.feasible);
+    EXPECT_EQ(allocation.bottleneck, kInfeasibleQoR);
+    EXPECT_FALSE(allocateUniformSplit(stages, makeBudget(1000)).feasible);
+
+    // Compose with both stages forced onto infeasible candidates: two
+    // sentinel summands plus glue must not overflow past the sentinel.
+    std::vector<StageFrontier> poisoned(2);
+    poisoned[0].candidates = {bad};
+    poisoned[1].candidates = {bad};
+    QoRResult composed = composeDataflowQoR(poisoned, {0, 0}, 2);
+    EXPECT_FALSE(composed.feasible);
+    EXPECT_EQ(composed.latency, kInfeasibleQoR);
+    EXPECT_EQ(composed.interval, kInfeasibleQoR);
+}
+
+TEST(GlobalAlloc, ExchangeRefinementBeatsUniformSplit)
+{
+    // An unbalanced model: the heavy stage needs most of the device to
+    // get fast, the light stages are cheap at every speed. A uniform
+    // split strands budget on the light stages (each shops in 1/3 of the
+    // device), while the balancing allocator routes the slack to the
+    // bottleneck.
+    std::vector<StageFrontier> stages(3);
+    stages[0].name = "heavy";
+    stages[0].candidates = {makeCandidate(100, 90), makeCandidate(200, 45),
+                            makeCandidate(400, 20)};
+    stages[1].name = "light_a";
+    stages[1].candidates = {makeCandidate(80, 12), makeCandidate(150, 6)};
+    stages[2].name = "light_b";
+    stages[2].candidates = {makeCandidate(90, 12), makeCandidate(160, 6)};
+
+    ResourceBudget budget = makeBudget(120);
+    GlobalAllocation refined = allocateGlobalBudget(stages, budget);
+    GlobalAllocation uniform = allocateUniformSplit(stages, budget);
+    ASSERT_TRUE(refined.feasible);
+    ASSERT_TRUE(uniform.feasible);
+    // Uniform: heavy's share (40 DSP) only affords the 400-cycle point.
+    EXPECT_EQ(uniform.bottleneck, 400);
+    // Balanced: heavy at 100 cycles (90 DSP) + lights at ~12 DSP each.
+    EXPECT_EQ(refined.bottleneck, 100);
+    EXPECT_LT(refined.bottleneck, uniform.bottleneck);
+    EXPECT_GT(refined.refinementSteps, 0u);
+    EXPECT_TRUE(budget.fits(refined.resources));
+}
+
+TEST(GlobalAlloc, StopsWhenNoBudgetFeasibleSwapImproves)
+{
+    // The bottleneck stage's only faster candidate overruns the budget
+    // and no demotion elsewhere can free enough: the allocator must keep
+    // the feasible selection it has instead of looping or overspending.
+    std::vector<StageFrontier> stages(2);
+    stages[0].candidates = {makeCandidate(50, 100), makeCandidate(200, 10)};
+    stages[1].candidates = {makeCandidate(60, 100), makeCandidate(180, 10)};
+
+    ResourceBudget budget = makeBudget(50);
+    GlobalAllocation allocation = allocateGlobalBudget(stages, budget);
+    ASSERT_TRUE(allocation.feasible);
+    EXPECT_EQ(allocation.bottleneck, 200);
+    EXPECT_EQ(allocation.refinementSteps, 0u);
+    EXPECT_TRUE(budget.fits(allocation.resources));
+
+    // Even the cheapest selection can overrun: then nothing is feasible.
+    EXPECT_FALSE(allocateGlobalBudget(stages, makeBudget(15)).feasible);
+}
+
+TEST(GlobalAlloc, BudgetExcludingMinLatencyPointFiltersFrontier)
+{
+    // The min-latency frontier point costs more than the device has: the
+    // allocator (like DSEEngine::finalize) must skip past it to the
+    // fastest point that actually fits.
+    std::vector<StageFrontier> stages(1);
+    stages[0].candidates = {makeCandidate(10, 500), makeCandidate(20, 80),
+                            makeCandidate(40, 30)};
+    ResourceBudget budget = makeBudget(100);
+    GlobalAllocation allocation = allocateGlobalBudget(stages, budget);
+    ASSERT_TRUE(allocation.feasible);
+    EXPECT_EQ(allocation.choice[0], 1u);
+    EXPECT_EQ(allocation.bottleneck, 20);
+
+    // finalize() applies the same filter to a raw frontier.
+    std::vector<EvaluatedPoint> frontier(3);
+    for (size_t i = 0; i < 3; ++i) {
+        frontier[i].qor.latency = stages[0].candidates[i].latency;
+        frontier[i].qor.resources = stages[0].candidates[i].resources;
+    }
+    auto chosen = DSEEngine::finalize(frontier, budget);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(chosen->qor.latency, 20);
+    EXPECT_EQ(chosen->qor.resources.dsp, 80);
+}
+
+TEST(DSEEngine, RunDSERetainsDecodedFrontier)
+{
+    auto module = parseCToModule(polybenchSource("gemm", 16));
+    raiseScfToAffine(module.get());
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 4;
+    space_options.maxTotalUnroll = 16;
+    DSEOptions options;
+    options.numInitialSamples = 20;
+    options.maxIterations = 30;
+    auto result = runDSE(module.get(), xc7z020(), space_options, options);
+    ASSERT_TRUE(result.has_value());
+
+    // The full frontier comes back, ascending latency, each point with
+    // its decoded per-band schedule and decomposed resources.
+    ASSERT_FALSE(result->frontier.empty());
+    DesignSpace space(module.get(), space_options);
+    for (size_t i = 0; i < result->frontier.size(); ++i) {
+        const FrontierPoint &fp = result->frontier[i];
+        ASSERT_EQ(fp.bands.size(), space.numBands());
+        EXPECT_EQ(fp.point.size(), space.numDims());
+        for (const auto &band : fp.bands)
+            EXPECT_FALSE(band.tileSizes.empty());
+        if (i > 0)
+            EXPECT_LE(result->frontier[i - 1].qor.latency,
+                      fp.qor.latency);
+        // The decoded schedule matches a fresh decode of the point.
+        DesignSpace::Decoded decoded = space.decode(fp.point);
+        for (size_t b = 0; b < fp.bands.size(); ++b) {
+            EXPECT_EQ(fp.bands[b].tileSizes,
+                      decoded.bands[b].tileSizes);
+            EXPECT_EQ(fp.bands[b].permMap, decoded.bands[b].permMap);
+            EXPECT_EQ(fp.bands[b].targetII,
+                      decoded.bands[b].targetII);
+        }
+    }
+    // The winner is the frontier's fastest budget-feasible point.
+    bool winner_on_frontier = false;
+    for (const FrontierPoint &fp : result->frontier)
+        winner_on_frontier |= fp.point == result->point;
+    EXPECT_TRUE(winner_on_frontier);
+}
+
+TEST(MultiKernelDSE, PerFunctionFrontiersRetained)
+{
+    Compiler compiler = Compiler::fromC(polybenchSource("gemm", 16));
+    DSEOptions options;
+    options.numInitialSamples = 15;
+    options.maxIterations = 20;
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 4;
+    space_options.maxTotalUnroll = 16;
+    auto results =
+        compiler.optimizeFunctions(xc7z020(), space_options, options);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_FALSE(results[0].frontier.empty());
+    // The chosen QoR appears on the retained frontier.
+    bool found = false;
+    for (const FrontierPoint &fp : results[0].frontier)
+        found |= fp.qor.latency == results[0].qor.latency &&
+                 fp.qor.resources.dsp == results[0].qor.resources.dsp;
+    EXPECT_TRUE(found);
+}
+
+TEST(ModelDSE, OptimizeModelComposesUnderBudget)
+{
+    // Whole-model DSE on a small zoo lowering: explore every stage,
+    // allocate the global budget, stitch, and re-verify. Graph level 2
+    // keeps the stage count (and test time) small.
+    DSEOptions options;
+    options.numInitialSamples = 8;
+    options.maxIterations = 10;
+    DesignSpaceOptions space_options;
+    space_options.maxTileSize = 4;
+    space_options.maxTotalUnroll = 16;
+
+    auto run = [&](unsigned threads) {
+        Compiler compiler(buildLoweredDNN("mobilenet", 2));
+        DSEOptions opt = options;
+        opt.numThreads = threads;
+        auto result =
+            compiler.optimizeModel(vu9pSlr(), space_options, opt);
+        // The composed module must re-verify after stitching.
+        auto errors = verifyErrors(compiler.module());
+        EXPECT_TRUE(errors.empty());
+        return result;
+    };
+
+    auto result = run(2);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_FALSE(result->stages.empty());
+    ASSERT_TRUE(result->allocation.feasible);
+    EXPECT_TRUE(vu9pSlr().fits(result->allocation.resources));
+    EXPECT_TRUE(result->measured.feasible);
+    // Measured (authoritative) equals the frontier-composed prediction
+    // bit-identically, and the stitched module passed the verifier.
+    EXPECT_TRUE(result->composedVerified)
+        << "composed latency=" << result->composed.latency
+        << " measured latency=" << result->measured.latency
+        << " composed interval=" << result->composed.interval
+        << " measured interval=" << result->measured.interval;
+    EXPECT_TRUE(result->verified);
+    // The dataflow interval is the bottleneck stage latency.
+    EXPECT_EQ(result->measured.interval, result->allocation.bottleneck);
+    // The refined allocation is never worse than the uniform split.
+    if (result->uniform.feasible)
+        EXPECT_LE(result->allocation.bottleneck,
+                  result->uniform.bottleneck);
+    // Kernel stages carry their frontiers; totals add up.
+    size_t evaluations = 0;
+    for (const auto &stage : result->stages) {
+        if (stage.kernel) {
+            EXPECT_FALSE(stage.frontier.empty());
+            EXPECT_LT(stage.chosen, stage.frontier.size());
+        }
+        evaluations += stage.evaluations;
+    }
+    EXPECT_EQ(evaluations, result->evaluations);
+    EXPECT_GT(result->evaluations, 0u);
+
+    // Bit-identical at any thread count.
+    auto single = run(1);
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(single->measured.latency, result->measured.latency);
+    EXPECT_EQ(single->measured.interval, result->measured.interval);
+    EXPECT_EQ(single->measured.resources.dsp,
+              result->measured.resources.dsp);
+    EXPECT_EQ(single->allocation.choice, result->allocation.choice);
+    EXPECT_EQ(single->uniform.bottleneck, result->uniform.bottleneck);
+}
+
 } // namespace
 } // namespace scalehls

@@ -686,5 +686,68 @@ TEST(Estimator, CyclicFunctionsExcludedFromDigestSharing)
     EXPECT_FALSE(digests.cyclic.count(clean));
 }
 
+TEST(ResourceModel, BudgetFitsBoundarySemantics)
+{
+    ResourceBudget budget;
+    budget.dsp = 100;
+    budget.lut = 2000;
+    budget.memoryBits = 4096;
+
+    // Exact fit on every resource is accepted (<=, not <).
+    ResourceUsage exact;
+    exact.dsp = 100;
+    exact.lut = 2000;
+    exact.memoryBits = 4096;
+    EXPECT_TRUE(budget.fits(exact));
+
+    // One unit over on ANY single resource rejects, independently of
+    // the others sitting well under budget.
+    ResourceUsage over_dsp = exact;
+    over_dsp.dsp = 101;
+    over_dsp.lut = 0;
+    over_dsp.memoryBits = 0;
+    EXPECT_FALSE(budget.fits(over_dsp));
+    ResourceUsage over_lut;
+    over_lut.lut = 2001;
+    EXPECT_FALSE(budget.fits(over_lut));
+    ResourceUsage over_mem;
+    over_mem.memoryBits = 4097;
+    EXPECT_FALSE(budget.fits(over_mem));
+
+    // Zero usage always fits; bram18k is capacity-modeled through
+    // memoryBits and does not gate on its own.
+    EXPECT_TRUE(budget.fits(ResourceUsage{}));
+    ResourceUsage bram_only;
+    bram_only.bram18k = 1000000;
+    EXPECT_TRUE(budget.fits(bram_only));
+}
+
+TEST(ResourceModel, ParseResourceBudgetSpecs)
+{
+    auto edge = parseResourceBudget("xc7z020");
+    ASSERT_TRUE(edge.has_value());
+    EXPECT_EQ(edge->name, "xc7z020");
+    EXPECT_EQ(edge->dsp, xc7z020().dsp);
+    EXPECT_EQ(edge->memoryBits, xc7z020().memoryBits);
+
+    auto slr = parseResourceBudget("vu9p-slr");
+    ASSERT_TRUE(slr.has_value());
+    EXPECT_EQ(slr->dsp, vu9pSlr().dsp);
+
+    // Custom triple: dsp:lut:bram18k, BRAM at 18 Kb per block.
+    auto custom = parseResourceBudget("220:53200:280");
+    ASSERT_TRUE(custom.has_value());
+    EXPECT_EQ(custom->dsp, 220);
+    EXPECT_EQ(custom->lut, 53200);
+    EXPECT_EQ(custom->memoryBits, int64_t(280) * 18 * 1024);
+
+    EXPECT_FALSE(parseResourceBudget("").has_value());
+    EXPECT_FALSE(parseResourceBudget("vu9p").has_value());
+    EXPECT_FALSE(parseResourceBudget("1:2").has_value());
+    EXPECT_FALSE(parseResourceBudget("1:2:3:4").has_value());
+    EXPECT_FALSE(parseResourceBudget("1:-2:3").has_value());
+    EXPECT_FALSE(parseResourceBudget("a:b:c").has_value());
+}
+
 } // namespace
 } // namespace scalehls

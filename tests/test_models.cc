@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/loop_analysis.h"
 #include "api/scalehls.h"
+#include "model/dnn_dse.h"
 #include "model/polybench.h"
 
 namespace scalehls {
@@ -252,6 +254,73 @@ TEST_P(DnnDspScaling, DspGrowsWithLevel)
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DnnDspScaling, ::testing::Values(2, 3, 4));
+
+TEST(Models, WholeZooLowersExtractsAndStagesAtWholeModelLevels)
+{
+    // The whole-model DSE path (Compiler::optimizeModel) builds on
+    // buildLoweredDNN + collectDNNStages at mid graph levels; every zoo
+    // model must lower, verify, extract, and stage cleanly there.
+    for (const char *model : {"resnet18", "vgg16", "mobilenet"}) {
+        for (int graph_level : {2, 4}) {
+            SCOPED_TRACE(std::string(model) + " @g" +
+                         std::to_string(graph_level));
+            auto lowered = buildLoweredDNN(model, graph_level);
+            ASSERT_TRUE(lowered);
+            auto errors =
+                verifyErrors(lowered.get(), VerifyLevel::Semantic);
+            ASSERT_TRUE(errors.empty()) << renderErrors(errors);
+
+            // Every extracted kernel is a standalone verifying module.
+            auto kernels = extractDNNKernels(lowered.get());
+            ASSERT_FALSE(kernels.empty());
+            for (const DNNKernel &kernel : kernels) {
+                ASSERT_TRUE(kernel.module);
+                EXPECT_GT(kernel.numBands, 0u);
+                auto kernel_errors = verifyErrors(kernel.module.get(),
+                                                  VerifyLevel::Semantic);
+                EXPECT_TRUE(kernel_errors.empty())
+                    << kernel.name << ":\n"
+                    << renderErrors(kernel_errors);
+            }
+
+            // Stages mirror the dataflow top's body calls in order, and
+            // the kernel flag means exactly "banded and uniquely
+            // called".
+            auto stages = collectDNNStages(lowered.get());
+            ASSERT_FALSE(stages.empty());
+            Operation *top = getTopFunc(lowered.get());
+            ASSERT_NE(top, nullptr);
+            EXPECT_TRUE(getFuncDirective(top).dataflow);
+            size_t next = 0;
+            for (const auto &op : funcBody(top)->ops()) {
+                if (!op->is(ops::Call))
+                    continue;
+                ASSERT_LT(next, stages.size());
+                EXPECT_EQ(stages[next].call, op.get());
+                ++next;
+            }
+            EXPECT_EQ(next, stages.size());
+            size_t explorable = 0;
+            for (const DNNStage &stage : stages) {
+                ASSERT_NE(stage.callee, nullptr);
+                size_t call_sites = 0;
+                top->walk([&](Operation *op) {
+                    call_sites +=
+                        op->is(ops::Call) &&
+                        op->attr(kCallee).getString() ==
+                            stage.callee->attr(kSymName).getString();
+                });
+                bool expect_kernel =
+                    !getLoopBands(stage.callee).empty() &&
+                    call_sites == 1;
+                EXPECT_EQ(stage.kernel, expect_kernel)
+                    << stage.callee->attr(kSymName).getString();
+                explorable += stage.kernel;
+            }
+            EXPECT_GT(explorable, 0u);
+        }
+    }
+}
 
 } // namespace
 } // namespace scalehls

@@ -9,7 +9,8 @@
 #               (default: bench-results)
 #   BENCHES     (env) space-separated subset of benches to run
 #               (default: all). An entry may carry arguments after a
-#               colon, e.g. "bench_estimator:--dnn".
+#               colon, e.g. "bench_estimator:--dnn"; commas separate
+#               multiple arguments ("bench_estimator:--dnn,--dnn-full").
 #
 # Every bench's stdout+stderr goes to <output-dir>/<bench>.txt; the JSON
 # index records exit codes and wall-clock seconds, plus any machine
@@ -23,9 +24,13 @@
 # regresses more than 15% below old.json, any pinned hit-rate field
 # drops, any materializations-per-point field RISES (the plan-first
 # pipeline drives it toward zero; more IR built per point is a
-# regression even when results stay identical), or any *violations
+# regression even when results stay identical), any *violations
 # field RISES (the audit sweeps pin zero L3/L4 findings on healthy
-# runs; a single new violation is a correctness bug, not noise). Only
+# runs; a single new violation is a correctness bug, not noise), any
+# *latency field RISES (the whole-model DSE results are deterministic,
+# so a longer composed design is a real QoR regression), or any
+# *utilization field DROPS (the allocator leaving budget on the table
+# it previously spent means worse global allocation). Only
 # fields present in BOTH matched records are compared, so a committed
 # baseline may carry just the deterministic fields (hit rates,
 # materializations per point, audit violations) while
@@ -92,6 +97,16 @@ for key, old_rec in sorted(old.items()):
                 failures.append(
                     "%s %s: %s rose %d -> %d (audit findings!)"
                     % (key[0], key[1], field, old_value, new_value))
+        elif field.endswith("latency"):
+            if new_value > old_value:
+                failures.append(
+                    "%s %s: %s rose %d -> %d (composed QoR regression)"
+                    % (key[0], key[1], field, old_value, new_value))
+        elif field.endswith("utilization"):
+            if new_value < old_value - 1e-9:
+                failures.append(
+                    "%s %s: %s dropped %.4f -> %.4f"
+                    % (key[0], key[1], field, old_value, new_value))
 for failure in failures:
     print("REGRESSION:", failure)
 if failures:
@@ -117,6 +132,7 @@ for spec in "${BENCHES[@]}"; do
     bench="${spec%%:*}"
     args="${spec#"$bench"}"
     args="${args#:}"
+    args="${args//,/ }"
     bin="$BUILD_DIR/$bench"
     log="$OUT_DIR/$bench.txt"
     if [ ! -x "$bin" ]; then
@@ -207,3 +223,15 @@ audit_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_audit")
     printf '}\n'
 } > "$pr7"
 echo "wrote $pr7"
+
+# Distill the PR 8 whole-model DSE records (composed end-to-end latency,
+# bottleneck latency, DSP utilization, uniform-split comparison) for the
+# deterministic-QoR compare gate.
+pr8="$OUT_DIR/BENCH_pr8.json"
+full_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_dnn_full")
+{
+    printf '{\n'
+    printf '  "dnn_full": [%s]\n' "${full_records}"
+    printf '}\n'
+} > "$pr8"
+echo "wrote $pr8"

@@ -20,8 +20,9 @@
 #include <sstream>
 
 #include "api/scalehls.h"
-#include "support/utils.h"
+#include "model/dnn_dse.h"
 #include "model/polybench.h"
+#include "support/utils.h"
 
 using namespace scalehls;
 
@@ -40,10 +41,21 @@ usage()
            "  -array-partition             -func-inline\n"
            "  -simplify-affine-if          -affine-store-forward\n"
            "  -simplify-memref-access      -canonicalize  -cse\n"
-           "  -dse                         (automated DSE, xc7z020)\n"
+           "  -dse                         (automated DSE)\n"
            "  -dse-funcs                   (DSE every kernel function,\n"
            "                                explored concurrently)\n"
+           "  -dse-model=<resnet18|vgg16|mobilenet>\n"
+           "                               (whole-model graph-level DSE:\n"
+           "                                lower the zoo model, explore\n"
+           "                                every dataflow stage, compose\n"
+           "                                one design under the global\n"
+           "                                device budget; no C input)\n"
            "options:\n"
+           "  -dse-budget=<xc7z020|vu9p-slr|dsp:lut:bram18k>\n"
+           "                 device budget for every DSE mode (default\n"
+           "                 xc7z020; custom triple in BRAM18K blocks)\n"
+           "  -dse-graph-level=<1..7>  graph granularity for -dse-model\n"
+           "                 (default 4)\n"
            "  -top=<name>    top function   -estimate   QoR report\n"
            "  -pass-timing   timing report  -emit-hlscpp  emit C++\n"
            "  -dse-threads=<n>  QoR evaluation workers (default: all\n"
@@ -141,6 +153,9 @@ main(int argc, char **argv)
     bool emit_cpp = false;
     bool run_dse = false;
     bool run_dse_funcs = false;
+    std::string dse_model;
+    int dse_graph_level = 4;
+    ResourceBudget dse_budget = xc7z020();
     DSEOptions dse_options;
     DesignSpaceOptions space_options;
     PassManager pm;
@@ -170,6 +185,24 @@ main(int argc, char **argv)
             run_dse = true;
         } else if (arg == "-dse-funcs") {
             run_dse_funcs = true;
+        } else if (name == "-dse-model") {
+            dse_model = value;
+        } else if (name == "-dse-graph-level") {
+            dse_graph_level = static_cast<int>(
+                parseUnsignedArg(name, value));
+            if (dse_graph_level < 1 || dse_graph_level > 7) {
+                std::cerr << "-dse-graph-level expects 1..7\n";
+                return 1;
+            }
+        } else if (name == "-dse-budget") {
+            auto parsed = parseResourceBudget(value);
+            if (!parsed) {
+                std::cerr << "-dse-budget expects xc7z020, vu9p-slr or "
+                             "dsp:lut:bram18k, got '"
+                          << value << "'\n";
+                return 1;
+            }
+            dse_budget = *parsed;
         } else if (name == "-dse-threads") {
             dse_options.numThreads = parseUnsignedArg(name, value);
         } else if (name == "-dse-batch") {
@@ -242,8 +275,26 @@ main(int argc, char **argv)
     }
 
     try {
+        if ((run_dse && run_dse_funcs) ||
+            (!dse_model.empty() && (run_dse || run_dse_funcs))) {
+            std::cerr << "-dse, -dse-funcs and -dse-model are mutually "
+                         "exclusive\n";
+            return 1;
+        }
+
+        // -dse-model builds its own module from the zoo; every other
+        // mode parses HLS C from the input.
         std::string source;
-        if (input_path.empty() || input_path == "-") {
+        std::unique_ptr<Operation> model_module;
+        if (!dse_model.empty()) {
+            model_module = buildLoweredDNN(dse_model, dse_graph_level);
+            if (!model_module) {
+                std::cerr << "-dse-model expects resnet18, vgg16 or "
+                             "mobilenet, got '"
+                          << dse_model << "'\n";
+                return 1;
+            }
+        } else if (input_path.empty() || input_path == "-") {
             std::ostringstream buffer;
             buffer << std::cin.rdbuf();
             source = buffer.str();
@@ -258,12 +309,9 @@ main(int argc, char **argv)
             source = buffer.str();
         }
 
-        if (run_dse && run_dse_funcs) {
-            std::cerr << "-dse and -dse-funcs are mutually exclusive\n";
-            return 1;
-        }
-
-        Compiler compiler = Compiler::fromC(source, top);
+        Compiler compiler = dse_model.empty()
+                                ? Compiler::fromC(source, top)
+                                : Compiler(std::move(model_module));
         pm.run(compiler.module());
 
         // Own the estimate cache here so its hit rate is reportable for
@@ -272,7 +320,8 @@ main(int argc, char **argv)
         EstimateCache estimate_cache;
         if (dse_options.estimateCacheCap != 0)
             estimate_cache.setMaxEntries(dse_options.estimateCacheCap);
-        if (dse_options.crossPointCache && (run_dse || run_dse_funcs))
+        if (dse_options.crossPointCache &&
+            (run_dse || run_dse_funcs || !dse_model.empty()))
             dse_options.sharedEstimates = &estimate_cache;
         auto report_tier = [](const char *name, const CacheStats &tier) {
             std::cerr << name << " " << tier.hits << " hits / "
@@ -306,7 +355,7 @@ main(int argc, char **argv)
         size_t audit_checks = 0;
         size_t audit_violations = 0;
         if (run_dse) {
-            auto result = compiler.optimize(xc7z020(), space_options,
+            auto result = compiler.optimize(dse_budget, space_options,
                                             dse_options);
             if (!result) {
                 std::cerr << "DSE found no feasible design\n";
@@ -327,7 +376,7 @@ main(int argc, char **argv)
         }
         if (run_dse_funcs) {
             auto results = compiler.optimizeFunctions(
-                xc7z020(), space_options, dse_options);
+                dse_budget, space_options, dse_options);
             bool any_feasible = false;
             for (const auto &r : results) {
                 std::cerr << "DSE " << r.func << ": ";
@@ -348,6 +397,59 @@ main(int argc, char **argv)
                              "kernel function\n";
                 return 1;
             }
+        }
+        if (!dse_model.empty()) {
+            auto result = compiler.optimizeModel(
+                dse_budget, space_options, dse_options);
+            if (!result) {
+                std::cerr << "whole-model DSE: no dataflow top with "
+                             "stages to optimize\n";
+                return 1;
+            }
+            for (const auto &stage : result->stages) {
+                std::cerr << "stage " << stage.func << ": ";
+                if (stage.kernel)
+                    std::cerr << stage.frontier.size()
+                              << " frontier points, chose #"
+                              << stage.chosen << ", ";
+                else
+                    std::cerr << "fixed baseline, ";
+                std::cerr << "latency=" << stage.qor.latency
+                          << " DSP=" << stage.qor.resources.dsp << "\n";
+            }
+            if (!result->allocation.feasible) {
+                std::cerr << "whole-model DSE: no composition fits "
+                          << dse_budget.name << "\n";
+                return 1;
+            }
+            std::cerr << "allocation: bottleneck="
+                      << result->allocation.bottleneck << " ("
+                      << result->allocation.refinementSteps
+                      << " refinement steps, "
+                      << result->allocation.exchanges
+                      << " exchanges); uniform-split bottleneck="
+                      << (result->uniform.feasible
+                              ? std::to_string(
+                                    result->uniform.bottleneck)
+                              : std::string("infeasible"))
+                      << "\n";
+            std::cerr << "composed QoR: latency="
+                      << result->measured.latency
+                      << " interval=" << result->measured.interval
+                      << " DSP=" << result->measured.resources.dsp
+                      << " LUT=" << result->measured.resources.lut
+                      << " BRAM18K="
+                      << result->measured.resources.bram18k
+                      << " (prediction "
+                      << (result->composedVerified ? "verified"
+                                                   : "MISMATCH")
+                      << ", module "
+                      << (result->verified ? "verified" : "INVALID")
+                      << ", " << result->evaluations
+                      << " evaluations)\n";
+            report_cache();
+            if (!result->verified)
+                return 1;
         }
         if (dse_options.auditMode && (run_dse || run_dse_funcs)) {
             std::cerr << "dse-audit: " << audit_checks << " checks, "
