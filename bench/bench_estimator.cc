@@ -12,7 +12,11 @@
  * tile-retuning sweep, masked hits pinned strictly above), and a
  * plan-first probe section (full materializations per point pinned at
  * <= 0.25 with zero-IR composition of warm points; `--probe` runs it
- * alone).
+ * alone), and a snapshot-persistence section (`--persist` runs it
+ * alone): a cold DNN kernel sweep saves its estimate cache to disk, a
+ * FRESH sweep (new modules, spaces, evaluators and cache — a new
+ * process in all but the pid) loads it back and must replay with zero
+ * full materializations, at >= 2x the cold throughput, bit-identically.
  * Self-check (the repo's determinism guarantee extended to the
  * estimator): parallel and cached estimation — any tier, either
  * materialization path — must produce bit-identical QoR to the
@@ -24,12 +28,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "api/scalehls.h"
 #include "common.h"
 #include "dse/design_space.h"
 #include "dse/evaluator.h"
+#include "estimate/cache_io.h"
 #include "estimate/estimate_cache.h"
 #include "model/dnn_dse.h"
 #include "model/graph_builder.h"
@@ -904,6 +910,162 @@ runDNNSection(const std::vector<unsigned> &configs, bool smoke)
     return ok;
 }
 
+/** Snapshot persistence (cross-process warm start): the DNN kernel
+ * sweep run cold on a fresh estimate cache, the cache serialized to a
+ * snapshot file, then the ENTIRE workload state rebuilt from scratch —
+ * new kernel modules, new design spaces, new evaluators, a new cache —
+ * and the snapshot loaded back, exactly what a fresh scalehls-opt or
+ * scalehls-serve process sees. Hard checks per thread count: the load
+ * succeeds with entries and ZERO recorded lookups (hit-rate baselines
+ * measure this run, not history), the warm sweep performs zero full
+ * materializations (every point composes from persisted schedule/plan
+ * entries), warm throughput is at least 2x cold (the snapshot pays for
+ * itself; the real margin is far larger), and warm QoR is bit-identical
+ * to cold. */
+bool
+runPersistSection(bool smoke)
+{
+    std::printf("=== Snapshot persistence (cold sweep -> save -> fresh "
+                "load -> warm sweep) ===\n\n");
+
+    const char *model = "resnet18";
+    const size_t num_kernels = smoke ? 1 : 4;
+    const int dials = smoke ? 2 : 3;
+    const char *tmp = std::getenv("TMPDIR");
+    std::string snapshot = std::string(tmp && *tmp ? tmp : "/tmp") +
+                           "/scalehls_bench_persist.shlsnap";
+
+    // One sweep instance: everything a process holds in memory. Built
+    // twice so the warm run shares NOTHING with the cold run but the
+    // snapshot file.
+    struct Sweep
+    {
+        std::vector<DNNKernel> kernels;
+        std::vector<std::unique_ptr<DesignSpace>> spaces;
+        std::vector<std::vector<DesignSpace::Point>> borders;
+        std::vector<std::vector<DesignSpace::Point>> interiors;
+        size_t totalPoints = 0;
+    };
+    auto build_sweep = [&]() {
+        Sweep sweep;
+        sweep.kernels = buildDNNKernelModules(model, 4, num_kernels);
+        for (DNNKernel &kernel : sweep.kernels) {
+            sweep.spaces.push_back(
+                std::make_unique<DesignSpace>(kernel.module.get()));
+            DesignSpace &space = *sweep.spaces.back();
+            std::vector<DesignSpace::Point> border;
+            std::vector<DesignSpace::Point> interior;
+            DesignSpace::Point zero(space.numDims(), 0);
+            for (int a = 0; a < dials; ++a) {
+                for (int b = 0; b < dials; ++b) {
+                    DesignSpace::Point p = zero;
+                    p[space.dimTargetII(0)] = a;
+                    if (space.numBands() > 1)
+                        p[space.dimTargetII(1)] = b;
+                    else if (b > 0)
+                        continue;
+                    (a == 0 || b == 0 ? border : interior)
+                        .push_back(std::move(p));
+                }
+            }
+            sweep.totalPoints += border.size() + interior.size();
+            sweep.borders.push_back(std::move(border));
+            sweep.interiors.push_back(std::move(interior));
+        }
+        return sweep;
+    };
+    auto run_sweep = [](Sweep &sweep, ThreadPool &pool,
+                        EstimateCache &cache,
+                        std::vector<QoRResult> &qors, size_t &full) {
+        qors.clear();
+        full = 0;
+        auto start = std::chrono::steady_clock::now();
+        for (size_t k = 0; k < sweep.spaces.size(); ++k) {
+            CachingEvaluator evaluator(*sweep.spaces[k], &pool, &cache);
+            auto results = evaluator.evaluateBatch(sweep.borders[k]);
+            auto rest = evaluator.evaluateBatch(sweep.interiors[k]);
+            qors.insert(qors.end(), results.begin(), results.end());
+            qors.insert(qors.end(), rest.begin(), rest.end());
+            full += evaluator.numFullMaterializations();
+        }
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    std::vector<unsigned> configs = smoke ? std::vector<unsigned>{1, 2}
+                                          : std::vector<unsigned>{1, 4};
+    std::printf("%-10s %-12s %-12s %-10s %-10s %-10s %s\n", "Threads",
+                "ColdPts/s", "WarmPts/s", "Speedup", "ColdFull",
+                "WarmFull", "Identical");
+
+    bool ok = true;
+    for (unsigned threads : configs) {
+        ThreadPool pool(threads);
+
+        Sweep cold_sweep = build_sweep();
+        EstimateCache cold_cache;
+        std::vector<QoRResult> cold_qors;
+        size_t cold_full = 0;
+        double cold_seconds =
+            run_sweep(cold_sweep, pool, cold_cache, cold_qors, cold_full);
+
+        std::string error;
+        if (!saveEstimateCache(cold_cache, snapshot, &error)) {
+            std::printf("UNEXPECTED: snapshot save failed: %s\n",
+                        error.c_str());
+            return false;
+        }
+
+        // The warm process: fresh everything, then load the snapshot.
+        Sweep warm_sweep = build_sweep();
+        EstimateCache warm_cache;
+        CacheLoadResult load = loadEstimateCache(warm_cache, snapshot);
+        bool load_ok = load.status == CacheLoadStatus::Loaded &&
+                       load.totalEntries() > 0 &&
+                       warm_cache.funcStats().lookups() == 0 &&
+                       warm_cache.bandStats().lookups() == 0;
+        std::vector<QoRResult> warm_qors;
+        size_t warm_full = 0;
+        double warm_seconds =
+            run_sweep(warm_sweep, pool, warm_cache, warm_qors, warm_full);
+
+        bool matches = warm_qors.size() == cold_qors.size();
+        for (size_t i = 0; matches && i < warm_qors.size(); ++i)
+            matches = identical(warm_qors[i], cold_qors[i]);
+
+        double cold_rate = cold_sweep.totalPoints / cold_seconds;
+        double warm_rate = warm_sweep.totalPoints / warm_seconds;
+        double speedup = cold_rate > 0 ? warm_rate / cold_rate : 0;
+        double warm_per_point =
+            static_cast<double>(warm_full) /
+            static_cast<double>(warm_sweep.totalPoints);
+        bool structural = load_ok && matches && warm_full == 0 &&
+                          speedup >= 2.0;
+        ok &= structural;
+        std::printf("%-10u %-12.1f %-12.1f %-10.2f %-10zu %-10zu %s\n",
+                    threads, cold_rate, warm_rate, speedup, cold_full,
+                    warm_full, structural ? "yes" : "NO (BUG)");
+        std::printf(
+            "JSON {\"bench\":\"estimator_persist\","
+            "\"design\":\"%s-g4\",\"threads\":%u,\"kernels\":%zu,"
+            "\"points\":%zu,\"loaded_entries\":%zu,"
+            "\"cold_points_per_second\":%.1f,"
+            "\"warm_points_per_second\":%.1f,\"warm_speedup\":%.2f,"
+            "\"cold_full_materializations\":%zu,"
+            "\"warm_full_materializations\":%zu,"
+            "\"warm_materializations_per_point\":%.3f,"
+            "\"identical\":%s}\n",
+            model, threads, cold_sweep.spaces.size(),
+            cold_sweep.totalPoints, load.totalEntries(), cold_rate,
+            warm_rate, speedup, cold_full, warm_full, warm_per_point,
+            matches && load_ok ? "true" : "false");
+    }
+    std::remove(snapshot.c_str());
+    std::printf("\n");
+    return ok;
+}
+
 /** Whole-model DSE end-to-end: resnet18 at graph level 4 through
  * Compiler::optimizeModel on both device classes. Hard checks per
  * device: the composed design fits the budget, the frontier-composed
@@ -1046,12 +1208,14 @@ main(int argc, char **argv)
     bool dnn_full = false;
     bool probe_only = false;
     bool audit_only = false;
+    bool persist_only = false;
     for (int i = 1; i < argc; ++i) {
         smoke |= std::strcmp(argv[i], "--smoke") == 0;
         dnn_only |= std::strcmp(argv[i], "--dnn") == 0;
         dnn_full |= std::strcmp(argv[i], "--dnn-full") == 0;
         probe_only |= std::strcmp(argv[i], "--probe") == 0;
         audit_only |= std::strcmp(argv[i], "--audit") == 0;
+        persist_only |= std::strcmp(argv[i], "--persist") == 0;
     }
 
     unsigned hw = defaultThreadCount();
@@ -1080,6 +1244,8 @@ main(int argc, char **argv)
     }
     if (audit_only) {
         ok &= runAuditSection(configs, smoke);
+    } else if (persist_only) {
+        ok &= runPersistSection(smoke);
     } else {
         if (!dnn_only && !probe_only) {
             ok &= runScalingSection(configs, smoke);
@@ -1091,8 +1257,10 @@ main(int argc, char **argv)
             ok &= runProbeSection(configs, smoke);
         if (!probe_only)
             ok &= runDNNSection(configs, smoke);
-        if (!dnn_only && !probe_only)
+        if (!dnn_only && !probe_only) {
             ok &= runAuditSection(configs, smoke);
+            ok &= runPersistSection(smoke);
+        }
     }
 
     if (!ok) {

@@ -298,10 +298,18 @@ Compiler::optimizeFunctions(const ResourceBudget &budget,
     // the callee subtrees of the targets), so their content-keyed
     // estimates transfer across kernels and workers alike.
     EstimateCache shared_estimates;
-    if (inner_options.estimateCacheCap != 0)
-        shared_estimates.setMaxEntries(inner_options.estimateCacheCap);
+    inner_options.applyCacheBounds(shared_estimates);
+    // Snapshot persistence follows cache ownership: when this call
+    // creates the shared cache it loads/saves the snapshot ONCE here
+    // (the per-kernel engines see sharedEstimates set and skip); when
+    // the caller injected a cache, the caller persists it.
+    bool owns_cache =
+        !inner_options.sharedEstimates && inner_options.crossPointCache;
     if (!inner_options.sharedEstimates && inner_options.crossPointCache)
         inner_options.sharedEstimates = &shared_estimates;
+    if (owns_cache && !inner_options.cacheLoadPath.empty())
+        loadEstimateCacheLogged(shared_estimates,
+                                inner_options.cacheLoadPath);
 
     std::vector<FuncDSEResult> results(kernels.size());
     std::vector<std::unique_ptr<Operation>> optimized(kernels.size());
@@ -358,6 +366,9 @@ Compiler::optimizeFunctions(const ResourceBudget &budget,
     opt_seconds_ += std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+    if (owns_cache && !inner_options.cacheSavePath.empty())
+        saveEstimateCacheLogged(shared_estimates,
+                                inner_options.cacheSavePath);
     return results;
 }
 
@@ -382,11 +393,15 @@ Compiler::optimizeModel(const ResourceBudget &budget,
     // estimateModule resolves mostly from content-keyed entries the
     // exploration already paid for.
     EstimateCache shared_estimates;
-    if (options.estimateCacheCap != 0)
-        shared_estimates.setMaxEntries(options.estimateCacheCap);
+    options.applyCacheBounds(shared_estimates);
     DSEOptions inner = options;
+    // Same ownership rule as optimizeFunctions: load/save the snapshot
+    // only for the cache this call created.
+    bool owns_cache = !inner.sharedEstimates && inner.crossPointCache;
     if (!inner.sharedEstimates && inner.crossPointCache)
         inner.sharedEstimates = &shared_estimates;
+    if (owns_cache && !inner.cacheLoadPath.empty())
+        loadEstimateCacheLogged(shared_estimates, inner.cacheLoadPath);
     EstimateCache *shared = inner.sharedEstimates;
 
     unsigned total_threads = options.numThreads == 0
@@ -510,6 +525,11 @@ Compiler::optimizeModel(const ResourceBudget &budget,
                           std::chrono::steady_clock::now() - start)
                           .count();
         opt_seconds_ += out.seconds;
+        // Even an infeasible composition explored the kernels; the warm
+        // entries are worth persisting for the next attempt.
+        if (owns_cache && !inner.cacheSavePath.empty())
+            saveEstimateCacheLogged(shared_estimates,
+                                    inner.cacheSavePath);
         return out;
     }
 
@@ -571,6 +591,8 @@ Compiler::optimizeModel(const ResourceBudget &budget,
                       std::chrono::steady_clock::now() - start)
                       .count();
     opt_seconds_ += out.seconds;
+    if (owns_cache && !inner.cacheSavePath.empty())
+        saveEstimateCacheLogged(shared_estimates, inner.cacheSavePath);
     return out;
 }
 

@@ -1,0 +1,356 @@
+#include "api/serve.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "model/dnn_dse.h"
+#include "model/polybench.h"
+#include "support/json.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+/** Thrown by request handlers on malformed input; caught in handleLine
+ * and turned into an error response — a bad request must never take the
+ * session (or the process) down. */
+struct RequestError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+int64_t
+intField(const JsonValue &req, const char *key, int64_t fallback)
+{
+    const JsonValue *value = req.get(key);
+    if (!value)
+        return fallback;
+    if (!value->isNumber())
+        throw RequestError(std::string(key) + " must be a number");
+    return value->asInt();
+}
+
+std::string
+strField(const JsonValue &req, const char *key,
+         const std::string &fallback)
+{
+    const JsonValue *value = req.get(key);
+    if (!value)
+        return fallback;
+    if (!value->isString())
+        throw RequestError(std::string(key) + " must be a string");
+    return value->string;
+}
+
+std::string
+num(int64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+tierJson(const CacheStats &stats)
+{
+    return "{\"hits\":" + num(static_cast<int64_t>(stats.hits)) +
+           ",\"misses\":" + num(static_cast<int64_t>(stats.misses)) +
+           ",\"entries\":" + num(static_cast<int64_t>(stats.entries)) +
+           ",\"evictions\":" +
+           num(static_cast<int64_t>(stats.evictions)) + "}";
+}
+
+std::string
+cacheJson(const EstimateCache &cache)
+{
+    return "{\"func\":" + tierJson(cache.funcStats()) +
+           ",\"band\":" + tierJson(cache.bandStats()) +
+           ",\"schedule\":" + tierJson(cache.scheduleStats()) +
+           ",\"plan\":" + tierJson(cache.planStats()) + "}";
+}
+
+std::string
+qorJson(const QoRResult &qor)
+{
+    return "{\"latency\":" + num(qor.latency) +
+           ",\"interval\":" + num(qor.interval) +
+           ",\"dsp\":" + num(qor.resources.dsp) +
+           ",\"lut\":" + num(qor.resources.lut) +
+           ",\"bram18k\":" + num(qor.resources.bram18k) + "}";
+}
+
+std::string
+frontierJson(const std::vector<FrontierPoint> &frontier)
+{
+    std::string out =
+        "{\"size\":" + num(static_cast<int64_t>(frontier.size()));
+    if (!frontier.empty()) {
+        // Retained frontiers are in ascending latency order.
+        out += ",\"min_latency\":" + num(frontier.front().qor.latency);
+        out += ",\"max_latency\":" + num(frontier.back().qor.latency);
+    }
+    return out + "}";
+}
+
+std::string
+dseStatsJson(const DSEResult &result)
+{
+    return "\"evaluations\":" +
+           num(static_cast<int64_t>(result.evaluations)) +
+           ",\"full_materializations\":" +
+           num(static_cast<int64_t>(result.fullMaterializations)) +
+           ",\"overlay_materializations\":" +
+           num(static_cast<int64_t>(result.overlayMaterializations)) +
+           ",\"plan_composed\":" +
+           num(static_cast<int64_t>(result.planComposed)) +
+           ",\"plan_mismatches\":" +
+           num(static_cast<int64_t>(result.planMismatches)) +
+           ",\"fast_path_hits\":" +
+           num(static_cast<int64_t>(result.fastPathHits));
+}
+
+ResourceBudget
+budgetField(const JsonValue &req)
+{
+    std::string spec = strField(req, "budget", "vu9p-slr");
+    auto budget = parseResourceBudget(spec);
+    if (!budget)
+        throw RequestError("unknown budget \"" + spec + "\"");
+    return *budget;
+}
+
+/** Per-request DSE options: the session cache is injected as
+ * sharedEstimates, so no engine ever touches snapshot persistence (the
+ * session owns it) and every request — at any front-end concurrency —
+ * feeds the same content-keyed tiers. */
+DSEOptions
+dseOptionsFrom(const JsonValue &req, EstimateCache *cache,
+               unsigned default_threads)
+{
+    DSEOptions options;
+    options.cacheLoadPath.clear();
+    options.cacheSavePath.clear();
+    options.sharedEstimates = cache;
+    auto threads = static_cast<unsigned>(
+        intField(req, "threads", default_threads));
+    options.numThreads = threads == 0 ? 1 : threads;
+    options.seed =
+        static_cast<unsigned>(intField(req, "seed", options.seed));
+    options.numInitialSamples = static_cast<unsigned>(
+        intField(req, "samples", options.numInitialSamples));
+    options.maxIterations = static_cast<unsigned>(
+        intField(req, "iterations", options.maxIterations));
+    options.batchSize = static_cast<unsigned>(
+        intField(req, "batch", options.batchSize));
+    return options;
+}
+
+} // namespace
+
+ServeSession::ServeSession(const ServeOptions &options)
+    : options_(options)
+{
+    if (options_.tierCaps.any())
+        cache_.setTierMaxEntries(options_.tierCaps);
+    else if (options_.cacheCap != 0)
+        cache_.setMaxEntries(options_.cacheCap);
+    if (!options_.cacheLoadPath.empty())
+        load_result_ =
+            loadEstimateCacheLogged(cache_, options_.cacheLoadPath);
+}
+
+ServeSession::~ServeSession()
+{
+    if (!options_.cacheSavePath.empty())
+        saveSnapshot();
+}
+
+bool
+ServeSession::saveSnapshot(const std::string &path)
+{
+    std::string target = path.empty() ? options_.cacheSavePath : path;
+    if (target.empty())
+        return false;
+    std::lock_guard<std::mutex> lock(save_mutex_);
+    return saveEstimateCacheLogged(cache_, target);
+}
+
+std::string
+ServeSession::handleLine(const std::string &line)
+{
+    std::string id = "null";
+    auto respondError = [&](const std::string &message) {
+        return "{\"id\":" + id + ",\"ok\":false,\"error\":\"" +
+               jsonEscape(message) + "\"}";
+    };
+
+    auto parsed = parseJson(line);
+    if (!parsed || parsed->kind != JsonValue::Kind::Object)
+        return respondError("request is not a JSON object");
+    const JsonValue &req = *parsed;
+    if (const JsonValue *req_id = req.get("id")) {
+        if (req_id->isNumber())
+            id = num(req_id->asInt());
+        else if (req_id->isString())
+            id = "\"" + jsonEscape(req_id->string) + "\"";
+    }
+
+    std::string response;
+    try {
+        std::string kind = strField(req, "kind", "");
+        if (kind == "kernel") {
+            response = handleKernelRequest(req, id);
+        } else if (kind == "model") {
+            response = handleModelRequest(req, id);
+        } else if (kind == "polybench") {
+            response = handlePolybenchRequest(req, id);
+        } else if (kind == "stats") {
+            response =
+                "{\"id\":" + id + ",\"ok\":true,\"kind\":\"stats\"" +
+                ",\"completed\":" +
+                num(static_cast<int64_t>(completedRequests())) +
+                ",\"loaded_entries\":" +
+                num(static_cast<int64_t>(load_result_.totalEntries())) +
+                ",\"cache\":" + cacheJson(cache_) + "}";
+        } else if (kind == "save") {
+            bool saved = saveSnapshot(strField(req, "path", ""));
+            response = "{\"id\":" + id + ",\"ok\":" +
+                       (saved ? "true" : "false") +
+                       ",\"kind\":\"save\"}";
+        } else if (kind == "quit") {
+            quit_.store(true, std::memory_order_release);
+            response =
+                "{\"id\":" + id + ",\"ok\":true,\"kind\":\"quit\"}";
+        } else if (kind.empty()) {
+            return respondError("missing \"kind\"");
+        } else {
+            return respondError("unknown kind \"" + kind + "\"");
+        }
+    } catch (const std::exception &error) {
+        return respondError(error.what());
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.snapshotEvery != 0 &&
+        completedRequests() % options_.snapshotEvery == 0 &&
+        !options_.cacheSavePath.empty())
+        saveSnapshot();
+    return response;
+}
+
+std::string
+ServeSession::handleKernelRequest(const JsonValue &req,
+                                  const std::string &id)
+{
+    std::string model = strField(req, "model", "resnet18");
+    int level = static_cast<int>(intField(req, "graph_level", 4));
+    ResourceBudget budget = budgetField(req);
+    DSEOptions options =
+        dseOptionsFrom(req, &cache_, options_.defaultThreads);
+
+    // The kernel: by index (builds only the needed prefix) or by name.
+    std::vector<DNNKernel> kernels;
+    size_t index = 0;
+    const JsonValue *which = req.get("kernel");
+    if (which && which->isString()) {
+        kernels = buildDNNKernelModules(model, level);
+        index = kernels.size();
+        for (size_t i = 0; i < kernels.size(); ++i)
+            if (kernels[i].name == which->string)
+                index = i;
+        if (index == kernels.size())
+            throw RequestError("no kernel named \"" + which->string +
+                               "\" in " + model);
+    } else {
+        index = static_cast<size_t>(intField(req, "kernel", 0));
+        kernels = buildDNNKernelModules(model, level, index + 1);
+        if (index >= kernels.size())
+            throw RequestError("kernel index " + num(index) +
+                               " out of range (model has " +
+                               num(static_cast<int64_t>(kernels.size())) +
+                               " at this prefix)");
+    }
+    DNNKernel &kernel = kernels[index];
+
+    auto result =
+        runDSE(kernel.module.get(), budget, DesignSpaceOptions(), options);
+    std::string out = "{\"id\":" + id +
+                      ",\"ok\":true,\"kind\":\"kernel\",\"design\":\"" +
+                      jsonEscape(model + "/" + kernel.name) + "\"";
+    if (!result) {
+        out += ",\"feasible\":false";
+    } else {
+        out += ",\"feasible\":true,\"qor\":" + qorJson(result->qor) +
+               ",\"frontier\":" + frontierJson(result->frontier) + "," +
+               dseStatsJson(*result);
+    }
+    out += ",\"cache\":" + cacheJson(cache_) + "}";
+    return out;
+}
+
+std::string
+ServeSession::handleModelRequest(const JsonValue &req,
+                                 const std::string &id)
+{
+    std::string model = strField(req, "model", "resnet18");
+    int level = static_cast<int>(intField(req, "graph_level", 4));
+    ResourceBudget budget = budgetField(req);
+    DSEOptions options =
+        dseOptionsFrom(req, &cache_, options_.defaultThreads);
+
+    Compiler compiler(buildLoweredDNN(model, level));
+    auto result =
+        compiler.optimizeModel(budget, DesignSpaceOptions(), options);
+    std::string out = "{\"id\":" + id +
+                      ",\"ok\":true,\"kind\":\"model\",\"design\":\"" +
+                      jsonEscape(model) + "\"";
+    if (!result) {
+        out += ",\"feasible\":false";
+    } else {
+        out += ",\"feasible\":";
+        out += result->allocation.feasible ? "true" : "false";
+        out += ",\"composed\":" + qorJson(result->composed) +
+               ",\"measured\":" + qorJson(result->measured) +
+               ",\"composed_verified\":";
+        out += result->composedVerified ? "true" : "false";
+        out += ",\"verified\":";
+        out += result->verified ? "true" : "false";
+        out += ",\"evaluations\":" +
+               num(static_cast<int64_t>(result->evaluations)) +
+               ",\"stages\":" +
+               num(static_cast<int64_t>(result->stages.size()));
+    }
+    out += ",\"cache\":" + cacheJson(cache_) + "}";
+    return out;
+}
+
+std::string
+ServeSession::handlePolybenchRequest(const JsonValue &req,
+                                     const std::string &id)
+{
+    std::string kernel = strField(req, "kernel", "gemm");
+    int64_t size = intField(req, "size", 16);
+    ResourceBudget budget = budgetField(req);
+    DSEOptions options =
+        dseOptionsFrom(req, &cache_, options_.defaultThreads);
+
+    auto module = parseCToModule(polybenchSource(kernel, size));
+    raiseScfToAffine(module.get());
+    auto result =
+        runDSE(module.get(), budget, DesignSpaceOptions(), options);
+    std::string out =
+        "{\"id\":" + id +
+        ",\"ok\":true,\"kind\":\"polybench\",\"design\":\"" +
+        jsonEscape(kernel + "-" + num(size)) + "\"";
+    if (!result) {
+        out += ",\"feasible\":false";
+    } else {
+        out += ",\"feasible\":true,\"qor\":" + qorJson(result->qor) +
+               ",\"frontier\":" + frontierJson(result->frontier) + "," +
+               dseStatsJson(*result);
+    }
+    out += ",\"cache\":" + cacheJson(cache_) + "}";
+    return out;
+}
+
+} // namespace scalehls

@@ -20,11 +20,18 @@ DSEEngine::explore()
     // otherwise (unless disabled). Content-keyed, so it never changes
     // results — only how often the estimator re-walks identical IR.
     local_estimates_ = std::make_unique<EstimateCache>();
-    if (options_.estimateCacheCap != 0)
-        local_estimates_->setMaxEntries(options_.estimateCacheCap);
+    options_.applyCacheBounds(*local_estimates_);
     EstimateCache *estimates = options_.sharedEstimates;
     if (!estimates && options_.crossPointCache)
         estimates = local_estimates_.get();
+    // Cross-process warm start: the owner of the cache loads/saves the
+    // snapshot. The engine owns only its per-exploration cache; an
+    // injected sharedEstimates cache is persisted by whoever created it
+    // (Compiler / tools), never here — loading it once per engine would
+    // double-count and saving it concurrently would race.
+    if (estimates == local_estimates_.get() &&
+        !options_.cacheLoadPath.empty())
+        loadEstimateCacheLogged(*estimates, options_.cacheLoadPath);
     estimates_in_use_ = estimates;
     size_t hits_before = estimates ? estimates->hits() : 0;
     size_t lookups_before = estimates ? estimates->lookups() : 0;
@@ -105,7 +112,23 @@ DSEEngine::explore()
                      [](const EvaluatedPoint &a, const EvaluatedPoint &b) {
                          return a.qor.latency < b.qor.latency;
                      });
+
+    // Save-on-exit for the engine-owned cache (the exploration is where
+    // the entries are born; materializeEvaluated afterwards adds little
+    // and the snapshot stays valid either way — entries only accrete).
+    if (estimates == local_estimates_.get() &&
+        !options_.cacheSavePath.empty())
+        saveEstimateCacheLogged(*estimates, options_.cacheSavePath);
     return result;
+}
+
+void
+DSEOptions::applyCacheBounds(EstimateCache &cache) const
+{
+    if (estimateCacheTierCaps.any())
+        cache.setTierMaxEntries(estimateCacheTierCaps);
+    else if (estimateCacheCap != 0)
+        cache.setMaxEntries(estimateCacheCap);
 }
 
 std::vector<FrontierPoint>

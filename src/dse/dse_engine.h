@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "dse/search_strategy.h"
+#include "estimate/cache_io.h"
 
 namespace scalehls {
 
@@ -84,10 +85,32 @@ struct DSEOptions
      * without changing results; external sharedEstimates caches are the
      * caller's to bound. */
     size_t estimateCacheCap = 0;
+    /** Independent per-tier bounds (func/band/schedule/plan); when any
+     * field is nonzero this overrides estimateCacheCap entirely —
+     * schedule/plan entries are far heavier than function QoRs, so
+     * persistent deployments size the tiers separately
+     * (`-dse-cache-cap=f:b:s:p`). */
+    EstimateCacheTierCaps estimateCacheTierCaps;
+    /** Snapshot persistence (estimate/cache_io): load the estimate cache
+     * from cacheLoadPath before exploring and save it to cacheSavePath
+     * afterwards — cross-process warm starts. Performed by whoever OWNS
+     * the cache the exploration uses: the engine for its per-exploration
+     * cache, Compiler::optimizeFunctions/optimizeModel for their shared
+     * per-call cache, and the tools for caches they inject via
+     * sharedEstimates (external caches are never loaded/saved here).
+     * Both default to $SCALEHLS_CACHE_DIR/estimate_cache.shlsnap when
+     * that variable is set ("" otherwise = no persistence). Rejected or
+     * corrupt snapshots degrade to a cold start with a warning. */
+    std::string cacheLoadPath = defaultCacheSnapshotPath();
+    std::string cacheSavePath = defaultCacheSnapshotPath();
     /** External estimate cache spanning multiple explorations (e.g. all
      * kernels of optimizeFunctions), NOT owned; nullptr = the engine
      * creates a per-exploration cache when crossPointCache is set. */
     EstimateCache *sharedEstimates = nullptr;
+
+    /** Apply the cache bounds to @p cache: the per-tier caps when any
+     * are set, else the uniform estimateCacheCap. */
+    void applyCacheBounds(EstimateCache &cache) const;
 };
 
 /** The 5-step DSE algorithm over one kernel's design space. */

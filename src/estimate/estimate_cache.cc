@@ -408,4 +408,56 @@ moduleEstimateDigests(Operation *module)
     return out;
 }
 
+std::string
+digestHashFingerprint()
+{
+    // Canonical probe through the exact digest pipeline entry points the
+    // cache keys come from: the raw hash (lane constants, mixing, the
+    // length separator) and the domain tags of the band/plan keying. Any
+    // change to either moves this fingerprint, which moves the snapshot
+    // salt, which invalidates persisted caches keyed under the old
+    // scheme.
+    Digest128 digest;
+    digest.feed("scalehls-digest-probe");
+    digest.feed("band-masked");
+    digest.feed("band");
+    digest.feed("owned");
+    digest.feed("plain");
+    digest.feed("plan");
+    digest.feed("choice");
+    return digest.hex();
+}
+
+std::optional<EstimateCacheTierCaps>
+parseEstimateCacheCaps(const std::string &spec)
+{
+    std::vector<size_t> parts;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+        size_t end = spec.find(':', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string part = spec.substr(begin, end - begin);
+        if (part.empty() ||
+            part.find_first_not_of("0123456789") != std::string::npos)
+            return std::nullopt;
+        parts.push_back(std::stoull(part));
+        begin = end + 1;
+        if (end == spec.size())
+            break;
+    }
+    EstimateCacheTierCaps caps;
+    if (parts.size() == 1) {
+        caps.func = caps.band = caps.schedule = caps.plan = parts[0];
+        return caps;
+    }
+    if (parts.size() != 4)
+        return std::nullopt;
+    caps.func = parts[0];
+    caps.band = parts[1];
+    caps.schedule = parts[2];
+    caps.plan = parts[3];
+    return caps;
+}
+
 } // namespace scalehls

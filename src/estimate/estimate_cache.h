@@ -52,6 +52,40 @@ struct BandPlanOutcome
     std::vector<unsigned> extMap;
 };
 
+/** Per-tier max-entry bounds for the four EstimateCache tiers (coarse
+ * FIFO eviction; 0 = that tier unbounded). Lets operators size the
+ * tiers independently — schedule/plan entries are an order of magnitude
+ * larger than function QoRs, so one uniform cap either wastes memory or
+ * starves the cheap tiers. */
+struct EstimateCacheTierCaps
+{
+    size_t func = 0;
+    size_t band = 0;
+    size_t schedule = 0;
+    size_t plan = 0;
+
+    bool
+    any() const
+    {
+        return func != 0 || band != 0 || schedule != 0 || plan != 0;
+    }
+};
+
+/** Parse a cache-cap spec: either one count applied to every tier
+ * ("4096") or four colon-separated per-tier counts in
+ * func:band:sched:plan order ("1024:4096:2048:8192", 0 = unbounded).
+ * nullopt on malformed input. */
+std::optional<EstimateCacheTierCaps>
+parseEstimateCacheCaps(const std::string &spec);
+
+/** A fixed probe digest of the digest pipeline itself: feeds canonical
+ * inputs through the same 128-bit hash the band/function digests use.
+ * Any change to the hash constants or mixing shows up here, which folds
+ * into the snapshot digest-schema salt (cache_io) so persisted caches
+ * keyed under the old scheme are rejected wholesale instead of silently
+ * missing (or worse, aliasing). */
+std::string digestHashFingerprint();
+
 /** Thread-safe four-tier estimate cache shared across concurrently
  * evaluating design points:
  *
@@ -177,6 +211,49 @@ class EstimateCache
         schedules_.setMaxEntries(max_entries_per_tier);
         plans_.setMaxEntries(max_entries_per_tier);
     }
+
+    /** Bound each tier independently (0 = that tier unbounded). Same
+     * FIFO/memory-only semantics as setMaxEntries. */
+    void
+    setTierMaxEntries(const EstimateCacheTierCaps &caps)
+    {
+        cache_.setMaxEntries(caps.func);
+        bands_.setMaxEntries(caps.band);
+        schedules_.setMaxEntries(caps.schedule);
+        plans_.setMaxEntries(caps.plan);
+    }
+
+    /** @name Bulk export (snapshot persistence)
+     * Visit every entry of one tier; the callback runs under the owning
+     * shard's lock (see ConcurrentCache::forEach) and must not call back
+     * into the cache. Iteration does NOT touch the hit/miss counters —
+     * serialization is not a lookup. */
+    ///@{
+    template <typename Fn>
+    void
+    forEachFunc(Fn &&fn) const
+    {
+        cache_.forEach(std::forward<Fn>(fn));
+    }
+    template <typename Fn>
+    void
+    forEachBand(Fn &&fn) const
+    {
+        bands_.forEach(std::forward<Fn>(fn));
+    }
+    template <typename Fn>
+    void
+    forEachSchedule(Fn &&fn) const
+    {
+        schedules_.forEach(std::forward<Fn>(fn));
+    }
+    template <typename Fn>
+    void
+    forEachPlan(Fn &&fn) const
+    {
+        plans_.forEach(std::forward<Fn>(fn));
+    }
+    ///@}
 
     /** @name Statistics (delegated to the sharded tiers).
      * The unqualified accessors report the function tier (source

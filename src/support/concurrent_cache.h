@@ -138,6 +138,24 @@ class ConcurrentCache
         return total;
     }
 
+    /** Visit every (key, value) pair — the bulk-export side of snapshot
+     * persistence (cache_io). @p fn runs under the owning shard's lock:
+     * it must not call back into this cache, and concurrent inserts on
+     * other shards may or may not be visited (each shard is a
+     * point-in-time snapshot). Shard order is fixed but the order within
+     * a shard follows the unordered map — callers wanting a
+     * deterministic byte stream sort the exported pairs themselves. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (const auto &entry : shard.map)
+                fn(entry.first, entry.second);
+        }
+    }
+
     void
     clear()
     {

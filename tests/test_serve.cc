@@ -1,0 +1,337 @@
+/** @file Tests for the DSE-as-a-service session layer (api/serve) and
+ * its JSON plumbing (support/json): request parsing and error replies
+ * (a malformed request answers, never throws or kills the session),
+ * stats/save/quit control requests, per-request QoR determinism,
+ * bit-identical responses under concurrent dispatch against the shared
+ * cache, and cross-session warm starts through the snapshot file. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/serve.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
+
+namespace scalehls {
+namespace {
+
+/** Session options isolated from any ambient $SCALEHLS_CACHE_DIR. */
+ServeOptions
+isolatedOptions()
+{
+    ServeOptions options;
+    options.cacheLoadPath.clear();
+    options.cacheSavePath.clear();
+    return options;
+}
+
+/** A small, fully pinned polybench request: every DSE knob explicit so
+ * the trajectory is a pure function of the request body. */
+std::string
+gemmRequest(int id, unsigned seed)
+{
+    return "{\"id\":" + std::to_string(id) +
+           ",\"kind\":\"polybench\",\"kernel\":\"gemm\",\"size\":8,"
+           "\"samples\":6,\"iterations\":4,\"batch\":2,\"seed\":" +
+           std::to_string(seed) + "}";
+}
+
+JsonValue
+parsed(const std::string &response)
+{
+    auto value = parseJson(response);
+    EXPECT_TRUE(value.has_value()) << response;
+    EXPECT_EQ(value->kind, JsonValue::Kind::Object) << response;
+    return *value;
+}
+
+int64_t
+intAt(const JsonValue &object, const char *key)
+{
+    const JsonValue *value = object.get(key);
+    EXPECT_NE(value, nullptr) << "missing field " << key;
+    EXPECT_TRUE(value && value->isNumber()) << key;
+    return value ? value->asInt() : -1;
+}
+
+bool
+boolAt(const JsonValue &object, const char *key)
+{
+    const JsonValue *value = object.get(key);
+    EXPECT_NE(value, nullptr) << "missing field " << key;
+    EXPECT_TRUE(value && value->kind == JsonValue::Kind::Bool) << key;
+    return value && value->boolean;
+}
+
+/** The determinism-relevant slice of a DSE response: QoR + frontier
+ * summary (cache stats legitimately vary with dispatch interleaving). */
+std::string
+qorSlice(const JsonValue &response)
+{
+    const JsonValue *qor = response.get("qor");
+    const JsonValue *frontier = response.get("frontier");
+    if (!qor || !frontier)
+        return "<no qor>";
+    return std::to_string(intAt(*qor, "latency")) + "/" +
+           std::to_string(intAt(*qor, "interval")) + "/" +
+           std::to_string(intAt(*qor, "dsp")) + "/" +
+           std::to_string(intAt(*qor, "lut")) + "/" +
+           std::to_string(intAt(*qor, "bram18k")) + "|" +
+           std::to_string(intAt(*frontier, "size"));
+}
+
+TEST(JsonTest, ParsesScalarsObjectsAndArrays)
+{
+    auto value = parseJson(
+        " {\"a\": 1, \"b\": [true, false, null, -2.5], "
+        "\"c\": {\"nested\": \"x\\n\\\"y\\\"\"}} ");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->kind, JsonValue::Kind::Object);
+    EXPECT_EQ(intAt(*value, "a"), 1);
+    const JsonValue *array = value->get("b");
+    ASSERT_NE(array, nullptr);
+    ASSERT_EQ(array->array.size(), 4u);
+    EXPECT_EQ(array->array[0].kind, JsonValue::Kind::Bool);
+    EXPECT_TRUE(array->array[0].boolean);
+    EXPECT_EQ(array->array[2].kind, JsonValue::Kind::Null);
+    EXPECT_DOUBLE_EQ(array->array[3].number, -2.5);
+    const JsonValue *nested = value->get("c");
+    ASSERT_NE(nested, nullptr);
+    ASSERT_NE(nested->get("nested"), nullptr);
+    EXPECT_EQ(nested->get("nested")->string, "x\n\"y\"");
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson(""));
+    EXPECT_FALSE(parseJson("{"));
+    EXPECT_FALSE(parseJson("{\"a\":}"));
+    EXPECT_FALSE(parseJson("{\"a\":1} trailing"));
+    EXPECT_FALSE(parseJson("{'a':1}"));
+    EXPECT_FALSE(parseJson("{\"a\":01x}"));
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParse)
+{
+    std::string nasty = "quote\" backslash\\ newline\n tab\t";
+    auto value =
+        parseJson("{\"k\":\"" + jsonEscape(nasty) + "\"}");
+    ASSERT_TRUE(value.has_value());
+    ASSERT_NE(value->get("k"), nullptr);
+    EXPECT_EQ(value->get("k")->string, nasty);
+}
+
+TEST(ServeTest, MalformedRequestsAnswerWithErrors)
+{
+    ServeSession session(isolatedOptions());
+
+    JsonValue bad = parsed(session.handleLine("this is not json"));
+    EXPECT_FALSE(boolAt(bad, "ok"));
+    ASSERT_NE(bad.get("error"), nullptr);
+
+    JsonValue no_kind = parsed(session.handleLine("{\"id\":7}"));
+    EXPECT_FALSE(boolAt(no_kind, "ok"));
+    EXPECT_EQ(intAt(no_kind, "id"), 7);
+
+    JsonValue unknown =
+        parsed(session.handleLine("{\"id\":8,\"kind\":\"nope\"}"));
+    EXPECT_FALSE(boolAt(unknown, "ok"));
+    EXPECT_NE(unknown.get("error")->string.find("unknown kind"),
+              std::string::npos);
+
+    JsonValue bad_field = parsed(session.handleLine(
+        "{\"id\":9,\"kind\":\"polybench\",\"seed\":\"seven\"}"));
+    EXPECT_FALSE(boolAt(bad_field, "ok"));
+
+    JsonValue bad_budget = parsed(session.handleLine(
+        "{\"id\":10,\"kind\":\"polybench\",\"budget\":\"warp9\"}"));
+    EXPECT_FALSE(boolAt(bad_budget, "ok"));
+
+    // The session survived all of it and still serves.
+    EXPECT_FALSE(session.quitRequested());
+    JsonValue good = parsed(session.handleLine(gemmRequest(11, 3)));
+    EXPECT_TRUE(boolAt(good, "ok"));
+    EXPECT_TRUE(boolAt(good, "feasible"));
+}
+
+TEST(ServeTest, StatsSaveAndQuitRequests)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string path = std::string(tmp && *tmp ? tmp : "/tmp") +
+                       "/scalehls_test_serve_save.shlsnap";
+    ServeSession session(isolatedOptions());
+
+    JsonValue stats =
+        parsed(session.handleLine("{\"id\":1,\"kind\":\"stats\"}"));
+    EXPECT_TRUE(boolAt(stats, "ok"));
+    EXPECT_EQ(intAt(stats, "loaded_entries"), 0);
+    ASSERT_NE(stats.get("cache"), nullptr);
+    ASSERT_NE(stats.get("cache")->get("plan"), nullptr);
+    EXPECT_EQ(intAt(*stats.get("cache")->get("plan"), "entries"), 0);
+
+    parsed(session.handleLine(gemmRequest(2, 5)));
+    JsonValue save = parsed(session.handleLine(
+        "{\"id\":3,\"kind\":\"save\",\"path\":\"" + path + "\"}"));
+    EXPECT_TRUE(boolAt(save, "ok"));
+
+    // The explicit save wrote a loadable snapshot with the request's
+    // entries in it.
+    EstimateCache restored;
+    CacheLoadResult loaded = loadEstimateCache(restored, path);
+    EXPECT_EQ(loaded.status, CacheLoadStatus::Loaded);
+    EXPECT_GT(loaded.totalEntries(), 0u);
+    std::remove(path.c_str());
+
+    // A save with NO path configured and none given reports false.
+    JsonValue unsaved =
+        parsed(session.handleLine("{\"id\":4,\"kind\":\"save\"}"));
+    EXPECT_FALSE(boolAt(unsaved, "ok"));
+
+    EXPECT_FALSE(session.quitRequested());
+    JsonValue quit =
+        parsed(session.handleLine("{\"id\":5,\"kind\":\"quit\"}"));
+    EXPECT_TRUE(boolAt(quit, "ok"));
+    EXPECT_TRUE(session.quitRequested());
+    // All five requests completed — including the unsuccessful save,
+    // which is an answered request, not a dispatch failure.
+    EXPECT_EQ(session.completedRequests(), 5u);
+}
+
+TEST(ServeTest, RepeatedRequestsAreDeterministicAndWarm)
+{
+    ServeSession session(isolatedOptions());
+    JsonValue first = parsed(session.handleLine(gemmRequest(1, 7)));
+    ASSERT_TRUE(boolAt(first, "ok"));
+    ASSERT_TRUE(boolAt(first, "feasible"));
+
+    JsonValue second = parsed(session.handleLine(gemmRequest(2, 7)));
+    EXPECT_EQ(qorSlice(first), qorSlice(second));
+    // The repeat runs entirely against the warmed shared cache: every
+    // plan decision replays, nothing is re-materialized.
+    EXPECT_EQ(intAt(second, "full_materializations"), 0);
+    EXPECT_EQ(intAt(second, "overlay_materializations"), 0);
+    EXPECT_GT(intAt(second, "plan_composed"), 0);
+}
+
+TEST(ServeTest, ConcurrentDispatchIsBitIdenticalToFreshSessions)
+{
+    // Reference responses: each distinct request on its OWN cold
+    // session — no sharing, no concurrency.
+    std::vector<std::string> requests;
+    std::vector<std::string> reference;
+    for (int i = 0; i < 4; ++i) {
+        requests.push_back(gemmRequest(i, 3 + static_cast<unsigned>(i)));
+        ServeSession fresh(isolatedOptions());
+        reference.push_back(qorSlice(parsed(
+            fresh.handleLine(requests.back()))));
+        EXPECT_NE(reference.back(), "<no qor>");
+    }
+
+    // The same requests — duplicated, shuffled across 4 dispatch
+    // threads, racing on ONE shared session/cache — must answer with
+    // exactly the reference QoR for every copy.
+    ServeSession session(isolatedOptions());
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::vector<std::pair<size_t, std::string>> responses;
+    for (int copy = 0; copy < 3; ++copy) {
+        for (size_t r = 0; r < requests.size(); ++r) {
+            pool.submit([&, r] {
+                std::string response =
+                    session.handleLine(requests[r]);
+                std::lock_guard<std::mutex> lock(mutex);
+                responses.emplace_back(r, response);
+            });
+        }
+    }
+    pool.waitIdle();
+
+    ASSERT_EQ(responses.size(), 12u);
+    for (const auto &entry : responses) {
+        JsonValue response = parsed(entry.second);
+        EXPECT_TRUE(boolAt(response, "ok"));
+        EXPECT_EQ(qorSlice(response), reference[entry.first])
+            << "request " << entry.first
+            << " diverged under concurrent dispatch";
+    }
+    EXPECT_EQ(session.completedRequests(), 12u);
+}
+
+TEST(ServeTest, SnapshotCarriesWarmStartAcrossSessions)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string path = std::string(tmp && *tmp ? tmp : "/tmp") +
+                       "/scalehls_test_serve_warm.shlsnap";
+    std::remove(path.c_str());
+
+    std::string cold_slice;
+    {
+        ServeOptions options = isolatedOptions();
+        options.cacheSavePath = path;
+        ServeSession session(options);
+        JsonValue cold = parsed(session.handleLine(gemmRequest(1, 7)));
+        ASSERT_TRUE(boolAt(cold, "ok"));
+        EXPECT_GT(intAt(cold, "overlay_materializations"), 0);
+        cold_slice = qorSlice(cold);
+        // ~ServeSession writes the shutdown snapshot.
+    }
+
+    ServeOptions options = isolatedOptions();
+    options.cacheLoadPath = path;
+    ServeSession warm_session(options);
+    EXPECT_TRUE(warm_session.loadResult().loaded());
+    EXPECT_GT(warm_session.loadResult().totalEntries(), 0u);
+    // The loaded entries carry no lookup history (fresh baselines).
+    EXPECT_EQ(warm_session.cache().planStats().lookups(), 0u);
+
+    JsonValue warm = parsed(warm_session.handleLine(gemmRequest(2, 7)));
+    ASSERT_TRUE(boolAt(warm, "ok"));
+    EXPECT_EQ(qorSlice(warm), cold_slice);
+    EXPECT_EQ(intAt(warm, "full_materializations"), 0);
+    EXPECT_EQ(intAt(warm, "overlay_materializations"), 0);
+    EXPECT_GT(intAt(warm, "plan_composed"), 0);
+    std::remove(path.c_str());
+}
+
+TEST(ServeTest, PerRequestThreadsDoNotChangeQoR)
+{
+    ServeSession session(isolatedOptions());
+    JsonValue serial = parsed(session.handleLine(
+        "{\"id\":1,\"kind\":\"polybench\",\"kernel\":\"gemm\","
+        "\"size\":8,\"samples\":6,\"iterations\":4,\"batch\":2,"
+        "\"seed\":9,\"threads\":1}"));
+    ServeSession other(isolatedOptions());
+    JsonValue pooled = parsed(other.handleLine(
+        "{\"id\":2,\"kind\":\"polybench\",\"kernel\":\"gemm\","
+        "\"size\":8,\"samples\":6,\"iterations\":4,\"batch\":2,"
+        "\"seed\":9,\"threads\":4}"));
+    EXPECT_EQ(qorSlice(serial), qorSlice(pooled));
+}
+
+TEST(ServeTest, KernelRequestAnswersByIndexAndRejectsBadNames)
+{
+    ServeSession session(isolatedOptions());
+    JsonValue kernel = parsed(session.handleLine(
+        "{\"id\":1,\"kind\":\"kernel\",\"model\":\"resnet18\","
+        "\"graph_level\":4,\"kernel\":0,\"samples\":6,"
+        "\"iterations\":4,\"batch\":2,\"seed\":3}"));
+    EXPECT_TRUE(boolAt(kernel, "ok"));
+    EXPECT_TRUE(boolAt(kernel, "feasible"));
+    ASSERT_NE(kernel.get("design"), nullptr);
+    EXPECT_EQ(kernel.get("design")->string.rfind("resnet18/", 0), 0u);
+
+    JsonValue missing = parsed(session.handleLine(
+        "{\"id\":2,\"kind\":\"kernel\",\"model\":\"resnet18\","
+        "\"kernel\":\"no_such_kernel\"}"));
+    EXPECT_FALSE(boolAt(missing, "ok"));
+    EXPECT_NE(missing.get("error")->string.find("no kernel named"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace scalehls

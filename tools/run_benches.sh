@@ -30,7 +30,9 @@
 # *latency field RISES (the whole-model DSE results are deterministic,
 # so a longer composed design is a real QoR regression), or any
 # *utilization field DROPS (the allocator leaving budget on the table
-# it previously spent means worse global allocation). Only
+# it previously spent means worse global allocation), or any
+# warm_speedup field drops (the committed baseline pins the snapshot
+# warm-start acceptance floor: a warm sweep must stay >= 2x cold). Only
 # fields present in BOTH matched records are compared, so a committed
 # baseline may carry just the deterministic fields (hit rates,
 # materializations per point, audit violations) while
@@ -77,7 +79,16 @@ for key, old_rec in sorted(old.items()):
         if not isinstance(old_value, (int, float)) or isinstance(
                 old_value, bool):
             continue
-        if "points_per_second" in field:
+        if "warm_speedup" in field:
+            # The snapshot warm-start speedup is a pinned floor (the
+            # committed baseline carries the acceptance threshold): any
+            # drop below it means persistence stopped paying for itself.
+            if new_value < old_value - 1e-9:
+                failures.append(
+                    "%s %s: %s dropped %.2f -> %.2f (warm start "
+                    "regressed)" % (key[0], key[1], field, old_value,
+                                    new_value))
+        elif "points_per_second" in field:
             if new_value < (1.0 - RATE_DROP) * old_value:
                 failures.append(
                     "%s %s: %s regressed %.1f -> %.1f (>15%%)"
@@ -235,3 +246,15 @@ full_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_dnn_full")
     printf '}\n'
 } > "$pr8"
 echo "wrote $pr8"
+
+# Distill the PR 9 snapshot-persistence records (cross-process warm
+# start: warm speedup, zero warm materializations, load+replay
+# bit-identity) for the warm-start compare gate.
+pr9="$OUT_DIR/BENCH_pr9.json"
+persist_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_persist")
+{
+    printf '{\n'
+    printf '  "persist": [%s]\n' "${persist_records}"
+    printf '}\n'
+} > "$pr9"
+echo "wrote $pr9"

@@ -88,9 +88,19 @@ usage()
            "                    double-buffered channel memory are\n"
            "                    replayed from cached per-band entries\n"
            "                    (default 1; validated, bit-identical)\n"
-           "  -dse-cache-cap=<n>  max entries per estimate-cache tier\n"
-           "                    (coarse FIFO eviction; default 0 =\n"
-           "                    unbounded) so long sweeps stay bounded\n"
+           "  -dse-cache-cap=<n|f:b:s:p>  max entries per estimate-\n"
+           "                    cache tier, uniform or per tier as\n"
+           "                    func:band:sched:plan (coarse FIFO\n"
+           "                    eviction; default 0 = unbounded) so\n"
+           "                    long sweeps stay bounded\n"
+           "  -cache-load=<path>  estimate-cache snapshot loaded before\n"
+           "                    DSE (warm start; corrupt or version-\n"
+           "                    mismatched files fall back to a cold\n"
+           "                    start with a warning)\n"
+           "  -cache-save=<path>  snapshot saved after DSE; both paths\n"
+           "                    default to $SCALEHLS_CACHE_DIR/\n"
+           "                    estimate_cache.shlsnap when that is\n"
+           "                    set ('' disables)\n"
            "  -verify-each      verify the IR after every pass (always\n"
            "                    on in debug builds; SCALEHLS_VERIFY_EACH\n"
            "                    overrides either way)\n"
@@ -222,8 +232,18 @@ main(int argc, char **argv)
             dse_options.incrementalMaterialize =
                 parseUnsignedArg(name, value) != 0;
         } else if (name == "-dse-cache-cap") {
-            dse_options.estimateCacheCap =
-                parseUnsignedArg(name, value);
+            auto caps = parseEstimateCacheCaps(value);
+            if (!caps) {
+                std::cerr << "-dse-cache-cap expects <n> or "
+                             "func:band:sched:plan, got '"
+                          << value << "'\n";
+                return 1;
+            }
+            dse_options.estimateCacheTierCaps = *caps;
+        } else if (name == "-cache-load" || name == "--cache-load") {
+            dse_options.cacheLoadPath = value;
+        } else if (name == "-cache-save" || name == "--cache-save") {
+            dse_options.cacheSavePath = value;
         } else if (name == "-dse-dataflow-fastpath") {
             space_options.dataflowFastPath =
                 parseUnsignedArg(name, value) != 0;
@@ -318,11 +338,17 @@ main(int argc, char **argv)
         // both DSE modes (optimizeFunctions would otherwise create an
         // internal one).
         EstimateCache estimate_cache;
-        if (dse_options.estimateCacheCap != 0)
-            estimate_cache.setMaxEntries(dse_options.estimateCacheCap);
-        if (dse_options.crossPointCache &&
-            (run_dse || run_dse_funcs || !dse_model.empty()))
+        dse_options.applyCacheBounds(estimate_cache);
+        bool any_dse = run_dse || run_dse_funcs || !dse_model.empty();
+        if (dse_options.crossPointCache && any_dse)
             dse_options.sharedEstimates = &estimate_cache;
+        // The tool owns the cache the exploration uses, so snapshot
+        // persistence happens here (engines and the Compiler skip it
+        // when sharedEstimates is injected).
+        if (dse_options.sharedEstimates &&
+            !dse_options.cacheLoadPath.empty())
+            loadEstimateCacheLogged(estimate_cache,
+                                    dse_options.cacheLoadPath);
         auto report_tier = [](const char *name, const CacheStats &tier) {
             std::cerr << name << " " << tier.hits << " hits / "
                       << tier.lookups() << " lookups ("
@@ -348,6 +374,11 @@ main(int argc, char **argv)
                     report_tier("schedule tier",
                                 estimate_cache.scheduleStats());
                 }
+            }
+            CacheStats plan_tier = estimate_cache.planStats();
+            if (plan_tier.entries != 0 || plan_tier.lookups() != 0) {
+                std::cerr << "; ";
+                report_tier("plan tier", plan_tier);
             }
             std::cerr << "\n";
         };
@@ -457,6 +488,10 @@ main(int argc, char **argv)
             if (audit_violations != 0)
                 return 1;
         }
+        if (dse_options.sharedEstimates &&
+            !dse_options.cacheSavePath.empty())
+            saveEstimateCacheLogged(estimate_cache,
+                                    dse_options.cacheSavePath);
 
         auto errors = verify(compiler.module());
         for (const auto &error : errors)
