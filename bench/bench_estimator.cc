@@ -1109,11 +1109,14 @@ runDNNFullSection(const std::vector<unsigned> &configs, bool smoke)
         std::optional<Compiler::ModelDSEResult> reference;
         for (unsigned threads : configs) {
             Compiler compiler(buildLoweredDNN(model, graph_level));
-            DSEOptions opt = options;
-            opt.numThreads = threads;
+            ExploreRequest request;
+            request.budgetSpec = budget.name;
+            request.budget = budget;
+            request.space = space_options;
+            request.dse = options;
+            request.dse.numThreads = threads;
             auto start = std::chrono::steady_clock::now();
-            auto result =
-                compiler.optimizeModel(budget, space_options, opt);
+            auto result = compiler.optimizeModel(request);
             double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)

@@ -255,11 +255,29 @@ Compiler::applySimplifications()
     return *this;
 }
 
-std::optional<DSEResult>
-Compiler::optimize(const ResourceBudget &budget,
-                   DesignSpaceOptions space_options, DSEOptions options)
+namespace {
+
+/** Bridge the deprecated {budget, space, options} overloads onto the
+ * unified request (the budget is already resolved, so no validate()). */
+ExploreRequest
+requestFrom(const ResourceBudget &budget, DesignSpaceOptions space_options,
+            DSEOptions options)
 {
-    auto result = runDSE(module_.get(), budget, space_options, options);
+    ExploreRequest request;
+    request.budgetSpec = budget.name;
+    request.budget = budget;
+    request.space = space_options;
+    request.dse = std::move(options);
+    return request;
+}
+
+} // namespace
+
+std::optional<DSEResult>
+Compiler::optimize(const ExploreRequest &request)
+{
+    auto result =
+        runDSE(module_.get(), request.budget, request.space, request.dse);
     if (result) {
         module_ = result->module->clone();
         opt_seconds_ += result->seconds;
@@ -267,11 +285,29 @@ Compiler::optimize(const ResourceBudget &budget,
     return result;
 }
 
+std::optional<DSEResult>
+Compiler::optimize(const ResourceBudget &budget,
+                   DesignSpaceOptions space_options, DSEOptions options)
+{
+    return optimize(
+        requestFrom(budget, space_options, std::move(options)));
+}
+
 std::vector<Compiler::FuncDSEResult>
 Compiler::optimizeFunctions(const ResourceBudget &budget,
                             DesignSpaceOptions space_options,
                             DSEOptions options)
 {
+    return optimizeFunctions(
+        requestFrom(budget, space_options, std::move(options)));
+}
+
+std::vector<Compiler::FuncDSEResult>
+Compiler::optimizeFunctions(const ExploreRequest &request)
+{
+    const ResourceBudget &budget = request.budget;
+    const DesignSpaceOptions &space_options = request.space;
+    const DSEOptions &options = request.dse;
     // The kernels: every function with at least one loop band.
     std::vector<Operation *> kernels;
     for (auto &op : module_->region(0).front().ops())
@@ -377,6 +413,16 @@ Compiler::optimizeModel(const ResourceBudget &budget,
                         DesignSpaceOptions space_options,
                         DSEOptions options)
 {
+    return optimizeModel(
+        requestFrom(budget, space_options, std::move(options)));
+}
+
+std::optional<Compiler::ModelDSEResult>
+Compiler::optimizeModel(const ExploreRequest &request)
+{
+    const ResourceBudget &budget = request.budget;
+    const DesignSpaceOptions &space_options = request.space;
+    const DSEOptions &options = request.dse;
     auto start = std::chrono::steady_clock::now();
     Operation *top = getTopFunc(module_.get());
     if (!top || !getFuncDirective(top).dataflow)

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "api/explore_request.h"
 #include "dse/dse_engine.h"
 #include "dse/global_alloc.h"
 #include "emit/hlscpp_emitter.h"
@@ -64,12 +65,16 @@ class Compiler
 
     /** Automated DSE under a resource budget (paper Section V-E). On
      * success the module is replaced by the optimized design.
-     * `options.numThreads` workers evaluate design points in parallel;
-     * results are deterministic for a fixed `options.seed` regardless of
-     * the thread count. */
-    std::optional<DSEResult> optimize(const ResourceBudget &budget,
-                                      DesignSpaceOptions space_options = {},
-                                      DSEOptions options = {});
+     * `request.dse.numThreads` workers evaluate design points in
+     * parallel; results are deterministic for a fixed `request.dse.seed`
+     * regardless of the thread count. The request should have passed
+     * validate() (the Compiler uses the resolved `request.budget`). */
+    std::optional<DSEResult> optimize(const ExploreRequest &request);
+
+    [[deprecated("build an ExploreRequest and call "
+                 "optimize(const ExploreRequest &)")]] std::optional<DSEResult>
+    optimize(const ResourceBudget &budget,
+             DesignSpaceOptions space_options = {}, DSEOptions options = {});
 
     /** Per-function outcome of optimizeFunctions. `qor.feasible` tells
      * whether a design fitting the kernel's budget share was found (an
@@ -98,8 +103,13 @@ class Compiler
      * untouched. Results come back in module function order and are
      * deterministic for a fixed seed at any thread count. */
     std::vector<FuncDSEResult> optimizeFunctions(
-        const ResourceBudget &budget,
-        DesignSpaceOptions space_options = {}, DSEOptions options = {});
+        const ExploreRequest &request);
+
+    [[deprecated("build an ExploreRequest and call optimizeFunctions("
+                 "const ExploreRequest &)")]] std::vector<FuncDSEResult>
+    optimizeFunctions(const ResourceBudget &budget,
+                      DesignSpaceOptions space_options = {},
+                      DSEOptions options = {});
 
     /** Per-stage outcome of optimizeModel: one entry per call in the
      * dataflow top's body, in body order. */
@@ -158,9 +168,13 @@ class Compiler
      * in-budget-infeasible model comes back with
      * `allocation.feasible == false` and the module untouched.
      * Deterministic for a fixed seed at any thread count. */
-    std::optional<ModelDSEResult> optimizeModel(
-        const ResourceBudget &budget,
-        DesignSpaceOptions space_options = {}, DSEOptions options = {});
+    std::optional<ModelDSEResult> optimizeModel(const ExploreRequest &request);
+
+    [[deprecated("build an ExploreRequest and call optimizeModel("
+                 "const ExploreRequest &)")]] std::optional<ModelDSEResult>
+    optimizeModel(const ResourceBudget &budget,
+                  DesignSpaceOptions space_options = {},
+                  DSEOptions options = {});
 
     /** Fast analytical QoR estimate of the current module. */
     QoRResult estimate();

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/explore_request.h"
 #include "model/dnn_dse.h"
 #include "model/polybench.h"
 #include "support/json.h"
@@ -110,40 +111,34 @@ dseStatsJson(const DSEResult &result)
            num(static_cast<int64_t>(result.fastPathHits));
 }
 
-ResourceBudget
-budgetField(const JsonValue &req)
-{
-    std::string spec = strField(req, "budget", "vu9p-slr");
-    auto budget = parseResourceBudget(spec);
-    if (!budget)
-        throw RequestError("unknown budget \"" + spec + "\"");
-    return *budget;
-}
-
-/** Per-request DSE options: the session cache is injected as
+/** Per-request exploration setup over the shared decode/validate path
+ * (api/explore_request.h). The session cache is injected as
  * sharedEstimates, so no engine ever touches snapshot persistence (the
  * session owns it) and every request — at any front-end concurrency —
- * feeds the same content-keyed tiers. */
-DSEOptions
-dseOptionsFrom(const JsonValue &req, EstimateCache *cache,
-               unsigned default_threads)
+ * feeds the same content-keyed tiers. @p default_model is "" for
+ * requests that do not select a zoo model (polybench). */
+ExploreRequest
+exploreRequestFrom(const JsonValue &req, EstimateCache *cache,
+                   unsigned default_threads, const char *default_model)
 {
-    DSEOptions options;
-    options.cacheLoadPath.clear();
-    options.cacheSavePath.clear();
-    options.sharedEstimates = cache;
-    auto threads = static_cast<unsigned>(
-        intField(req, "threads", default_threads));
-    options.numThreads = threads == 0 ? 1 : threads;
-    options.seed =
-        static_cast<unsigned>(intField(req, "seed", options.seed));
-    options.numInitialSamples = static_cast<unsigned>(
-        intField(req, "samples", options.numInitialSamples));
-    options.maxIterations = static_cast<unsigned>(
-        intField(req, "iterations", options.maxIterations));
-    options.batchSize = static_cast<unsigned>(
-        intField(req, "batch", options.batchSize));
-    return options;
+    ExploreRequest request;
+    request.budgetSpec = "vu9p-slr"; // The serve default device.
+    request.model = default_model;
+    request.dse.cacheLoadPath.clear();
+    request.dse.cacheSavePath.clear();
+    request.dse.sharedEstimates = cache;
+    request.dse.numThreads = default_threads;
+    std::string error = exploreRequestFromJson(request, req);
+    if (!error.empty())
+        throw RequestError(error);
+    // A session cannot inherit "all cores" per request — one request
+    // must not starve the front-end concurrency the session was
+    // provisioned for.
+    if (request.dse.numThreads == 0)
+        request.dse.numThreads = 1;
+    if (auto invalid = request.validate())
+        throw RequestError(*invalid);
+    return request;
 }
 
 } // namespace
@@ -242,28 +237,26 @@ std::string
 ServeSession::handleKernelRequest(const JsonValue &req,
                                   const std::string &id)
 {
-    std::string model = strField(req, "model", "resnet18");
-    int level = static_cast<int>(intField(req, "graph_level", 4));
-    ResourceBudget budget = budgetField(req);
-    DSEOptions options =
-        dseOptionsFrom(req, &cache_, options_.defaultThreads);
+    ExploreRequest request = exploreRequestFrom(
+        req, &cache_, options_.defaultThreads, "resnet18");
 
     // The kernel: by index (builds only the needed prefix) or by name.
     std::vector<DNNKernel> kernels;
     size_t index = 0;
     const JsonValue *which = req.get("kernel");
     if (which && which->isString()) {
-        kernels = buildDNNKernelModules(model, level);
+        kernels = buildDNNKernelModules(request.model, request.graphLevel);
         index = kernels.size();
         for (size_t i = 0; i < kernels.size(); ++i)
             if (kernels[i].name == which->string)
                 index = i;
         if (index == kernels.size())
             throw RequestError("no kernel named \"" + which->string +
-                               "\" in " + model);
+                               "\" in " + request.model);
     } else {
         index = static_cast<size_t>(intField(req, "kernel", 0));
-        kernels = buildDNNKernelModules(model, level, index + 1);
+        kernels = buildDNNKernelModules(request.model, request.graphLevel,
+                                        index + 1);
         if (index >= kernels.size())
             throw RequestError("kernel index " + num(index) +
                                " out of range (model has " +
@@ -272,11 +265,11 @@ ServeSession::handleKernelRequest(const JsonValue &req,
     }
     DNNKernel &kernel = kernels[index];
 
-    auto result =
-        runDSE(kernel.module.get(), budget, DesignSpaceOptions(), options);
+    auto result = runDSE(kernel.module.get(), request);
     std::string out = "{\"id\":" + id +
                       ",\"ok\":true,\"kind\":\"kernel\",\"design\":\"" +
-                      jsonEscape(model + "/" + kernel.name) + "\"";
+                      jsonEscape(request.model + "/" + kernel.name) +
+                      "\"";
     if (!result) {
         out += ",\"feasible\":false";
     } else {
@@ -292,18 +285,14 @@ std::string
 ServeSession::handleModelRequest(const JsonValue &req,
                                  const std::string &id)
 {
-    std::string model = strField(req, "model", "resnet18");
-    int level = static_cast<int>(intField(req, "graph_level", 4));
-    ResourceBudget budget = budgetField(req);
-    DSEOptions options =
-        dseOptionsFrom(req, &cache_, options_.defaultThreads);
+    ExploreRequest request = exploreRequestFrom(
+        req, &cache_, options_.defaultThreads, "resnet18");
 
-    Compiler compiler(buildLoweredDNN(model, level));
-    auto result =
-        compiler.optimizeModel(budget, DesignSpaceOptions(), options);
+    Compiler compiler(buildLoweredDNN(request.model, request.graphLevel));
+    auto result = compiler.optimizeModel(request);
     std::string out = "{\"id\":" + id +
                       ",\"ok\":true,\"kind\":\"model\",\"design\":\"" +
-                      jsonEscape(model) + "\"";
+                      jsonEscape(request.model) + "\"";
     if (!result) {
         out += ",\"feasible\":false";
     } else {
@@ -330,14 +319,12 @@ ServeSession::handlePolybenchRequest(const JsonValue &req,
 {
     std::string kernel = strField(req, "kernel", "gemm");
     int64_t size = intField(req, "size", 16);
-    ResourceBudget budget = budgetField(req);
-    DSEOptions options =
-        dseOptionsFrom(req, &cache_, options_.defaultThreads);
+    ExploreRequest request = exploreRequestFrom(
+        req, &cache_, options_.defaultThreads, "");
 
     auto module = parseCToModule(polybenchSource(kernel, size));
     raiseScfToAffine(module.get());
-    auto result =
-        runDSE(module.get(), budget, DesignSpaceOptions(), options);
+    auto result = runDSE(module.get(), request);
     std::string out =
         "{\"id\":" + id +
         ",\"ok\":true,\"kind\":\"polybench\",\"design\":\"" +

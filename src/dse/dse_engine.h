@@ -81,7 +81,7 @@ struct DSEOptions
      * audited run can be slower but never wrong. */
     bool auditMode = EvaluatorOptions::dseAuditEnvDefault();
     /** Max entries PER TIER of the engine-owned estimate cache (coarse
-     * FIFO eviction; 0 = unbounded). Bounds memory on week-long sweeps
+     * LRU eviction; 0 = unbounded). Bounds memory on week-long sweeps
      * without changing results; external sharedEstimates caches are the
      * caller's to bound. */
     size_t estimateCacheCap = 0;

@@ -53,7 +53,7 @@ struct BandPlanOutcome
 };
 
 /** Per-tier max-entry bounds for the four EstimateCache tiers (coarse
- * FIFO eviction; 0 = that tier unbounded). Lets operators size the
+ * LRU eviction; 0 = that tier unbounded). Lets operators size the
  * tiers independently — schedule/plan entries are an order of magnitude
  * larger than function QoRs, so one uniform cap either wastes memory or
  * starves the cheap tiers. */
@@ -199,7 +199,7 @@ class EstimateCache
     }
     ///@}
 
-    /** Bound each tier to @p max_entries_per_tier entries (coarse FIFO
+    /** Bound each tier to @p max_entries_per_tier entries (coarse hit-count-informed LRU
      * eviction; see ConcurrentCache::setMaxEntries). 0 = unbounded (the
      * default). Content-keyed tiers just recompute evicted values, so
      * bounding changes memory, never results. Set before populating. */
@@ -213,7 +213,7 @@ class EstimateCache
     }
 
     /** Bound each tier independently (0 = that tier unbounded). Same
-     * FIFO/memory-only semantics as setMaxEntries. */
+     * LRU/memory-only semantics as setMaxEntries. */
     void
     setTierMaxEntries(const EstimateCacheTierCaps &caps)
     {

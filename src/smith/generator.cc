@@ -1,0 +1,357 @@
+#include "smith/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "analysis/loop_analysis.h"
+#include "dialect/ops.h"
+#include "frontend/irgen.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/utils.h"
+#include "transform/pass.h"
+
+namespace scalehls {
+
+namespace {
+
+/** The ownership class a sample's local buffer is built to exercise
+ * (Pristine = no local buffer at all). */
+enum class Scenario
+{
+    Pristine,
+    BandLocal,
+    DeadLocal,
+    DataflowEdge,
+    MultiConsumer,
+    SharedChain,
+    Escaping,
+};
+
+const char *
+scenarioName(Scenario s)
+{
+    switch (s) {
+      case Scenario::Pristine:      return "Pristine";
+      case Scenario::BandLocal:     return "BandLocal";
+      case Scenario::DeadLocal:     return "DeadLocal";
+      case Scenario::DataflowEdge:  return "DataflowEdge";
+      case Scenario::MultiConsumer: return "MultiConsumer";
+      case Scenario::SharedChain:   return "SharedChain";
+      case Scenario::Escaping:      return "Escaping";
+    }
+    return "?";
+}
+
+/** How many top-level bands the scenario's buffer protocol needs. */
+int
+scenarioMinBands(Scenario s)
+{
+    switch (s) {
+      case Scenario::DataflowEdge:
+      case Scenario::Escaping:
+        return 2;
+      case Scenario::MultiConsumer:
+      case Scenario::SharedChain:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+/** Whether the sample may legally carry the dataflow directive (mirrors
+ * AllocOwnershipInfo::eligible(dataflow_top): SharedChain and Escaping
+ * buffers must stay sequential — generating them WITH the directive
+ * would make the kernel fall back everywhere, which is a valid fuzzing
+ * shape too, but we only mark tops the analysis can accept so the fast
+ * and slow paths genuinely disagree about work, not eligibility). */
+bool
+scenarioAllowsDataflow(Scenario s)
+{
+    return s != Scenario::SharedChain && s != Scenario::Escaping;
+}
+
+/** Deterministic inclusive-range draw. */
+int
+draw(std::mt19937_64 &rng, int lo, int hi)
+{
+    return lo + static_cast<int>(rng() % static_cast<uint64_t>(hi - lo + 1));
+}
+
+bool
+chance(std::mt19937_64 &rng, int percent)
+{
+    return draw(rng, 1, 100) <= percent;
+}
+
+/** The generated kernel's immutable source-level plan. */
+struct SourcePlan
+{
+    Scenario scenario = Scenario::Pristine;
+    int n = 16;              ///< Array extent (every dim).
+    int bands = 1;
+    int scenarioBand = 0;    ///< First band of the ownership protocol.
+    std::string floatType;   ///< "float" or "double".
+    bool hasIntArray = false;
+    bool hasMatrix = false;  ///< 2-D param for deep filler bands.
+};
+
+/** One filler band: depth, bounds and a body statement that only
+ * touches parameter arrays (never the scenario's local buffer). */
+std::string
+fillerBand(std::mt19937_64 &rng, const SourcePlan &plan, int max_depth,
+           int indent_cols)
+{
+    std::string pad(indent_cols, ' ');
+    int depth = draw(rng, 1, max_depth);
+    if (!plan.hasMatrix)
+        depth = 1;
+    std::ostringstream os;
+    if (depth == 1) {
+        int bound = chance(rng, 30) ? plan.n / 2 : plan.n;
+        int step = chance(rng, 20) ? 2 : 1;
+        std::string inc = step == 1 ? "i++" : "i += 2";
+        os << pad << "for (int i = 0; i < " << bound << "; " << inc
+           << ")\n";
+        switch (draw(rng, 0, plan.hasIntArray ? 3 : 2)) {
+          case 0:
+            os << pad << "  B[i] = A[i] * 1.5;\n";
+            break;
+          case 1:
+            os << pad << "  B[i] = B[i] + A[i];\n";
+            break;
+          case 2:
+            if (chance(rng, 50)) {
+                os << pad << "  if (i < 4)\n"
+                   << pad << "    B[i] = A[i] + 2.0;\n"
+                   << pad << "  else\n"
+                   << pad << "    B[i] = A[i] * 3.0;\n";
+            } else {
+                os << pad << "  A[i] = A[i] + 0.5;\n";
+            }
+            break;
+          default:
+            os << pad << "  K[i] = K[i] + 1;\n";
+            break;
+        }
+        return os.str();
+    }
+    if (depth >= 3) {
+        // A gemm-shaped accumulation: the deepest generated nest.
+        os << pad << "for (int i = 0; i < " << plan.n << "; i++)\n"
+           << pad << "  for (int j = 0; j < " << plan.n << "; j++)\n"
+           << pad << "    for (int k = 0; k < " << plan.n << "; k++)\n"
+           << pad << "      M[i][j] = M[i][j] + A[k] * B[k];\n";
+        return os.str();
+    }
+    os << pad << "for (int i = 0; i < " << plan.n << "; i++)\n"
+       << pad << "  for (int j = 0; j < " << plan.n << "; j++)\n";
+    if (chance(rng, 50))
+        os << pad << "    M[i][j] = M[i][j] * 0.5;\n";
+    else
+        os << pad << "    M[i][j] = M[i][j] + A[j];\n";
+    return os.str();
+}
+
+/** The scenario's buffer-protocol bands (writes then reads of tmp),
+ * appended in band order. @p band is the protocol-relative index. */
+std::string
+scenarioBand(const SourcePlan &plan, int band)
+{
+    std::ostringstream os;
+    auto loop = [&](const std::string &body) {
+        os << "  for (int i = 0; i < " << plan.n << "; i++)\n"
+           << "    " << body << "\n";
+    };
+    switch (plan.scenario) {
+      case Scenario::Pristine:
+        break;
+      case Scenario::BandLocal:
+        os << "  for (int i = 0; i < " << plan.n << "; i++) {\n"
+           << "    tmp[i] = A[i] * 2.0;\n"
+           << "    B[i] = tmp[i] + 1.0;\n"
+           << "  }\n";
+        break;
+      case Scenario::DeadLocal:
+        loop("tmp[i] = A[i];");
+        break;
+      case Scenario::DataflowEdge:
+      case Scenario::Escaping: // Same source; the call is a decoration.
+        if (band == 0)
+            loop("tmp[i] = A[i] * 2.0;");
+        else
+            loop("B[i] = tmp[i] + 1.0;");
+        break;
+      case Scenario::MultiConsumer:
+        if (band == 0)
+            loop("tmp[i] = A[i] * 2.0;");
+        else if (band == 1)
+            loop("B[i] = tmp[i] + 1.0;");
+        else
+            loop("C[i] = tmp[i] * 3.0;");
+        break;
+      case Scenario::SharedChain:
+        if (band == 0)
+            loop("tmp[i] = 0.0;");
+        else if (band == 1)
+            loop("tmp[i] = tmp[i] + A[i];");
+        else
+            loop("B[i] = tmp[i];");
+        break;
+    }
+    return os.str();
+}
+
+std::string
+emitSource(std::mt19937_64 &rng, const SourcePlan &plan,
+           const SmithGenConfig &config)
+{
+    const std::string &ft = plan.floatType;
+    std::ostringstream os;
+    os << "void smith_kernel(" << ft << " A[" << plan.n << "], " << ft
+       << " B[" << plan.n << "], " << ft << " C[" << plan.n << "]";
+    if (plan.hasIntArray)
+        os << ", int K[" << plan.n << "]";
+    if (plan.hasMatrix)
+        os << ", " << ft << " M[" << plan.n << "][" << plan.n << "]";
+    os << ") {\n";
+    if (plan.scenario != Scenario::Pristine)
+        os << "  " << ft << " tmp[" << plan.n << "];\n";
+
+    int protocol_bands = scenarioMinBands(plan.scenario);
+    if (plan.scenario == Scenario::Pristine)
+        protocol_bands = 0;
+    int protocol_emitted = 0;
+    for (int b = 0; b < plan.bands; ++b) {
+        bool in_protocol = b >= plan.scenarioBand &&
+                           protocol_emitted < protocol_bands;
+        if (in_protocol)
+            os << scenarioBand(plan, protocol_emitted++);
+        else
+            os << fillerBand(rng, plan, config.maxDepth, 2);
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace
+
+SmithSample
+generateSmithSample(const SmithGenConfig &config, uint64_t sample_seed)
+{
+    std::mt19937_64 rng(sample_seed);
+
+    SourcePlan plan;
+    {
+        std::vector<Scenario> pool = {
+            Scenario::Pristine,     Scenario::BandLocal,
+            Scenario::DeadLocal,    Scenario::DataflowEdge,
+            Scenario::MultiConsumer, Scenario::SharedChain,
+        };
+        if (config.allowCalls)
+            pool.push_back(Scenario::Escaping);
+        plan.scenario = pool[static_cast<size_t>(
+            draw(rng, 0, static_cast<int>(pool.size()) - 1))];
+    }
+    plan.n = chance(rng, 50) ? 8 : 16;
+    plan.floatType = chance(rng, 30) ? "double" : "float";
+    plan.hasIntArray = chance(rng, 30);
+    plan.hasMatrix = config.maxDepth >= 2 && chance(rng, 50);
+    int min_bands = scenarioMinBands(plan.scenario);
+    plan.bands = draw(rng, min_bands, std::max(config.maxBands, min_bands));
+    plan.scenarioBand = draw(rng, 0, plan.bands - min_bands);
+
+    SmithSample sample;
+    sample.seed = sample_seed;
+    sample.config = config;
+    sample.source = emitSource(rng, plan, config);
+    sample.shape = scenarioName(plan.scenario);
+
+    sample.module = parseCToModule(sample.source);
+    raiseScfToAffine(sample.module.get());
+    Operation *func = getTopFunc(sample.module.get());
+
+    // --- Decorations: the shapes the C subset cannot spell. ---
+
+    // Escaping: a call consuming the local buffer from inside the reader
+    // band (the callee exists so call-site verification holds).
+    if (plan.scenario == Scenario::Escaping) {
+        auto allocs = func->collect(ops::Alloc);
+        auto bands = getLoopBands(func);
+        if (!allocs.empty() && bands.size() >= 2) {
+            Value *tmp = allocs[0]->result(0);
+            createFunc(sample.module.get(), "smith_sink",
+                       {tmp->type()});
+            size_t reader = static_cast<size_t>(plan.scenarioBand) + 1;
+            if (reader >= bands.size())
+                reader = bands.size() - 1;
+            Block *leaf =
+                AffineForOp(getLoopNest(bands[reader][0]).back()).body();
+            OpBuilder builder(leaf, leaf->front());
+            builder.create(std::string(ops::Call), {}, {tmp},
+                           {{kCallee,
+                             Attribute(std::string("smith_sink"))}});
+            sample.shape += "+call";
+        }
+    }
+
+    // Dead alloc: a never-accessed local buffer.
+    if (config.allowDeadAllocs && chance(rng, 30)) {
+        Block *body = funcBody(func);
+        OpBuilder builder(body, body->back());
+        createAlloc(builder, Type::memref({8}, Type::f32()));
+        sample.shape += "+dead-alloc";
+    }
+
+    // Dataflow top: only on kernels whose ownership protocol a dataflow
+    // top accepts, and only with >= 2 bands (a 1-band dataflow top is a
+    // degenerate pipeline).
+    if (config.allowDataflowTop && plan.bands >= 2 &&
+        scenarioAllowsDataflow(plan.scenario) && chance(rng, 50)) {
+        FuncDirective fd = getFuncDirective(func);
+        fd.dataflow = true;
+        setFuncDirective(func, fd);
+        sample.shape += "+dataflow-top";
+    } else if (config.allowDirectives && chance(rng, 15)) {
+        // A pipelined top: ineligible for every fast path by design —
+        // the differential value is that ALL paths must agree on the
+        // fallback result.
+        FuncDirective fd = getFuncDirective(func);
+        fd.pipeline = true;
+        fd.targetII = static_cast<int64_t>(draw(rng, 1, 2));
+        setFuncDirective(func, fd);
+        sample.shape += "+pipelined-top";
+    }
+
+    // Directive-bearing variant: a pre-set loop directive on one
+    // innermost loop (the pristine module most kernels present is
+    // directive-free; DSE must behave identically when the input
+    // already carries one).
+    if (config.allowDirectives && chance(rng, 30)) {
+        auto bands = getLoopBands(func);
+        if (!bands.empty()) {
+            size_t which = static_cast<size_t>(
+                draw(rng, 0, static_cast<int>(bands.size()) - 1));
+            Operation *inner = getLoopNest(bands[which][0]).back();
+            LoopDirective ld = getLoopDirective(inner);
+            ld.pipeline = true;
+            ld.targetII = static_cast<int64_t>(draw(rng, 1, 4));
+            setLoopDirective(inner, ld);
+            sample.shape += "+loop-directive";
+        }
+    }
+
+    // Birth check: every sample must be L1/L2 clean — a verifier finding
+    // here is a generator bug, not a system-under-test bug.
+    auto errors = verifyErrors(sample.module.get());
+    if (!errors.empty())
+        fatal("smith generator produced invalid IR (seed " +
+              std::to_string(sample_seed) + "): " + errors[0].str());
+
+    sample.printed = printOp(sample.module.get());
+    return sample;
+}
+
+} // namespace scalehls

@@ -13,7 +13,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <deque>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -70,7 +70,9 @@ class ConcurrentCache
 
   public:
     /** The cached value for @p key, by copy; nullopt on a miss. Every
-     * call is counted toward the hit/miss statistics. */
+     * call is counted toward the hit/miss statistics, refreshes the
+     * entry's recency (it becomes the last eviction candidate of its
+     * shard) and bumps its per-entry hit count. */
     std::optional<Value>
     lookup(const Key &key) const
     {
@@ -81,31 +83,60 @@ class ConcurrentCache
             misses_.fetch_add(1, std::memory_order_relaxed);
             return std::nullopt;
         }
+        Entry &entry = it->second;
+        entry.hits += 1;
+        if (entry.tracked)
+            shard.order.splice(shard.order.end(), shard.order,
+                               entry.pos);
         hits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second;
+        return entry.value;
     }
 
     /** Insert unless present. Returns true when this call inserted; the
      * first writer wins, so concurrent duplicate computations converge on
      * one canonical value. When a max-entry bound is set, inserting past
-     * a shard's share evicts that shard's oldest entries (coarse FIFO):
-     * content-keyed consumers just recompute an evicted value, so
+     * a shard's share evicts in least-recently-used order, informed by
+     * the per-entry hit counts: the LRU candidate is evicted only if it
+     * was never hit since its insertion (or its last reprieve) —
+     * otherwise its hit count is spent and it is re-queued as most
+     * recent, so a proven-useful entry outlives a never-probed newer
+     * one. Content-keyed consumers just recompute an evicted value, so
      * eviction bounds memory without ever changing results. */
     bool
     insert(const Key &key, Value value)
     {
         Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);
-        bool inserted = shard.map.emplace(key, std::move(value)).second;
+        auto emplaced = shard.map.emplace(key, Entry{std::move(value)});
+        bool inserted = emplaced.second;
         if (inserted && per_shard_cap_ != 0) {
-            shard.fifo.push_back(key);
             // The cap governs TRACKED (post-bound) entries: entries
-            // inserted while the cache was unbounded are not in the
-            // FIFO and are never evicted, and must not make every new
-            // insert evict itself trying to get the map under cap.
-            while (shard.fifo.size() > per_shard_cap_) {
-                shard.map.erase(shard.fifo.front());
-                shard.fifo.pop_front();
+            // inserted while the cache was unbounded carry no recency
+            // position and are never evicted, and must not make every
+            // new insert evict itself trying to get the map under cap.
+            Entry &entry = emplaced.first->second;
+            entry.tracked = true;
+            entry.pos = shard.order.insert(shard.order.end(), key);
+            // Bounded scan: every entry earns at most one reprieve, so
+            // the loop terminates even when every candidate was hit.
+            size_t reprieves = shard.order.size();
+            while (shard.order.size() > per_shard_cap_) {
+                auto victim = shard.map.find(shard.order.front());
+                bool is_new = victim == emplaced.first;
+                if ((victim->second.hits != 0 || is_new) &&
+                    reprieves-- > 0) {
+                    // Reprieve: the hit count is spent, not carried —
+                    // an entry must keep earning hits to keep
+                    // outliving eviction scans. The entry this call
+                    // inserted is always reprieved (an insert must
+                    // never evict itself).
+                    victim->second.hits = 0;
+                    shard.order.splice(shard.order.end(), shard.order,
+                                       victim->second.pos);
+                    continue;
+                }
+                shard.order.pop_front();
+                shard.map.erase(victim);
                 evictions_.fetch_add(1, std::memory_order_relaxed);
             }
         }
@@ -113,9 +144,9 @@ class ConcurrentCache
     }
 
     /** Bound the total entry count (approximately: the bound is split
-     * evenly across shards, each evicting FIFO past its share). 0 (the
-     * default) keeps the cache unbounded — insertion-order bookkeeping is
-     * then skipped entirely. Set before the cache is populated; entries
+     * evenly across shards, each evicting LRU past its share). 0 (the
+     * default) keeps the cache unbounded — recency bookkeeping is then
+     * skipped entirely. Set before the cache is populated; entries
      * inserted while unbounded are never evicted. */
     void
     setMaxEntries(size_t max_entries)
@@ -152,7 +183,7 @@ class ConcurrentCache
         for (const Shard &shard : shards_) {
             std::lock_guard<std::mutex> lock(shard.mutex);
             for (const auto &entry : shard.map)
-                fn(entry.first, entry.second);
+                fn(entry.first, entry.second.value);
         }
     }
 
@@ -162,7 +193,7 @@ class ConcurrentCache
         for (Shard &shard : shards_) {
             std::lock_guard<std::mutex> lock(shard.mutex);
             shard.map.clear();
-            shard.fifo.clear();
+            shard.order.clear();
         }
         hits_.store(0, std::memory_order_relaxed);
         misses_.store(0, std::memory_order_relaxed);
@@ -207,13 +238,28 @@ class ConcurrentCache
     ///@}
 
   private:
+    /** One cached value plus its eviction bookkeeping. */
+    struct Entry
+    {
+        Value value;
+        /** Lookups served since insertion or the last eviction
+         * reprieve (spent, not carried, when the entry dodges an
+         * eviction). */
+        size_t hits = 0;
+        /** In the recency list (inserted while a bound was active). */
+        bool tracked = false;
+        typename std::list<Key>::iterator pos{};
+    };
+
     struct Shard
     {
         mutable std::mutex mutex;
-        std::unordered_map<Key, Value, Hash> map;
-        /** Insertion order for FIFO eviction; maintained only when a
-         * max-entry bound is active. */
-        std::deque<Key> fifo;
+        /** Mutable: lookup() refreshes recency/hit counts under the
+         * shard lock. */
+        mutable std::unordered_map<Key, Entry, Hash> map;
+        /** Recency order, least-recently-used first; maintained only
+         * when a max-entry bound is active. */
+        mutable std::list<Key> order;
     };
 
     const Shard &
@@ -231,7 +277,7 @@ class ConcurrentCache
     size_t per_shard_cap_ = 0; ///< 0 = unbounded.
     mutable std::atomic<size_t> hits_{0};
     mutable std::atomic<size_t> misses_{0};
-    std::atomic<size_t> evictions_{0};
+    mutable std::atomic<size_t> evictions_{0};
 };
 
 } // namespace scalehls

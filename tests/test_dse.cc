@@ -559,8 +559,11 @@ TEST(MultiKernelDSE, ConcurrentPerFunctionFlow)
     DesignSpaceOptions space_options;
     space_options.maxTileSize = 4;
     space_options.maxTotalUnroll = 16;
-    auto results =
-        compiler.optimizeFunctions(xc7z020(), space_options, options);
+    ExploreRequest request;
+    request.space = space_options;
+    request.dse = options;
+    ASSERT_FALSE(request.validate());
+    auto results = compiler.optimizeFunctions(request);
 
     ASSERT_EQ(results.size(), 2u);
     std::set<std::string> names;
@@ -1222,8 +1225,11 @@ TEST(MultiKernelDSE, PerFunctionFrontiersRetained)
     DesignSpaceOptions space_options;
     space_options.maxTileSize = 4;
     space_options.maxTotalUnroll = 16;
-    auto results =
-        compiler.optimizeFunctions(xc7z020(), space_options, options);
+    ExploreRequest request;
+    request.space = space_options;
+    request.dse = options;
+    ASSERT_FALSE(request.validate());
+    auto results = compiler.optimizeFunctions(request);
     ASSERT_EQ(results.size(), 1u);
     ASSERT_FALSE(results[0].frontier.empty());
     // The chosen QoR appears on the retained frontier.
@@ -1248,10 +1254,13 @@ TEST(ModelDSE, OptimizeModelComposesUnderBudget)
 
     auto run = [&](unsigned threads) {
         Compiler compiler(buildLoweredDNN("mobilenet", 2));
-        DSEOptions opt = options;
-        opt.numThreads = threads;
-        auto result =
-            compiler.optimizeModel(vu9pSlr(), space_options, opt);
+        ExploreRequest request;
+        request.budgetSpec = "vu9p-slr";
+        request.space = space_options;
+        request.dse = options;
+        request.dse.numThreads = threads;
+        EXPECT_FALSE(request.validate());
+        auto result = compiler.optimizeModel(request);
         // The composed module must re-verify after stitching.
         auto errors = verifyErrors(compiler.module());
         EXPECT_TRUE(errors.empty());

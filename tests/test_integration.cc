@@ -63,7 +63,11 @@ TEST(Integration, DseOnKernelEndToEnd)
     DSEOptions options;
     options.numInitialSamples = 25;
     options.maxIterations = 50;
-    auto result = compiler.optimize(xc7z020(), space_options, options);
+    ExploreRequest request;
+    request.space = space_options;
+    request.dse = options;
+    ASSERT_FALSE(request.validate());
+    auto result = compiler.optimize(request);
     ASSERT_TRUE(result);
     EXPECT_LT(compiler.estimate().latency, baseline / 8);
 

@@ -187,11 +187,13 @@ TEST(ConcurrentCache, StatsCountHitsAndMisses)
     EXPECT_EQ(cache.lookups(), 0u);
 }
 
-TEST(ConcurrentCache, MaxEntriesEvictsFifoPerShard)
+TEST(ConcurrentCache, MaxEntriesEvictsLruPerShard)
 {
     // One entry per shard (cap 16 over 16 shards): a second insert into
-    // any shard evicts that shard's oldest entry. Content-keyed users
-    // just recompute evicted values, so only memory changes.
+    // any shard evicts that shard's least-recently-used entry (none of
+    // these is ever looked up, so LRU degenerates to insertion order).
+    // Content-keyed users just recompute evicted values, so only memory
+    // changes.
     ConcurrentCache<std::vector<int>, int, OrdinalVectorHash> cache;
     cache.setMaxEntries(16);
     for (int k = 0; k < 256; ++k)
@@ -202,9 +204,10 @@ TEST(ConcurrentCache, MaxEntriesEvictsFifoPerShard)
     EXPECT_EQ(stats.entries, cache.size());
     EXPECT_EQ(stats.evictions, cache.evictions());
 
-    // Surviving entries are the NEWEST of each shard (FIFO evicts the
-    // oldest): re-inserting an evicted key succeeds (it is gone), and
-    // every key that is present still returns its original value.
+    // Surviving entries are the NEWEST of each shard (nothing was hit,
+    // so LRU evicts the oldest): re-inserting an evicted key succeeds
+    // (it is gone), and every key that is present still returns its
+    // original value.
     size_t present = 0;
     for (int k = 0; k < 256; ++k) {
         if (auto hit = cache.lookup({k})) {
@@ -214,7 +217,7 @@ TEST(ConcurrentCache, MaxEntriesEvictsFifoPerShard)
     }
     EXPECT_EQ(present, cache.size());
 
-    // Duplicate inserts do not grow the FIFO or evict.
+    // Duplicate inserts do not grow the recency list or evict.
     cache.clear();
     EXPECT_EQ(cache.evictions(), 0u);
     for (int i = 0; i < 100; ++i)
@@ -223,9 +226,48 @@ TEST(ConcurrentCache, MaxEntriesEvictsFifoPerShard)
     EXPECT_EQ(cache.evictions(), 0u);
 }
 
+TEST(ConcurrentCache, EvictionOrderIsLruInformedByHitCounts)
+{
+    // Single shard for a deterministic eviction order. Key 1 is
+    // inserted first AND hit before 2 and 3 even exist, so it is the
+    // least recently used entry when 4 forces an eviction — pure
+    // LRU/FIFO would take it. Its unspent hit count buys a reprieve
+    // instead, and the scan falls through to 2, the oldest NEVER-hit
+    // entry.
+    ConcurrentCache<std::vector<int>, int, OrdinalVectorHash, 1> cache;
+    cache.setMaxEntries(3);
+    cache.insert({1}, 1);
+    EXPECT_TRUE(cache.lookup({1}).has_value()); // 1 earns its reprieve.
+    cache.insert({2}, 2);
+    cache.insert({3}, 3);
+    cache.insert({4}, 4); // Forces the first eviction.
+
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.lookup({2}).has_value())
+        << "2 (never hit) must be the victim, not the hit entry 1";
+    // These hits also refresh recency in the order 1, 3, 4.
+    EXPECT_TRUE(cache.lookup({1}).has_value());
+    EXPECT_TRUE(cache.lookup({3}).has_value());
+    EXPECT_TRUE(cache.lookup({4}).has_value());
+
+    // Every surviving entry now holds one unspent hit, so the next scan
+    // rotates through all of them, SPENDING the hit counts, and then
+    // evicts the least recently used entry — 1 — exactly once per
+    // insert. A hit count is a one-shot reprieve, not immortality.
+    cache.insert({5}, 5);
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_FALSE(cache.lookup({1}).has_value())
+        << "spent hit counts no longer shield the LRU entry";
+    EXPECT_TRUE(cache.lookup({3}).has_value());
+    EXPECT_TRUE(cache.lookup({4}).has_value());
+    // The freshly inserted key never evicts itself, even when every
+    // other entry held a reprieve-worthy hit count.
+    EXPECT_TRUE(cache.lookup({5}).has_value());
+}
+
 TEST(ConcurrentCache, LateBoundNeverEvictsPreBoundEntries)
 {
-    // Entries inserted while unbounded are not FIFO-tracked; bounding
+    // Entries inserted while unbounded are not recency-tracked; bounding
     // afterwards must only govern NEW inserts — old entries survive,
     // and a fresh insert must not evict itself trying to get the
     // (untracked-inflated) map under cap.

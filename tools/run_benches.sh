@@ -27,6 +27,9 @@
 # regression even when results stay identical), any *violations
 # field RISES (the audit sweeps pin zero L3/L4 findings on healthy
 # runs; a single new violation is a correctness bug, not noise), any
+# *divergences field RISES (the smith differential corpus pins zero
+# cross-path disagreements; one means two evaluation paths answered
+# differently for the same design point), any
 # *latency field RISES (the whole-model DSE results are deterministic,
 # so a longer composed design is a real QoR regression), or any
 # *utilization field DROPS (the allocator leaving budget on the table
@@ -108,6 +111,14 @@ for key, old_rec in sorted(old.items()):
                 failures.append(
                     "%s %s: %s rose %d -> %d (audit findings!)"
                     % (key[0], key[1], field, old_value, new_value))
+        elif field.endswith("divergences"):
+            # The smith corpus pins ZERO cross-path divergences: a
+            # single one means two evaluation paths disagreed on a QoR
+            # or broke a counter invariant — a correctness bug.
+            if new_value > old_value:
+                failures.append(
+                    "%s %s: %s rose %d -> %d (differential failure!)"
+                    % (key[0], key[1], field, old_value, new_value))
         elif field.endswith("latency"):
             if new_value > old_value:
                 failures.append(
@@ -132,7 +143,8 @@ OUT_DIR="${2:-bench-results}"
 mkdir -p "$OUT_DIR"
 
 DEFAULT_BENCHES="bench_parallel_dse bench_estimator bench_fig6 bench_fig7 \
-bench_fig8 bench_table3 bench_table4 bench_table5"
+bench_fig8 bench_table3 bench_table4 bench_table5 \
+scalehls-smith:--corpus,100,--seed,1"
 read -r -a BENCHES <<< "${BENCHES:-$DEFAULT_BENCHES}"
 
 json="$OUT_DIR/results.json"
@@ -258,3 +270,15 @@ persist_records=$(collect "$OUT_DIR/bench_estimator.txt" "estimator_persist")
     printf '}\n'
 } > "$pr9"
 echo "wrote $pr9"
+
+# Distill the PR 10 differential-fuzzing records (seeded smith corpus:
+# sample/point/evaluation counts, cross-path divergences, audit
+# violations, corpus throughput) for the zero-divergence compare gate.
+pr10="$OUT_DIR/BENCH_pr10.json"
+smith_records=$(collect "$OUT_DIR/scalehls-smith.txt" "smith_corpus")
+{
+    printf '{\n'
+    printf '  "smith_corpus": [%s]\n' "${smith_records}"
+    printf '}\n'
+} > "$pr10"
+echo "wrote $pr10"

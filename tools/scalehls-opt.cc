@@ -19,6 +19,7 @@
 #include <limits>
 #include <sstream>
 
+#include "api/explore_request.h"
 #include "api/scalehls.h"
 #include "model/dnn_dse.h"
 #include "model/polybench.h"
@@ -51,87 +52,12 @@ usage()
            "                                one design under the global\n"
            "                                device budget; no C input)\n"
            "options:\n"
-           "  -dse-budget=<xc7z020|vu9p-slr|dsp:lut:bram18k>\n"
-           "                 device budget for every DSE mode (default\n"
-           "                 xc7z020; custom triple in BRAM18K blocks)\n"
-           "  -dse-graph-level=<1..7>  graph granularity for -dse-model\n"
-           "                 (default 4)\n"
            "  -top=<name>    top function   -estimate   QoR report\n"
            "  -pass-timing   timing report  -emit-hlscpp  emit C++\n"
-           "  -dse-threads=<n>  QoR evaluation workers (default: all\n"
-           "                    cores; results independent of <n>)\n"
-           "  -dse-batch=<n>    points proposed per DSE round (part of\n"
-           "                    the deterministic trajectory; default 8)\n"
-           "  -dse-seed=<n>     DSE random seed\n"
-           "  -dse-cache=<0|1>  cross-point estimate cache (default 1;\n"
-           "                    content-keyed, never changes results);\n"
-           "                    hit-rate stats are printed to stderr\n"
-           "  -dse-band-cache=<0|1>  band-level tier of the estimate\n"
-           "                    cache: reuse per-band estimates between\n"
-           "                    points differing only in another band\n"
-           "                    (default 1; content-keyed, never changes\n"
-           "                    results)\n"
-           "  -dse-partition-keys=<0|1>  partition-aware band keys:\n"
-           "                    mask layout dims a band's estimate never\n"
-           "                    reads out of its digest, so retuning one\n"
-           "                    band no longer invalidates the others'\n"
-           "                    cached estimates (default 1)\n"
-           "  -dse-incremental=<0|1>  band-incremental materialization:\n"
-           "                    points whose bands all hit the schedule\n"
-           "                    tier skip cleanup/partition/estimation\n"
-           "                    entirely (default 1; validated, results\n"
-           "                    bit-identical)\n"
-           "  -dse-dataflow-fastpath=<0|1>  extend the band-incremental\n"
-           "                    fast path to dataflow-top and\n"
-           "                    alloc-carrying functions (DNN stages):\n"
-           "                    stage-overlap interval composition and\n"
-           "                    double-buffered channel memory are\n"
-           "                    replayed from cached per-band entries\n"
-           "                    (default 1; validated, bit-identical)\n"
-           "  -dse-cache-cap=<n|f:b:s:p>  max entries per estimate-\n"
-           "                    cache tier, uniform or per tier as\n"
-           "                    func:band:sched:plan (coarse FIFO\n"
-           "                    eviction; default 0 = unbounded) so\n"
-           "                    long sweeps stay bounded\n"
-           "  -cache-load=<path>  estimate-cache snapshot loaded before\n"
-           "                    DSE (warm start; corrupt or version-\n"
-           "                    mismatched files fall back to a cold\n"
-           "                    start with a warning)\n"
-           "  -cache-save=<path>  snapshot saved after DSE; both paths\n"
-           "                    default to $SCALEHLS_CACHE_DIR/\n"
-           "                    estimate_cache.shlsnap when that is\n"
-           "                    set ('' disables)\n"
            "  -verify-each      verify the IR after every pass (always\n"
            "                    on in debug builds; SCALEHLS_VERIFY_EACH\n"
            "                    overrides either way)\n"
-           "  -dse-audit[=<0|1>]  audit every DSE fast-path decision:\n"
-           "                    overlay aliasing, overlay IR, band\n"
-           "                    digest coherence and schedule-entry\n"
-           "                    shape are re-derived from the IR; any\n"
-           "                    finding is reported and exits nonzero\n"
-           "                    (findings fall back to the slow path,\n"
-           "                    so results stay correct regardless).\n"
-           "                    SCALEHLS_DSE_AUDIT sets the default\n";
-}
-
-unsigned
-parseUnsignedArg(const std::string &name, const std::string &value)
-{
-    // std::stoul alone would wrap "-1" to ULONG_MAX; require digits only.
-    bool all_digits = !value.empty();
-    for (char c : value)
-        all_digits &= c >= '0' && c <= '9';
-    if (all_digits) {
-        try {
-            unsigned long parsed = std::stoul(value);
-            if (parsed <= std::numeric_limits<unsigned>::max())
-                return static_cast<unsigned>(parsed);
-        } catch (const std::exception &) {
-        }
-    }
-    std::cerr << name << " expects an unsigned integer, got '" << value
-              << "'\n";
-    std::exit(1);
+        << exploreFlagUsage();
 }
 
 std::vector<int64_t>
@@ -155,7 +81,9 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Split args into input, options and the pass pipeline.
+    // Split args into input, options and the pass pipeline. Everything
+    // DSE-shaped funnels into the one unified ExploreRequest, decoded by
+    // the same parser scalehls-serve and scalehls-smith use.
     std::string input_path;
     std::string top;
     bool estimate = false;
@@ -163,11 +91,8 @@ main(int argc, char **argv)
     bool emit_cpp = false;
     bool run_dse = false;
     bool run_dse_funcs = false;
-    std::string dse_model;
-    int dse_graph_level = 4;
-    ResourceBudget dse_budget = xc7z020();
-    DSEOptions dse_options;
-    DesignSpaceOptions space_options;
+    ExploreRequest request;
+    request.applyEnvDefaults();
     PassManager pm;
 
     auto value_of = [](const std::string &arg) {
@@ -183,7 +108,16 @@ main(int argc, char **argv)
         if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
-        } else if (name == "-top") {
+        }
+        std::string explore_error;
+        if (parseExploreFlag(request, arg, &explore_error)) {
+            if (!explore_error.empty()) {
+                std::cerr << explore_error << "\n";
+                return 1;
+            }
+            continue;
+        }
+        if (name == "-top") {
             top = value;
         } else if (arg == "-estimate") {
             estimate = true;
@@ -195,63 +129,8 @@ main(int argc, char **argv)
             run_dse = true;
         } else if (arg == "-dse-funcs") {
             run_dse_funcs = true;
-        } else if (name == "-dse-model") {
-            dse_model = value;
-        } else if (name == "-dse-graph-level") {
-            dse_graph_level = static_cast<int>(
-                parseUnsignedArg(name, value));
-            if (dse_graph_level < 1 || dse_graph_level > 7) {
-                std::cerr << "-dse-graph-level expects 1..7\n";
-                return 1;
-            }
-        } else if (name == "-dse-budget") {
-            auto parsed = parseResourceBudget(value);
-            if (!parsed) {
-                std::cerr << "-dse-budget expects xc7z020, vu9p-slr or "
-                             "dsp:lut:bram18k, got '"
-                          << value << "'\n";
-                return 1;
-            }
-            dse_budget = *parsed;
-        } else if (name == "-dse-threads") {
-            dse_options.numThreads = parseUnsignedArg(name, value);
-        } else if (name == "-dse-batch") {
-            dse_options.batchSize = parseUnsignedArg(name, value);
-        } else if (name == "-dse-seed") {
-            dse_options.seed = parseUnsignedArg(name, value);
-        } else if (name == "-dse-cache") {
-            dse_options.crossPointCache =
-                parseUnsignedArg(name, value) != 0;
-        } else if (name == "-dse-band-cache") {
-            dse_options.bandLevelCache =
-                parseUnsignedArg(name, value) != 0;
-        } else if (name == "-dse-partition-keys") {
-            dse_options.partitionAwareBandKeys =
-                parseUnsignedArg(name, value) != 0;
-        } else if (name == "-dse-incremental") {
-            dse_options.incrementalMaterialize =
-                parseUnsignedArg(name, value) != 0;
-        } else if (name == "-dse-cache-cap") {
-            auto caps = parseEstimateCacheCaps(value);
-            if (!caps) {
-                std::cerr << "-dse-cache-cap expects <n> or "
-                             "func:band:sched:plan, got '"
-                          << value << "'\n";
-                return 1;
-            }
-            dse_options.estimateCacheTierCaps = *caps;
-        } else if (name == "-cache-load" || name == "--cache-load") {
-            dse_options.cacheLoadPath = value;
-        } else if (name == "-cache-save" || name == "--cache-save") {
-            dse_options.cacheSavePath = value;
-        } else if (name == "-dse-dataflow-fastpath") {
-            space_options.dataflowFastPath =
-                parseUnsignedArg(name, value) != 0;
         } else if (arg == "-verify-each") {
             pm.setVerifyEach(true);
-        } else if (name == "-dse-audit") {
-            dse_options.auditMode =
-                value.empty() || parseUnsignedArg(name, value) != 0;
         } else if (name == "-affine-loop-perfectization") {
             pm.addPass(createLoopPerfectizationPass());
         } else if (name == "-remove-variable-bound") {
@@ -294,9 +173,14 @@ main(int argc, char **argv)
         }
     }
 
+    if (auto invalid = request.validate()) {
+        std::cerr << *invalid << "\n";
+        return 1;
+    }
+
     try {
         if ((run_dse && run_dse_funcs) ||
-            (!dse_model.empty() && (run_dse || run_dse_funcs))) {
+            (!request.model.empty() && (run_dse || run_dse_funcs))) {
             std::cerr << "-dse, -dse-funcs and -dse-model are mutually "
                          "exclusive\n";
             return 1;
@@ -306,12 +190,13 @@ main(int argc, char **argv)
         // mode parses HLS C from the input.
         std::string source;
         std::unique_ptr<Operation> model_module;
-        if (!dse_model.empty()) {
-            model_module = buildLoweredDNN(dse_model, dse_graph_level);
+        if (!request.model.empty()) {
+            model_module =
+                buildLoweredDNN(request.model, request.graphLevel);
             if (!model_module) {
                 std::cerr << "-dse-model expects resnet18, vgg16 or "
                              "mobilenet, got '"
-                          << dse_model << "'\n";
+                          << request.model << "'\n";
                 return 1;
             }
         } else if (input_path.empty() || input_path == "-") {
@@ -329,7 +214,7 @@ main(int argc, char **argv)
             source = buffer.str();
         }
 
-        Compiler compiler = dse_model.empty()
+        Compiler compiler = request.model.empty()
                                 ? Compiler::fromC(source, top)
                                 : Compiler(std::move(model_module));
         pm.run(compiler.module());
@@ -338,17 +223,17 @@ main(int argc, char **argv)
         // both DSE modes (optimizeFunctions would otherwise create an
         // internal one).
         EstimateCache estimate_cache;
-        dse_options.applyCacheBounds(estimate_cache);
-        bool any_dse = run_dse || run_dse_funcs || !dse_model.empty();
-        if (dse_options.crossPointCache && any_dse)
-            dse_options.sharedEstimates = &estimate_cache;
+        request.dse.applyCacheBounds(estimate_cache);
+        bool any_dse = run_dse || run_dse_funcs || !request.model.empty();
+        if (request.dse.crossPointCache && any_dse)
+            request.dse.sharedEstimates = &estimate_cache;
         // The tool owns the cache the exploration uses, so snapshot
         // persistence happens here (engines and the Compiler skip it
         // when sharedEstimates is injected).
-        if (dse_options.sharedEstimates &&
-            !dse_options.cacheLoadPath.empty())
+        if (request.dse.sharedEstimates &&
+            !request.dse.cacheLoadPath.empty())
             loadEstimateCacheLogged(estimate_cache,
-                                    dse_options.cacheLoadPath);
+                                    request.dse.cacheLoadPath);
         auto report_tier = [](const char *name, const CacheStats &tier) {
             std::cerr << name << " " << tier.hits << " hits / "
                       << tier.lookups() << " lookups ("
@@ -358,18 +243,18 @@ main(int argc, char **argv)
                 std::cerr << ", " << tier.evictions << " evicted";
         };
         auto report_cache = [&] {
-            if (!dse_options.sharedEstimates)
+            if (!request.dse.sharedEstimates)
                 return;
             std::cerr << "estimate cache: ";
             report_tier("func tier", estimate_cache.funcStats());
-            if (dse_options.bandLevelCache) {
+            if (request.dse.bandLevelCache) {
                 CacheStats band_tier = estimate_cache.bandStats();
                 std::cerr << "; ";
                 report_tier("band tier", band_tier);
-                if (dse_options.partitionAwareBandKeys)
+                if (request.dse.partitionAwareBandKeys)
                     std::cerr << " (" << band_tier.maskedHits
                               << " partition-masked)";
-                if (dse_options.incrementalMaterialize) {
+                if (request.dse.incrementalMaterialize) {
                     std::cerr << "; ";
                     report_tier("schedule tier",
                                 estimate_cache.scheduleStats());
@@ -386,8 +271,7 @@ main(int argc, char **argv)
         size_t audit_checks = 0;
         size_t audit_violations = 0;
         if (run_dse) {
-            auto result = compiler.optimize(dse_budget, space_options,
-                                            dse_options);
+            auto result = compiler.optimize(request);
             if (!result) {
                 std::cerr << "DSE found no feasible design\n";
                 return 1;
@@ -406,8 +290,7 @@ main(int argc, char **argv)
             report_cache();
         }
         if (run_dse_funcs) {
-            auto results = compiler.optimizeFunctions(
-                dse_budget, space_options, dse_options);
+            auto results = compiler.optimizeFunctions(request);
             bool any_feasible = false;
             for (const auto &r : results) {
                 std::cerr << "DSE " << r.func << ": ";
@@ -429,9 +312,8 @@ main(int argc, char **argv)
                 return 1;
             }
         }
-        if (!dse_model.empty()) {
-            auto result = compiler.optimizeModel(
-                dse_budget, space_options, dse_options);
+        if (!request.model.empty()) {
+            auto result = compiler.optimizeModel(request);
             if (!result) {
                 std::cerr << "whole-model DSE: no dataflow top with "
                              "stages to optimize\n";
@@ -450,7 +332,7 @@ main(int argc, char **argv)
             }
             if (!result->allocation.feasible) {
                 std::cerr << "whole-model DSE: no composition fits "
-                          << dse_budget.name << "\n";
+                          << request.budget.name << "\n";
                 return 1;
             }
             std::cerr << "allocation: bottleneck="
@@ -482,16 +364,16 @@ main(int argc, char **argv)
             if (!result->verified)
                 return 1;
         }
-        if (dse_options.auditMode && (run_dse || run_dse_funcs)) {
+        if (request.dse.auditMode && (run_dse || run_dse_funcs)) {
             std::cerr << "dse-audit: " << audit_checks << " checks, "
                       << audit_violations << " violations\n";
             if (audit_violations != 0)
                 return 1;
         }
-        if (dse_options.sharedEstimates &&
-            !dse_options.cacheSavePath.empty())
+        if (request.dse.sharedEstimates &&
+            !request.dse.cacheSavePath.empty())
             saveEstimateCacheLogged(estimate_cache,
-                                    dse_options.cacheSavePath);
+                                    request.dse.cacheSavePath);
 
         auto errors = verify(compiler.module());
         for (const auto &error : errors)

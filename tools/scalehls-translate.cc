@@ -57,7 +57,8 @@ main(int argc, char **argv)
             source = buffer.str();
         }
         Compiler compiler = Compiler::fromC(source, top);
-        if (optimize && !compiler.optimize(xc7z020())) {
+        ExploreRequest request;
+        if (optimize && !compiler.optimize(request)) {
             std::cerr << "DSE found no feasible design\n";
             return 1;
         }
